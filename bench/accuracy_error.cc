@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Accuracy study (paper Sections 1/3 prose): error of the simulated
+ * execution time and CPI relative to the cycle-by-cycle gold standard
+ * as the slack bound grows, up to unbounded slack. The paper's
+ * observation is that even unbounded slack usually stays within
+ * single-digit percent error on execution time.
+ *
+ * Flags: --kernel=NAME --uops=N --serial
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "common.hh"
+#include "stats/table.hh"
+#include "table_io.hh"
+
+using namespace slacksim;
+using namespace slacksim::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    const std::uint64_t uops = uopBudget(opts, 60000);
+    banner("Accuracy: execution-time / CPI error vs cycle-by-cycle as "
+           "slack grows",
+           opts, uops);
+
+    for (const auto &kernel : kernelList(opts)) {
+        SimConfig cc = paperSetup(kernel, uops);
+        applyCommonFlags(opts, cc);
+        cc.engine.scheme = SchemeKind::CycleByCycle;
+        const RunResult r_cc = runSimulation(cc);
+
+        Table table("Accuracy [" + kernel + "] (CC exec = " +
+                    std::to_string(r_cc.execCycles) + " cycles)");
+        table.setHeader({"scheme", "exec cycles", "exec err %",
+                         "CPI err %", "viol rate %/cyc",
+                         "sim time (s)"});
+
+        auto report = [&](const std::string &label,
+                          const RunResult &r) {
+            const double exec_err =
+                100.0 *
+                (static_cast<double>(r.execCycles) -
+                 static_cast<double>(r_cc.execCycles)) /
+                static_cast<double>(r_cc.execCycles);
+            const double cpi_err =
+                100.0 * (r.cpi() - r_cc.cpi()) / r_cc.cpi();
+            table.cell(label)
+                .cell(r.execCycles)
+                .cell(exec_err, 2)
+                .cell(cpi_err, 2)
+                .cell(formatDouble(r.violationRate() * 100.0, 4))
+                .cell(r.host.wallSeconds, 3)
+                .endRow();
+        };
+
+        report("CC", r_cc);
+        for (const Tick bound : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+            SimConfig config = paperSetup(kernel, uops);
+            applyCommonFlags(opts, config);
+            config.engine.scheme = SchemeKind::Bounded;
+            config.engine.slackBound = bound;
+            report("S" + std::to_string(bound), runSimulation(config));
+        }
+        {
+            SimConfig config = paperSetup(kernel, uops);
+            applyCommonFlags(opts, config);
+            config.engine.scheme = SchemeKind::Unbounded;
+            report("unbounded", runSimulation(config));
+        }
+
+        table.print(std::cout);
+        std::cout << "\n";
+        emitCsv(opts, {&table});
+    }
+    return 0;
+}

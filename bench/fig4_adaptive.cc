@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Figure 4 reproduction: simulation time vs measured violation rate
+ * for
+ *  (a) adaptive slack with violation band 0%  (12 target rates),
+ *  (b) adaptive slack with violation band 5%  (12 target rates),
+ *  (c) cycle-by-cycle plus bounded slack S1..S9.
+ *
+ * Expected shape (paper Section 4): adaptive always beats
+ * cycle-by-cycle; a wider violation band is a bit faster than band 0;
+ * bounded slack at a similar violation rate beats adaptive (the price
+ * of the "safety net").
+ *
+ * Flags: --kernel=NAME (default fft, like the paper's single plot),
+ *        --all (all four benchmarks), --uops=N --serial
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "stats/table.hh"
+#include "table_io.hh"
+
+using namespace slacksim;
+using namespace slacksim::bench;
+
+namespace {
+
+// The paper's 12 target violation rates are 0.01%..0.20% per cycle.
+// This host's violation-rate floor sits about an order of magnitude
+// higher (a 1-CPU container batches arrivals far more coarsely than
+// the authors' 8-context Xeon), so the sweep defaults to the same
+// 12-point structure scaled by --target-scale (default 10x). Pass
+// --target-scale=1 to run the paper's literal rates.
+const double paperTargetRates[] = {0.01, 0.03, 0.05, 0.07, 0.09, 0.10,
+                                   0.11, 0.13, 0.15, 0.17, 0.19, 0.20};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    const std::uint64_t uops = uopBudget(opts, 50000);
+    const double scale = opts.getDouble("target-scale", 10.0);
+    banner("Figure 4: simulation time vs violation rate (adaptive "
+           "bands 0%/5% and CC+S1..9)",
+           opts, uops);
+    std::cout << "# target rates = paper's 12 points x "
+              << formatDouble(scale, 0) << " (--target-scale)\n\n";
+
+    std::vector<std::string> kernels = {opts.get("kernel", "fft")};
+    if (opts.has("all"))
+        kernels = kernelList(opts);
+
+    for (const auto &kernel : kernels) {
+        Table table("Fig 4 [" + kernel + "]: series / config -> "
+                    "violation rate, simulation time");
+        table.setHeader({"series", "config", "viol rate (%/cyc)",
+                         "sim time (s)", "final bound"});
+
+        for (const double band : {0.00, 0.05}) {
+            for (const double paper_target : paperTargetRates) {
+                const double target = paper_target * scale;
+                SimConfig config = paperSetup(kernel, uops);
+                applyCommonFlags(opts, config);
+                config.engine.scheme = SchemeKind::Adaptive;
+                config.engine.adaptive.targetViolationRate =
+                    target / 100.0;
+                config.engine.adaptive.violationBand = band;
+                config.engine.warmupUops = uops / 5;
+                const RunResult r = runSimulation(config);
+                table.cell(band == 0.0 ? "adaptive band 0%"
+                                       : "adaptive band 5%")
+                    .cell("target " + formatDouble(target, 2) + "%")
+                    .cell(formatDouble(r.violationRate() * 100.0, 4))
+                    .cell(r.host.wallSeconds, 3)
+                    .cell(r.finalSlackBound)
+                    .endRow();
+            }
+        }
+
+        {
+            SimConfig config = paperSetup(kernel, uops);
+            applyCommonFlags(opts, config);
+            config.engine.scheme = SchemeKind::CycleByCycle;
+            const RunResult r = runSimulation(config);
+            table.cell("cc+bounded")
+                .cell("CC")
+                .cell(formatDouble(r.violationRate() * 100.0, 4))
+                .cell(r.host.wallSeconds, 3)
+                .cell(std::uint64_t{0})
+                .endRow();
+        }
+        for (Tick bound = 1; bound <= 9; ++bound) {
+            SimConfig config = paperSetup(kernel, uops);
+            applyCommonFlags(opts, config);
+            config.engine.scheme = SchemeKind::Bounded;
+            config.engine.slackBound = bound;
+            const RunResult r = runSimulation(config);
+            table.cell("cc+bounded")
+                .cell("S" + std::to_string(bound))
+                .cell(formatDouble(r.violationRate() * 100.0, 4))
+                .cell(r.host.wallSeconds, 3)
+                .cell(bound)
+                .endRow();
+        }
+
+        table.print(std::cout);
+        std::cout << "\n";
+        emitCsv(opts, {&table});
+    }
+    return 0;
+}

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the engine primitives that
+ * determine simulation speed: the SPSC event queues, L1 access, the
+ * manager's service path, whole-world snapshots (checkpoint cost),
+ * and raw core-cycle throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "cache/l1_cache.hh"
+#include "core/core_complex.hh"
+#include "core/sim_system.hh"
+#include "uncore/uncore.hh"
+#include "util/logging.hh"
+#include "util/spsc_queue.hh"
+
+using namespace slacksim;
+
+namespace {
+
+void
+BM_SpscPushPop(benchmark::State &state)
+{
+    SpscQueue<BusMsg> q(1024);
+    BusMsg msg;
+    for (auto _ : state) {
+        q.push(msg);
+        BusMsg out;
+        q.pop(out);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpscPushPop);
+
+void
+BM_L1LoadHit(benchmark::State &state)
+{
+    CoreStats stats;
+    L1Params params;
+    L1Cache cache(params, 0, &stats);
+    std::vector<BusMsg> out;
+    std::vector<L1Waiter> waiters;
+    BusMsg fill;
+    fill.type = MsgType::Fill;
+    fill.addr = 0x1000;
+    fill.grantState = static_cast<std::uint8_t>(MesiState::Exclusive);
+    cache.applyFill(fill, 0, out, waiters);
+    L1Waiter w;
+    Tick t = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.accessLoad(0x1000, w, t++, out));
+        out.clear();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_L1LoadHit);
+
+void
+BM_UncoreServiceGetS(benchmark::State &state)
+{
+    UncoreStats stats;
+    ViolationStats violations;
+    UncoreParams params;
+    params.numLocks = 1;
+    params.numBarriers = 1;
+    Uncore uncore(params, &stats, &violations);
+    std::vector<Outbound> out;
+    Tick t = 0;
+    Addr a = 0;
+    for (auto _ : state) {
+        BusMsg msg;
+        msg.type = MsgType::GetS;
+        msg.src = static_cast<CoreId>(t % 8);
+        msg.addr = (a += 64) & 0xfffff;
+        msg.ts = ++t;
+        uncore.service(msg, out);
+        out.clear();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UncoreServiceGetS);
+
+SimConfig
+microConfig()
+{
+    SimConfig config;
+    config.workload.kernel = "uniform";
+    config.workload.numThreads = config.target.numCores;
+    config.workload.iters = 20000;
+    config.workload.footprintBytes = 128 * 1024;
+    return config;
+}
+
+void
+BM_WorldSnapshot(benchmark::State &state)
+{
+    setQuietLogging(true);
+    SimSystem sys(microConfig());
+    std::size_t bytes = 0;
+    for (auto _ : state) {
+        SnapshotWriter w;
+        sys.save(w);
+        bytes = w.size();
+        SnapshotReader r(w.bytes());
+        sys.restore(r);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(bytes * state.iterations()));
+    state.counters["snapshot_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_WorldSnapshot);
+
+void
+BM_CoreCycleThroughput(benchmark::State &state)
+{
+    setQuietLogging(true);
+    SimSystem sys(microConfig());
+    CoreComplex &cc = sys.core(0);
+    std::vector<Outbound> scratch;
+    for (auto _ : state) {
+        if (cc.finished())
+            state.SkipWithError("trace ended; enlarge iters");
+        cc.cycle(cc.localTime());
+        // Play a trivial manager so queues never fill.
+        BusMsg msg;
+        while (cc.outQ().pop(msg)) {
+            scratch.clear();
+            sys.uncore().service(msg, scratch);
+            for (const auto &o : scratch)
+                sys.core(o.dst).inQ().push(o.msg);
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoreCycleThroughput);
+
+void
+BM_AtomicWaitNotifyRoundTrip(benchmark::State &state)
+{
+    // The cost that dominates cycle-by-cycle mode: a futex wake with
+    // no waiter (the common notify path in the pacing protocol).
+    std::atomic<std::uint32_t> word{0};
+    for (auto _ : state) {
+        word.fetch_add(1, std::memory_order_release);
+        word.notify_one();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AtomicWaitNotifyRoundTrip);
+
+} // namespace
+
+BENCHMARK_MAIN();

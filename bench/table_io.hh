@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Optional CSV emission for the bench harnesses: pass --csv=PREFIX to
+ * also write each printed table to PREFIX_<n>.csv.
+ */
+
+#ifndef SLACKSIM_BENCH_TABLE_IO_HH
+#define SLACKSIM_BENCH_TABLE_IO_HH
+
+#include <fstream>
+#include <initializer_list>
+#include <iostream>
+
+#include "stats/table.hh"
+#include "util/options.hh"
+
+namespace slacksim::bench {
+
+inline void
+emitCsv(const Options &opts, std::initializer_list<const Table *> tables)
+{
+    const std::string prefix = opts.get("csv", "");
+    if (prefix.empty())
+        return;
+    int index = 0;
+    for (const Table *table : tables) {
+        const std::string path =
+            prefix + "_" + std::to_string(index++) + ".csv";
+        std::ofstream out(path);
+        table->printCsv(out);
+        std::cout << "csv written: " << path << "\n";
+    }
+}
+
+} // namespace slacksim::bench
+
+#endif // SLACKSIM_BENCH_TABLE_IO_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Adaptive-slack tuning walkthrough: shows how the feedback
+ * controller's knobs (target violation rate, violation band, epoch,
+ * initial bound) shape the achieved rate, the final bound and the
+ * wall-clock cost — the trade-off space of paper Section 4.
+ *
+ * Usage: adaptive_tuning [--kernel=water] [--uops=80000] [--serial]
+ */
+
+#include <iostream>
+
+#include "core/run.hh"
+#include "stats/table.hh"
+#include "util/options.hh"
+
+using namespace slacksim;
+
+namespace {
+
+RunResult
+runAdaptive(const std::string &kernel, std::uint64_t uops,
+            bool parallel, double target, double band, Tick epoch,
+            Tick initial)
+{
+    SimConfig config = paperConfig(kernel, uops);
+    config.engine.parallelHost = parallel;
+    config.engine.scheme = SchemeKind::Adaptive;
+    config.engine.adaptive.targetViolationRate = target;
+    config.engine.adaptive.violationBand = band;
+    config.engine.adaptive.epochCycles = epoch;
+    config.engine.adaptive.initialBound = initial;
+    return runSimulation(config);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    const std::string kernel = opts.get("kernel", "water");
+    const std::uint64_t uops = opts.getUint("uops", 80000);
+    const bool parallel = !opts.has("serial");
+
+    std::cout << "Adaptive slack tuning on '" << kernel << "'\n\n";
+
+    // 1. Sweep the target violation rate.
+    Table targets("1. target rate sweep (band 5%, epoch 1k)");
+    targets.setHeader({"target %/cyc", "achieved %/cyc", "final bound",
+                       "adjustments", "sim time (s)"});
+    for (const double target : {0.0001, 0.0005, 0.002, 0.01}) {
+        const RunResult r = runAdaptive(kernel, uops, parallel, target,
+                                        0.05, 1000, 8);
+        targets.cell(formatDouble(target * 100.0, 3))
+            .cell(formatDouble(r.violationRate() * 100.0, 4))
+            .cell(r.finalSlackBound)
+            .cell(r.host.slackAdjustments)
+            .cell(r.host.wallSeconds, 3)
+            .endRow();
+    }
+    targets.print(std::cout);
+    std::cout << "\n";
+
+    // 2. Sweep the violation band at a fixed target.
+    Table bands("2. violation band sweep (target 0.05%)");
+    bands.setHeader({"band", "achieved %/cyc", "adjustments",
+                     "sim time (s)"});
+    for (const double band : {0.0, 0.05, 0.20, 0.50}) {
+        const RunResult r = runAdaptive(kernel, uops, parallel, 5e-4,
+                                        band, 1000, 8);
+        bands.cell(formatDouble(band * 100.0, 0) + "%")
+            .cell(formatDouble(r.violationRate() * 100.0, 4))
+            .cell(r.host.slackAdjustments)
+            .cell(r.host.wallSeconds, 3)
+            .endRow();
+    }
+    bands.print(std::cout);
+    std::cout << "\n";
+
+    // 3. Initial bound barely matters once the controller converges.
+    Table inits("3. initial bound sweep (target 0.05%, band 5%)");
+    inits.setHeader({"initial bound", "final bound",
+                     "achieved %/cyc"});
+    for (const Tick initial : {1u, 8u, 64u, 512u}) {
+        const RunResult r = runAdaptive(kernel, uops, parallel, 5e-4,
+                                        0.05, 1000, initial);
+        inits.cell(initial)
+            .cell(r.finalSlackBound)
+            .cell(formatDouble(r.violationRate() * 100.0, 4))
+            .endRow();
+    }
+    inits.print(std::cout);
+
+    std::cout << "\nTakeaway: the controller holds the violation rate "
+                 "near the target by throttling the bound; wider bands "
+                 "mean fewer adjustments (cheaper), looser control.\n";
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * scheme_explorer — a small CLI around the whole library: run any
+ * workload kernel under any synchronization scheme with full control
+ * over the knobs, and print the detailed run summary. Handy for
+ * reproducing a single cell of any table in the paper.
+ *
+ * Usage examples:
+ *   scheme_explorer --kernel=barnes --scheme=cc --uops=50000
+ *   scheme_explorer --kernel=lu --scheme=bounded --slack=25
+ *   scheme_explorer --kernel=water --scheme=adaptive --target=0.0001 \
+ *                   --band=0.05 --checkpoint=measure --interval=10000
+ *   scheme_explorer --kernel=uniform --scheme=adaptive \
+ *                   --checkpoint=speculative --interval=5000 --serial
+ *   scheme_explorer --list
+ */
+
+#include <iostream>
+
+#include "core/run.hh"
+#include "util/options.hh"
+#include "workload/kernels.hh"
+
+using namespace slacksim;
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+
+    if (opts.has("help")) {
+        std::cout
+            << "scheme_explorer options:\n"
+               "  --list                 list workload kernels\n"
+               "  --kernel=NAME          workload (default fft)\n"
+               "  --scheme=S             cc|quantum|bounded|unbounded|"
+               "adaptive\n"
+               "  --slack=N --quantum=N  scheme parameters\n"
+               "  --target=R --band=B    adaptive controller\n"
+               "  --epoch=N --init=N     adaptive controller\n"
+               "  --checkpoint=M         off|measure|speculative\n"
+               "  --checkpoint-tech=T    memory|fork (fork: serial "
+               "only)\n"
+               "  --p2p-period=N         lax-p2p reshuffle period\n"
+               "  --clusters=N           hierarchical manager relays\n"
+               "  --interval=N           checkpoint interval (cycles)\n"
+               "  --no-bus-rollback      roll back on map violations "
+               "only\n"
+               "  --uops=N               stop after N committed uops\n"
+               "  --cores=N              target cores (= workload "
+               "threads)\n"
+               "  --serial               single-threaded host engine\n"
+               "  --protocol=P           mesi|msi coherence protocol\n"
+               "  --seed=N --grain=N     workload generation knobs\n";
+        return 0;
+    }
+    if (opts.has("list")) {
+        std::cout << "workload kernels:\n";
+        for (const auto &name : workloadNames())
+            std::cout << "  " << name << "\n";
+        return 0;
+    }
+
+    SimConfig config;
+    config.workload.kernel = opts.get("kernel", "fft");
+    config.target.numCores =
+        static_cast<std::uint32_t>(opts.getUint("cores", 8));
+    config.workload.numThreads = config.target.numCores;
+    config.workload.seed = opts.getUint("seed", 42);
+    config.workload.computeGrain =
+        static_cast<std::uint32_t>(opts.getUint("grain", 1));
+    config.workload.iters = opts.getUint("iters", 0);
+    config.workload.fftPoints = opts.getUint("fft-points", 0);
+    config.workload.bodies = opts.getUint("bodies", 0);
+    config.workload.matrixN = opts.getUint("matrix-n", 0);
+    config.workload.molecules = opts.getUint("molecules", 0);
+
+    config.engine.scheme = parseScheme(opts.get("scheme", "bounded"));
+    config.engine.slackBound = opts.getUint("slack", 10);
+    config.engine.quantum = opts.getUint("quantum", 8);
+    config.engine.adaptive.targetViolationRate =
+        opts.getDouble("target", 1e-4);
+    config.engine.adaptive.violationBand = opts.getDouble("band", 0.05);
+    config.engine.adaptive.epochCycles = opts.getUint("epoch", 1000);
+    config.engine.adaptive.initialBound = opts.getUint("init", 8);
+    config.engine.maxCommittedUops = opts.getUint("uops", 100000);
+    config.engine.parallelHost = !opts.has("serial");
+
+    const std::string ckpt = opts.get("checkpoint", "off");
+    if (ckpt == "measure")
+        config.engine.checkpoint.mode = CheckpointMode::Measure;
+    else if (ckpt == "speculative")
+        config.engine.checkpoint.mode = CheckpointMode::Speculative;
+    else if (ckpt != "off")
+        SLACKSIM_FATAL("--checkpoint expects off|measure|speculative");
+    config.engine.checkpoint.interval = opts.getUint("interval", 50000);
+    config.engine.checkpoint.rollbackOnBus =
+        !opts.has("no-bus-rollback");
+    const std::string tech = opts.get("checkpoint-tech", "memory");
+    if (tech == "fork")
+        config.engine.checkpoint.tech = CheckpointTech::ForkProcess;
+    else if (tech != "memory")
+        SLACKSIM_FATAL("--checkpoint-tech expects memory|fork");
+    config.engine.p2pShufflePeriod = opts.getUint("p2p-period", 1000);
+    config.engine.managerClusters =
+        static_cast<std::uint32_t>(opts.getUint("clusters", 0));
+    const std::string protocol = opts.get("protocol", "mesi");
+    if (protocol == "msi")
+        config.target.protocol = CoherenceProtocol::MSI;
+    else if (protocol != "mesi")
+        SLACKSIM_FATAL("--protocol expects mesi|msi");
+
+    const RunResult result = runSimulation(config);
+    result.printSummary(std::cout);
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * MESI coherence states shared by the L1 caches and the manager's
+ * global cache status map.
+ */
+
+#ifndef SLACKSIM_CACHE_MESI_HH
+#define SLACKSIM_CACHE_MESI_HH
+
+#include <cstdint>
+
+namespace slacksim {
+
+/** Coherence protocol variant implemented by the bus/map logic. */
+enum class CoherenceProtocol : std::uint8_t {
+    MSI,  //!< no Exclusive state: every first store pays an upgrade
+    MESI, //!< silent E->M upgrades on unshared lines (paper default)
+};
+
+/** @return printable protocol name. */
+constexpr const char *
+protocolName(CoherenceProtocol p)
+{
+    return p == CoherenceProtocol::MSI ? "MSI" : "MESI";
+}
+
+/** The four MESI states. */
+enum class MesiState : std::uint8_t {
+    Invalid = 0,
+    Shared = 1,
+    Exclusive = 2,
+    Modified = 3,
+};
+
+/** @return printable state name. */
+constexpr const char *
+mesiName(MesiState s)
+{
+    switch (s) {
+      case MesiState::Invalid:
+        return "I";
+      case MesiState::Shared:
+        return "S";
+      case MesiState::Exclusive:
+        return "E";
+      case MesiState::Modified:
+        return "M";
+    }
+    return "?";
+}
+
+/** @return true when the state permits reading without a bus request. */
+constexpr bool
+canRead(MesiState s)
+{
+    return s != MesiState::Invalid;
+}
+
+/** @return true when the state permits writing without a bus request. */
+constexpr bool
+canWrite(MesiState s)
+{
+    return s == MesiState::Exclusive || s == MesiState::Modified;
+}
+
+} // namespace slacksim
+
+#endif // SLACKSIM_CACHE_MESI_HH

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Checkpointer implementation.
+ */
+
+#include "core/checkpointer.hh"
+
+#include <chrono>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace slacksim {
+
+namespace {
+
+double
+nowSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+Checkpointer::Checkpointer(SimSystem &sys, Pacer &pacer,
+                           ManagerLogic &mgr, const EngineConfig &engine,
+                           HostStats *host)
+    : sys_(sys),
+      pacer_(pacer),
+      mgr_(mgr),
+      engine_(engine),
+      host_(host)
+{
+    SLACKSIM_ASSERT(host_ != nullptr, "Checkpointer needs host stats");
+    nextCheckpointAt_ = 0; // the first checkpoint happens at t = 0
+    if (engine_.checkpoint.extraCopyBytes)
+        extraCopyArena_.resize(engine_.checkpoint.extraCopyBytes, 1);
+    if (enabled() &&
+        engine_.checkpoint.tech == CheckpointTech::ForkProcess) {
+        fork_ = std::make_unique<ForkCheckpointer>();
+    }
+}
+
+Checkpointer::Event
+Checkpointer::takeCheckpoint(Tick now)
+{
+    SLACKSIM_ASSERT(enabled(), "takeCheckpoint with checkpointing off");
+
+    mgr_.closeInterval();
+
+    // End a completed replay window *before* capturing the state so
+    // the checkpoint itself records normal (non-replay) operation.
+    if (pacer_.replayMode()) {
+        host_->replayCycles += now - lastCheckpointAt_;
+        pacer_.setReplayMode(false);
+        sys_.uncore().setViolationCounting(true);
+    }
+
+    Event event = Event::Taken;
+    if (fork_) {
+        // The paper's mechanism: this very process image becomes the
+        // checkpoint; execution continues in a child. After a future
+        // rollback, control re-emerges right here in the parent.
+        const auto outcome = fork_->checkpoint();
+        haveCheckpoint_ = true;
+        host_->checkpointsTaken = fork_->checkpointCount();
+        host_->checkpointSeconds = fork_->checkpointSeconds();
+        host_->checkpointBytes = 0; // a whole address space
+        host_->rollbacks = fork_->rollbackCount();
+        host_->wastedCycles = fork_->wastedCycles();
+        if (outcome == ForkCheckpointer::Outcome::RolledBack)
+            event = Event::ResumedFromRollback;
+    } else {
+        const double t0 = nowSeconds();
+        SnapshotWriter writer;
+        sys_.save(writer);
+        pacer_.save(writer);
+        mgr_.save(writer);
+        buffer_ = writer.release();
+        haveCheckpoint_ = true;
+
+        // Optionally emulate a heavier checkpoint technology (fork()
+        // pays copy-on-write page faults across the whole virtual
+        // space) by actually copying an arena of configured size.
+        if (!extraCopyArena_.empty()) {
+            std::vector<std::uint8_t> copy(extraCopyArena_.size());
+            std::memcpy(copy.data(), extraCopyArena_.data(),
+                        copy.size());
+            extraCopyArena_[0] =
+                static_cast<std::uint8_t>(copy[copy.size() / 2] + 1);
+        }
+        ++host_->checkpointsTaken;
+        host_->checkpointBytes = buffer_.size();
+        host_->checkpointSeconds += nowSeconds() - t0;
+    }
+
+    lastCheckpointAt_ = now;
+    nextCheckpointAt_ = now + engine_.checkpoint.interval;
+    mgr_.beginInterval(now);
+
+    if (event == Event::ResumedFromRollback) {
+        // Forward progress: replay this interval cycle-by-cycle with
+        // rollback disarmed and violation counting off.
+        mgr_.clearRollbackRequest();
+        mgr_.armRollback(false);
+        pacer_.setReplayMode(true);
+        sys_.uncore().setViolationCounting(false);
+    } else {
+        mgr_.armRollback(speculative());
+    }
+    return event;
+}
+
+void
+Checkpointer::finalizeHostStats()
+{
+    if (fork_) {
+        host_->checkpointsTaken = fork_->checkpointCount();
+        host_->checkpointSeconds = fork_->checkpointSeconds();
+        host_->rollbacks = fork_->rollbackCount();
+        host_->wastedCycles = fork_->wastedCycles();
+    }
+}
+
+Tick
+Checkpointer::rollback(Tick current_global)
+{
+    SLACKSIM_ASSERT(haveCheckpoint_, "rollback without a checkpoint");
+
+    if (fork_) {
+        fork_->addWastedCycles(current_global >= lastCheckpointAt_
+                                   ? current_global - lastCheckpointAt_
+                                   : 0);
+        // Never returns: the checkpoint-holder process wakes up
+        // inside its takeCheckpoint() call and reports
+        // ResumedFromRollback to the engine.
+        fork_->rollback();
+    }
+
+    ++host_->rollbacks;
+    host_->wastedCycles += current_global >= lastCheckpointAt_
+                               ? current_global - lastCheckpointAt_
+                               : 0;
+
+    mgr_.abortInterval();
+    mgr_.clearRollbackRequest();
+    mgr_.armRollback(false);
+
+    SnapshotReader reader(buffer_);
+    sys_.restore(reader);
+    pacer_.restore(reader);
+    mgr_.restore(reader);
+    SLACKSIM_ASSERT(reader.exhausted(),
+                    "checkpoint not fully consumed on rollback");
+
+    // Forward progress: replay the interval cycle-by-cycle with
+    // violation counting off; the next boundary re-checkpoints.
+    pacer_.setReplayMode(true);
+    sys_.uncore().setViolationCounting(false);
+    mgr_.beginInterval(lastCheckpointAt_);
+    return lastCheckpointAt_;
+}
+
+} // namespace slacksim

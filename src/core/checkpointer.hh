@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Global checkpoint / rollback orchestration (paper Section 5).
+ *
+ * The paper's per-thread fork() checkpoints cannot be applied to a
+ * thread-parallel simulator (fork clones only the calling thread), so
+ * a global checkpoint here is an in-memory serialization of the whole
+ * quiesced world: every core complex (pipeline, L1s, queues, clock),
+ * the uncore (map, L2, sync, bus state, violation counters) and the
+ * manager's in-flight event buffers. Rollback deserializes it and
+ * replays in cycle-by-cycle mode until the next checkpoint boundary
+ * to guarantee forward progress.
+ */
+
+#ifndef SLACKSIM_CORE_CHECKPOINTER_HH
+#define SLACKSIM_CORE_CHECKPOINTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include <memory>
+
+#include "core/config.hh"
+#include "core/fork_checkpoint.hh"
+#include "core/manager_logic.hh"
+#include "core/pacer.hh"
+#include "core/sim_system.hh"
+
+namespace slacksim {
+
+/** Checkpoint/rollback controller; all calls on the manager thread
+ *  while the simulation is quiesced. */
+class Checkpointer
+{
+  public:
+    Checkpointer(SimSystem &sys, Pacer &pacer, ManagerLogic &mgr,
+                 const EngineConfig &engine, HostStats *host);
+
+    /** @return true when checkpointing is configured on. */
+    bool
+    enabled() const
+    {
+        return engine_.checkpoint.mode != CheckpointMode::Off;
+    }
+
+    /** @return true when rollback-on-violation is configured. */
+    bool
+    speculative() const
+    {
+        return engine_.checkpoint.mode == CheckpointMode::Speculative;
+    }
+
+    /** @return the simulated time of the next checkpoint boundary. */
+    Tick nextCheckpointAt() const { return nextCheckpointAt_; }
+
+    /** @return the time of the last successful checkpoint. */
+    Tick lastCheckpointAt() const { return lastCheckpointAt_; }
+
+    /** What takeCheckpoint() reports back to the engine. */
+    enum class Event : std::uint8_t
+    {
+        Taken,              //!< fresh checkpoint; keep going
+        ResumedFromRollback //!< (fork tech) this process just woke up
+                            //!< at the checkpoint after a rollback:
+                            //!< the engine must enter replay pacing
+    };
+
+    /**
+     * Take a global checkpoint at quiesced time @p now: closes the
+     * open measurement interval, captures the world (in-memory
+     * serialization or a fork() process checkpoint, per the
+     * configured technology), re-arms rollback and opens the next
+     * interval. Ends a replay window.
+     */
+    Event takeCheckpoint(Tick now);
+
+    /** Sync host statistics that live in fork-shared state (no-op
+     *  for the in-memory technology). Call before collecting run
+     *  results. */
+    void finalizeHostStats();
+
+    /**
+     * Restore the last checkpoint (system must be quiesced). Enters
+     * cycle-by-cycle replay until the next boundary.
+     * @param current_global global time when the violation hit
+     * @return the simulated time rolled back to
+     */
+    Tick rollback(Tick current_global);
+
+    /** @return bytes of the most recent checkpoint. */
+    std::uint64_t lastCheckpointBytes() const { return buffer_.size(); }
+
+  private:
+    SimSystem &sys_;
+    Pacer &pacer_;
+    ManagerLogic &mgr_;
+    EngineConfig engine_;
+    HostStats *host_;
+
+    std::vector<std::uint8_t> buffer_;
+    std::vector<std::uint8_t> extraCopyArena_;
+    std::unique_ptr<ForkCheckpointer> fork_;
+    Tick lastCheckpointAt_ = 0;
+    Tick nextCheckpointAt_ = 0;
+    bool haveCheckpoint_ = false;
+};
+
+} // namespace slacksim
+
+#endif // SLACKSIM_CORE_CHECKPOINTER_HH

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * One simulated core bundled with its L1 caches, workload trace
+ * cursor, event queues and local clock — the unit a core thread (or
+ * the serial engine) advances one target cycle at a time.
+ */
+
+#ifndef SLACKSIM_CORE_CORE_COMPLEX_HH
+#define SLACKSIM_CORE_CORE_COMPLEX_HH
+
+#include <atomic>
+#include <vector>
+
+#include "cache/l1_cache.hh"
+#include "core/config.hh"
+#include "cpu/ooo_core.hh"
+#include "stats/stats.hh"
+#include "uncore/msg.hh"
+#include "util/snapshot.hh"
+#include "util/spsc_queue.hh"
+#include "util/types.hh"
+#include "workload/trace.hh"
+
+namespace slacksim {
+
+/**
+ * Core + L1I + L1D + queues. cycle() is called by exactly one thread;
+ * the manager thread reads localTime() and uses outQ()/inQ() from the
+ * other side.
+ */
+class CoreComplex : public Snapshotable
+{
+  public:
+    /** Messages applied from the InQ per target cycle (bus width). */
+    static constexpr std::uint32_t inboundPerCycle = 8;
+    /** OutQ headroom required before a cycle may execute. */
+    static constexpr std::uint32_t outboundHeadroom = 16;
+
+    CoreComplex(const SimConfig &config, CoreId id,
+                const TraceProgram *trace, Addr code_base);
+
+    /** What happened when the core was asked to advance. */
+    enum class CycleOutcome : std::uint8_t
+    {
+        Progress,     //!< executed; local time advanced
+        Backpressure, //!< full OutQ; let the manager drain, retry
+        WaitInbound,  //!< inert with empty InQ and no pacing headroom
+                      //!< to skip into: only a delivery can wake it
+    };
+
+    /**
+     * Execute one target cycle at the current local time.
+     *
+     * @param max_local pacing limit: the highest cycle index this
+     * core may execute. When the core is *inert* (nothing can change
+     * until an inbound message or a scheduled completion), its clock
+     * jumps directly to the next relevant time instead of burning one
+     * host iteration per stall cycle — the conservative-PDES idle
+     * skip that makes unbounded/large-slack runs tractable. The jump
+     * never passes max_local + 1, an InQ entry's timestamp, or an
+     * internal completion time.
+     *
+     * @param skip_budget upper bound on how many cycles one call may
+     * advance. Engines pass their burst budget so an inert core moves
+     * at the same host-visible pace as a busy one; otherwise a core
+     * waiting for a fill would leap the whole pacing window before
+     * the manager could deliver it, inflating simulated time.
+     */
+    CycleOutcome cycle(Tick max_local,
+                       std::uint32_t skip_budget = 0xffffffff);
+
+    /** @return this core's current local clock. */
+    Tick
+    localTime() const
+    {
+        return localTime_.load(std::memory_order_acquire);
+    }
+
+    /** Manager-side override during rollback (core must be paused). */
+    void
+    setLocalTime(Tick t)
+    {
+        localTime_.store(t, std::memory_order_release);
+    }
+
+    /** @return true once the core has committed its whole trace. */
+    bool finished() const { return core_.finished(); }
+
+    /** @return committed micro-ops so far (core-thread side). */
+    std::uint64_t committedUops() const { return core_.committedUops(); }
+
+    /** Zero this core's statistics (warmup discard). */
+    void resetStats() { stats_ = CoreStats{}; }
+
+    CoreId id() const { return id_; }
+    SpscQueue<BusMsg> &outQ() { return outQ_; }
+    SpscQueue<BusMsg> &inQ() { return inQ_; }
+    const CoreStats &stats() const { return stats_; }
+    OooCore &core() { return core_; }
+    L1Cache &l1d() { return l1d_; }
+    L1Cache &l1i() { return l1i_; }
+
+    void save(SnapshotWriter &writer) const override;
+    void restore(SnapshotReader &reader) override;
+
+  private:
+    CoreId id_;
+    CoreStats stats_;
+    L1Cache l1d_;
+    L1Cache l1i_;
+    OooCore core_;
+    SpscQueue<BusMsg> outQ_;
+    SpscQueue<BusMsg> inQ_;
+    std::vector<BusMsg> scratch_;
+    SeqNum nextSeq_ = 0;
+    std::atomic<Tick> localTime_{0};
+};
+
+} // namespace slacksim
+
+#endif // SLACKSIM_CORE_CORE_COMPLEX_HH

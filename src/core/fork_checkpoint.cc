@@ -1,0 +1,146 @@
+/**
+ * @file
+ * ForkCheckpointer implementation.
+ */
+
+#include "core/fork_checkpoint.hh"
+
+#include <sys/mman.h>
+#include <sys/wait.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <unistd.h>
+
+#include "util/logging.hh"
+
+namespace slacksim {
+
+namespace {
+
+// Distinguished exit statuses flowing up the holder chain.
+constexpr int exitRollback = 42;
+
+} // namespace
+
+ForkCheckpointer::ForkCheckpointer()
+{
+    void *page =
+        mmap(nullptr, sizeof(SharedPage), PROT_READ | PROT_WRITE,
+             MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+    if (page == MAP_FAILED)
+        SLACKSIM_FATAL("mmap for fork-checkpoint state failed: ",
+                       errno);
+    shared_ = new (page) SharedPage();
+}
+
+ForkCheckpointer::~ForkCheckpointer()
+{
+    if (shared_) {
+        shared_->~SharedPage();
+        munmap(shared_, sizeof(SharedPage));
+    }
+}
+
+ForkCheckpointer::Outcome
+ForkCheckpointer::checkpoint()
+{
+    // Keep inherited stdio buffers from replaying into descendants.
+    std::fflush(nullptr);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const pid_t child = fork();
+    if (child < 0)
+        SLACKSIM_FATAL("fork-checkpoint fork() failed: ", errno);
+
+    if (child > 0) {
+        // Parent: this address space is now the checkpoint. Suspend
+        // until the running child finishes or requests a rollback.
+        for (;;) {
+            int status = 0;
+            const pid_t waited = waitpid(child, &status, 0);
+            if (waited < 0) {
+                if (errno == EINTR)
+                    continue;
+                SLACKSIM_FATAL("fork-checkpoint waitpid failed: ",
+                               errno);
+            }
+            if (WIFEXITED(status)) {
+                if (WEXITSTATUS(status) == exitRollback) {
+                    // Wake up as the restored simulation state.
+                    shared_->rollbacks.fetch_add(
+                        1, std::memory_order_relaxed);
+                    return Outcome::RolledBack;
+                }
+                // Normal completion (or error): propagate the status
+                // up the chain of suspended checkpoint holders.
+                _exit(WEXITSTATUS(status));
+            }
+            if (WIFSIGNALED(status)) {
+                // The simulation crashed; propagate a failure.
+                _exit(70);
+            }
+        }
+    }
+
+    // Child: the simulation continues here. Release the previous
+    // (now obsolete) checkpoint holder, as in the paper: "removal of
+    // an old checkpoint begins in the child process".
+    const std::int32_t my_parent = static_cast<std::int32_t>(getppid());
+    const std::int32_t old_holder =
+        shared_->obsoleteHolder.exchange(my_parent,
+                                         std::memory_order_acq_rel);
+    if (old_holder > 0 && old_holder != my_parent)
+        kill(old_holder, SIGKILL);
+
+    shared_->checkpoints.fetch_add(1, std::memory_order_relaxed);
+    const auto dt = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    shared_->checkpointMicros.fetch_add(
+        static_cast<std::uint64_t>(dt), std::memory_order_relaxed);
+    return Outcome::Continue;
+}
+
+void
+ForkCheckpointer::rollback()
+{
+    std::fflush(nullptr);
+    _exit(exitRollback);
+}
+
+std::uint64_t
+ForkCheckpointer::rollbackCount() const
+{
+    return shared_->rollbacks.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+ForkCheckpointer::checkpointCount() const
+{
+    return shared_->checkpoints.load(std::memory_order_relaxed);
+}
+
+void
+ForkCheckpointer::addWastedCycles(std::uint64_t cycles)
+{
+    shared_->wastedCycles.fetch_add(cycles, std::memory_order_relaxed);
+}
+
+std::uint64_t
+ForkCheckpointer::wastedCycles() const
+{
+    return shared_->wastedCycles.load(std::memory_order_relaxed);
+}
+
+double
+ForkCheckpointer::checkpointSeconds() const
+{
+    return static_cast<double>(shared_->checkpointMicros.load(
+               std::memory_order_relaxed)) /
+           1e6;
+}
+
+} // namespace slacksim

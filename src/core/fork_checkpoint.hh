@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The paper's Section 5.1 checkpoint mechanism, implemented for real:
+ * memory-based process checkpoints built on fork().
+ *
+ * At a checkpoint the running process forks; the parent suspends in
+ * waitpid() and *is* the checkpoint (its entire address space). The
+ * child continues the simulation. On a rollback the child _exit()s
+ * with a distinguished status and the parent wakes up and resumes
+ * from the point where the checkpoint was made. When a newer
+ * checkpoint is established, the now-obsolete older checkpoint holder
+ * is released with kill(), exactly as the paper describes.
+ *
+ * Restrictions: fork() only clones the calling thread, so this
+ * technology is only legal with the single-threaded serial engine
+ * (SimConfig::validate enforces it). Completion propagates by exit
+ * status through the chain of holders, so the final results must be
+ * emitted by the finishing process (print them, or write them to a
+ * pipe created before the first checkpoint) — see
+ * examples/fork_checkpoint_demo.cpp.
+ *
+ * Cross-rollback bookkeeping (rollback and checkpoint counters,
+ * wasted cycles) lives in a MAP_SHARED page that survives rollbacks.
+ */
+
+#ifndef SLACKSIM_CORE_FORK_CHECKPOINT_HH
+#define SLACKSIM_CORE_FORK_CHECKPOINT_HH
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace slacksim {
+
+/** fork()-based process checkpointing. */
+class ForkCheckpointer
+{
+  public:
+    /** What checkpoint() reports to the caller. */
+    enum class Outcome : std::uint8_t
+    {
+        Continue,   //!< fresh checkpoint taken; keep simulating
+        RolledBack, //!< this process just woke up as the checkpoint:
+                    //!< all memory is back at checkpoint state
+    };
+
+    ForkCheckpointer();
+    ~ForkCheckpointer();
+
+    ForkCheckpointer(const ForkCheckpointer &) = delete;
+    ForkCheckpointer &operator=(const ForkCheckpointer &) = delete;
+
+    /**
+     * Establish a checkpoint here. The caller's process forks: the
+     * parent becomes the suspended checkpoint holder and the child
+     * returns Continue. If the simulation later rolls back, control
+     * returns from this very call in the (former) parent with
+     * RolledBack and pre-fork memory contents.
+     */
+    Outcome checkpoint();
+
+    /**
+     * Abandon the current execution and resume from the last
+     * checkpoint. Never returns: the calling process exits and the
+     * checkpoint holder wakes up inside its checkpoint() call.
+     */
+    [[noreturn]] void rollback();
+
+    /** @return rollbacks performed so far (survives rollbacks). */
+    std::uint64_t rollbackCount() const;
+
+    /** @return checkpoints established so far (survives rollbacks). */
+    std::uint64_t checkpointCount() const;
+
+    /** Accumulate simulated cycles wasted by an upcoming rollback. */
+    void addWastedCycles(std::uint64_t cycles);
+
+    /** @return accumulated wasted cycles (survives rollbacks). */
+    std::uint64_t wastedCycles() const;
+
+    /** @return accumulated fork() call time in seconds. */
+    double checkpointSeconds() const;
+
+  private:
+    struct SharedPage
+    {
+        std::atomic<std::uint64_t> rollbacks{0};
+        std::atomic<std::uint64_t> checkpoints{0};
+        std::atomic<std::uint64_t> wastedCycles{0};
+        std::atomic<std::uint64_t> checkpointMicros{0};
+        std::atomic<std::int32_t> obsoleteHolder{0};
+    };
+
+    SharedPage *shared_ = nullptr;
+};
+
+} // namespace slacksim
+
+#endif // SLACKSIM_CORE_FORK_CHECKPOINT_HH

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * ManagerLogic implementation.
+ */
+
+#include "core/manager_logic.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace slacksim {
+
+ManagerLogic::ManagerLogic(SimSystem &sys, const EngineConfig &engine,
+                           HostStats *host)
+    : sys_(sys),
+      engine_(engine),
+      host_(host),
+      overflow_(sys.numCores())
+{
+    SLACKSIM_ASSERT(host_ != nullptr, "ManagerLogic needs host stats");
+    pending_.reserve(1024);
+    outboundScratch_.reserve(64);
+}
+
+std::size_t
+ManagerLogic::pumpCore(CoreId c)
+{
+    std::size_t pulled = 0;
+    BusMsg msg;
+    auto &q = sys_.core(c).outQ();
+    while (q.pop(msg)) {
+        ++pulled;
+        if (sorted_) {
+            pending_.push_back(msg);
+            std::push_heap(pending_.begin(), pending_.end(),
+                           PendingOrder{});
+        } else {
+            serviceOne(msg);
+        }
+    }
+    return pulled;
+}
+
+std::size_t
+ManagerLogic::pumpAll()
+{
+    std::size_t pulled = 0;
+    for (CoreId c = 0; c < sys_.numCores(); ++c)
+        pulled += pumpCore(c);
+    return pulled;
+}
+
+std::size_t
+ManagerLogic::serviceSorted(Tick safe_time)
+{
+    std::size_t serviced = 0;
+    while (!pending_.empty() && pending_.front().ts < safe_time) {
+        std::pop_heap(pending_.begin(), pending_.end(), PendingOrder{});
+        const BusMsg msg = pending_.back();
+        pending_.pop_back();
+        serviceOne(msg);
+        ++serviced;
+    }
+    return serviced;
+}
+
+void
+ManagerLogic::serviceOne(const BusMsg &msg)
+{
+    outboundScratch_.clear();
+    const ServiceResult r = sys_.uncore().service(msg, outboundScratch_);
+    if (r.any() && sys_.uncore().violationCounting()) {
+        // Interval records and rollback triggers follow the *tracked*
+        // violation classes (the paper: "users may want to overlook
+        // some types of violations").
+        const bool tracked =
+            (r.busViolation && engine_.checkpoint.rollbackOnBus) ||
+            (r.mapViolation && engine_.checkpoint.rollbackOnMap);
+        if (tracked && intervalOpen_) {
+            ++current_.violations;
+            if (current_.firstViolationOffset == maxTick) {
+                current_.firstViolationOffset =
+                    msg.ts >= current_.start ? msg.ts - current_.start
+                                             : 0;
+            }
+        }
+        if (tracked && rollbackArmed_)
+            rollbackRequested_ = true;
+    }
+    for (const Outbound &o : outboundScratch_)
+        deliver(o);
+}
+
+void
+ManagerLogic::deliver(const Outbound &o)
+{
+    SLACKSIM_ASSERT(o.dst < sys_.numCores(), "bad delivery target");
+    auto &ov = overflow_[o.dst];
+    if (!ov.empty() || !sys_.core(o.dst).inQ().push(o.msg))
+        ov.push_back(o.msg);
+    else
+        deliveredMask_ |= 1ull << o.dst;
+}
+
+void
+ManagerLogic::flushOverflow()
+{
+    for (CoreId c = 0; c < sys_.numCores(); ++c) {
+        auto &ov = overflow_[c];
+        auto &q = sys_.core(c).inQ();
+        while (!ov.empty() && q.push(ov.front())) {
+            ov.pop_front();
+            deliveredMask_ |= 1ull << c;
+        }
+    }
+}
+
+bool
+ManagerLogic::drained() const
+{
+    if (!pending_.empty())
+        return false;
+    for (const auto &ov : overflow_)
+        if (!ov.empty())
+            return false;
+    return true;
+}
+
+void
+ManagerLogic::beginInterval(Tick start)
+{
+    SLACKSIM_ASSERT(!intervalOpen_, "interval already open");
+    current_ = IntervalRecord{};
+    current_.start = start;
+    intervalOpen_ = true;
+}
+
+void
+ManagerLogic::closeInterval()
+{
+    if (!intervalOpen_)
+        return;
+    intervals_.push_back(current_);
+    intervalOpen_ = false;
+}
+
+void
+ManagerLogic::save(SnapshotWriter &writer) const
+{
+    writer.putMarker(0x3147);
+    writer.putVector(pending_);
+    writer.put<std::uint64_t>(overflow_.size());
+    for (const auto &ov : overflow_) {
+        writer.put<std::uint64_t>(ov.size());
+        for (const auto &msg : ov)
+            writer.put(msg);
+    }
+}
+
+void
+ManagerLogic::restore(SnapshotReader &reader)
+{
+    reader.checkMarker(0x3147);
+    pending_ = reader.getVector<BusMsg>();
+    const auto cores = reader.get<std::uint64_t>();
+    SLACKSIM_ASSERT(cores == overflow_.size(),
+                    "manager snapshot geometry mismatch");
+    for (auto &ov : overflow_) {
+        ov.clear();
+        const auto n = reader.get<std::uint64_t>();
+        for (std::uint64_t i = 0; i < n; ++i)
+            ov.push_back(reader.get<BusMsg>());
+    }
+}
+
+} // namespace slacksim

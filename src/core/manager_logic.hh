@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Manager-side event plumbing shared by the serial and parallel
+ * engines: pulling OutQ entries (the paper's GQ consolidation),
+ * servicing them in arrival or timestamp-sorted order, delivering the
+ * responses with overflow handling, tracking per-checkpoint-interval
+ * violation data, and raising rollback requests in speculative mode.
+ *
+ * All methods run on the manager's thread.
+ */
+
+#ifndef SLACKSIM_CORE_MANAGER_LOGIC_HH
+#define SLACKSIM_CORE_MANAGER_LOGIC_HH
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/run_result.hh"
+#include "core/sim_system.hh"
+#include "util/snapshot.hh"
+
+namespace slacksim {
+
+/** Manager event-flow logic. */
+class ManagerLogic : public Snapshotable
+{
+  public:
+    ManagerLogic(SimSystem &sys, const EngineConfig &engine,
+                 HostStats *host);
+
+    /** Select sorted (CC-accurate) vs arrival-order servicing. */
+    void setSorted(bool sorted) { sorted_ = sorted; }
+
+    /**
+     * Pull every visible OutQ entry of core @p c. Arrival order:
+     * service immediately. Sorted: stash into the pending heap until
+     * serviceSorted() releases it. @return events pulled.
+     */
+    std::size_t pumpCore(CoreId c);
+
+    /** pumpCore() over all cores. @return events pulled. */
+    std::size_t pumpAll();
+
+    /**
+     * Feed one event that arrived through a relay (hierarchical
+     * manager): stashed for sorted service or serviced immediately,
+     * exactly like a directly pumped event.
+     */
+    void
+    ingest(const BusMsg &msg)
+    {
+        if (sorted_) {
+            pending_.push_back(msg);
+            std::push_heap(pending_.begin(), pending_.end(),
+                           PendingOrder{});
+        } else {
+            serviceOne(msg);
+        }
+    }
+
+    /**
+     * Sorted mode: service pending events with ts < @p safe_time in
+     * (ts, src, seq) order. @return events serviced.
+     */
+    std::size_t serviceSorted(Tick safe_time);
+
+    /** Retry overflowed InQ deliveries. */
+    void flushOverflow();
+
+    /**
+     * Bitmask of cores that received an InQ delivery since the last
+     * call (cleared on read). The parallel engine wakes these cores:
+     * an inert free-running core parks until a delivery arrives.
+     */
+    std::uint64_t takeDeliveredMask()
+    {
+        const std::uint64_t mask = deliveredMask_;
+        deliveredMask_ = 0;
+        return mask;
+    }
+
+    /** @return true when no pending events or overflow remain. */
+    bool drained() const;
+
+    /** Arm/disarm violation-triggered rollback requests. */
+    void armRollback(bool armed) { rollbackArmed_ = armed; }
+
+    /** @return true when a tracked violation requested a rollback. */
+    bool rollbackRequested() const { return rollbackRequested_; }
+
+    /** Clear the rollback request (after acting on it). */
+    void clearRollbackRequest() { rollbackRequested_ = false; }
+
+    /** Begin a new checkpoint interval at simulated time @p start. */
+    void beginInterval(Tick start);
+
+    /** Close the open interval and record it. */
+    void closeInterval();
+
+    /** Discard the open interval without recording (rollback path). */
+    void abortInterval() { intervalOpen_ = false; }
+
+    /** @return per-interval measurement records (host-side). */
+    const std::vector<IntervalRecord> &intervals() const
+    {
+        return intervals_;
+    }
+
+    /** Sorted-mode pending events + delivery overflow are simulated
+     *  state and participate in checkpoints. */
+    void save(SnapshotWriter &writer) const override;
+    void restore(SnapshotReader &reader) override;
+
+  private:
+    struct PendingOrder
+    {
+        bool
+        operator()(const BusMsg &a, const BusMsg &b) const
+        {
+            // Max-heap adapter: "greater" means lower priority, so
+            // invert to pop the smallest (ts, src, seq) first.
+            if (a.ts != b.ts)
+                return a.ts > b.ts;
+            if (a.src != b.src)
+                return a.src > b.src;
+            return a.seq > b.seq;
+        }
+    };
+
+    void serviceOne(const BusMsg &msg);
+    void deliver(const Outbound &o);
+
+    SimSystem &sys_;
+    EngineConfig engine_;
+    HostStats *host_;
+    bool sorted_ = false;
+
+    std::vector<BusMsg> pending_; //!< heap (PendingOrder)
+    std::uint64_t deliveredMask_ = 0;
+    std::vector<std::deque<BusMsg>> overflow_;
+    std::vector<Outbound> outboundScratch_;
+
+    bool rollbackArmed_ = false;
+    bool rollbackRequested_ = false;
+
+    bool intervalOpen_ = false;
+    IntervalRecord current_;
+    std::vector<IntervalRecord> intervals_;
+};
+
+} // namespace slacksim
+
+#endif // SLACKSIM_CORE_MANAGER_LOGIC_HH

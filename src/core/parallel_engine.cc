@@ -1,0 +1,575 @@
+/**
+ * @file
+ * ParallelEngine implementation.
+ */
+
+#include "core/parallel_engine.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/logging.hh"
+
+namespace slacksim {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+ParallelEngine::ParallelEngine(SimSystem &sys)
+    : sys_(sys),
+      engine_(sys.config().engine),
+      pacer_(engine_, sys.numCores(), &host_),
+      mgr_(sys, engine_, &host_),
+      ckpt_(sys, pacer_, mgr_, engine_, &host_)
+{
+    for (CoreId c = 0; c < sys_.numCores(); ++c)
+        controls_.push_back(std::make_unique<CoreControl>());
+    if (engine_.managerClusters > 0) {
+        const std::uint32_t clusters = engine_.managerClusters;
+        const CoreId per =
+            (sys_.numCores() + clusters - 1) / clusters;
+        for (std::uint32_t r = 0; r < clusters; ++r) {
+            auto relay = std::make_unique<Relay>(
+                engine_.queueCapacity * 4);
+            relay->first = static_cast<CoreId>(r * per);
+            relay->last = static_cast<CoreId>(
+                std::min<std::uint64_t>(sys_.numCores(),
+                                        std::uint64_t{r + 1} * per));
+            if (relay->first < relay->last)
+                relays_.push_back(std::move(relay));
+        }
+    }
+}
+
+void
+ParallelEngine::bumpProgress()
+{
+    progress_.fetch_add(1, std::memory_order_seq_cst);
+    if (sleepers_.load(std::memory_order_seq_cst) > 0)
+        progress_.notify_all();
+}
+
+void
+ParallelEngine::wakeCore(CoreId c)
+{
+    controls_[c]->wakeWord.fetch_add(1, std::memory_order_release);
+    controls_[c]->wakeWord.notify_one();
+}
+
+void
+ParallelEngine::coreThreadMain(CoreId c)
+{
+    CoreComplex &cc = sys_.core(c);
+    CoreControl &ctl = *controls_[c];
+    std::uint32_t acked_gen = 0;
+
+    while (!stop_.load(std::memory_order_acquire)) {
+        if (phase_.load(std::memory_order_acquire) != phaseRunning) {
+            // Stop-the-world pause: acknowledge exactly once per
+            // pause generation (atomic waits may wake spuriously),
+            // then sleep until resumed.
+            const std::uint32_t gen =
+                pauseGen_.load(std::memory_order_acquire);
+            if (gen != acked_gen) {
+                acked_gen = gen;
+                ackCount_.fetch_add(1, std::memory_order_seq_cst);
+                ackCount_.notify_one();
+            }
+            const std::uint32_t e =
+                resumeEpoch_.load(std::memory_order_acquire);
+            if (phase_.load(std::memory_order_acquire) !=
+                    phaseRunning &&
+                !stop_.load(std::memory_order_acquire)) {
+                resumeEpoch_.wait(e, std::memory_order_acquire);
+            }
+            continue;
+        }
+
+        if (cc.finished()) {
+            if (!ctl.finished.load(std::memory_order_relaxed)) {
+                ctl.finished.store(true, std::memory_order_release);
+                ctl.committed.store(cc.committedUops(),
+                                    std::memory_order_release);
+                bumpProgress();
+            }
+            // Dormant until something changes (stop, pause, restore).
+            const std::uint32_t w =
+                ctl.wakeWord.load(std::memory_order_acquire);
+            if (cc.finished() &&
+                phase_.load(std::memory_order_acquire) == phaseRunning &&
+                !stop_.load(std::memory_order_acquire)) {
+                ctl.wakeWord.wait(w, std::memory_order_acquire);
+            }
+            continue;
+        }
+        ctl.finished.store(false, std::memory_order_relaxed);
+
+        const Tick local = cc.localTime();
+        const std::uint32_t w =
+            ctl.wakeWord.load(std::memory_order_acquire);
+        if (local > ctl.maxLocal.load(std::memory_order_acquire)) {
+            bumpProgress();
+            // Re-check after loading the wake word (the manager bumps
+            // it after every pacing change, so no wakeup can be lost).
+            if (cc.localTime() >
+                    ctl.maxLocal.load(std::memory_order_acquire) &&
+                phase_.load(std::memory_order_acquire) == phaseRunning &&
+                !stop_.load(std::memory_order_acquire)) {
+                ctl.wakeWord.wait(w, std::memory_order_acquire);
+            }
+            continue;
+        }
+
+        bool backpressured = false;
+        bool wait_inbound = false;
+        Tick advanced = 0;
+        while (advanced < engine_.burstCycles) {
+            const Tick max_local =
+                ctl.maxLocal.load(std::memory_order_acquire);
+            if (cc.localTime() > max_local)
+                break;
+            if (phase_.load(std::memory_order_relaxed) != phaseRunning ||
+                stop_.load(std::memory_order_relaxed)) {
+                break;
+            }
+            const Tick before = cc.localTime();
+            const auto outcome = cc.cycle(
+                max_local,
+                engine_.burstCycles -
+                    static_cast<std::uint32_t>(advanced));
+            if (outcome == CoreComplex::CycleOutcome::Backpressure) {
+                backpressured = true;
+                break;
+            }
+            if (outcome == CoreComplex::CycleOutcome::WaitInbound) {
+                wait_inbound = true;
+                break;
+            }
+            advanced += cc.localTime() - before;
+            if (cc.finished())
+                break;
+        }
+        ctl.committed.store(cc.committedUops(),
+                            std::memory_order_release);
+        if (advanced > 0 || backpressured || wait_inbound)
+            bumpProgress();
+        if (backpressured) {
+            // Give the manager a chance to drain our OutQ.
+            std::this_thread::yield();
+        } else if (wait_inbound) {
+            // Inert free-running core: sleep until the manager
+            // delivers something (it bumps our wake word after every
+            // delivery) or the world changes.
+            const std::uint32_t w =
+                ctl.wakeWord.load(std::memory_order_acquire);
+            if (cc.inQ().empty() &&
+                phase_.load(std::memory_order_acquire) ==
+                    phaseRunning &&
+                !stop_.load(std::memory_order_acquire)) {
+                ctl.wakeWord.wait(w, std::memory_order_acquire);
+            }
+        }
+    }
+}
+
+void
+ParallelEngine::relayThreadMain(std::uint32_t cluster)
+{
+    Relay &relay = *relays_[cluster];
+    std::uint32_t acked_gen = 0;
+    while (!stop_.load(std::memory_order_acquire)) {
+        if (phase_.load(std::memory_order_acquire) != phaseRunning) {
+            const std::uint32_t gen =
+                pauseGen_.load(std::memory_order_acquire);
+            if (gen != acked_gen) {
+                acked_gen = gen;
+                ackCount_.fetch_add(1, std::memory_order_seq_cst);
+                ackCount_.notify_one();
+            }
+            const std::uint32_t e =
+                resumeEpoch_.load(std::memory_order_acquire);
+            if (phase_.load(std::memory_order_acquire) !=
+                    phaseRunning &&
+                !stop_.load(std::memory_order_acquire)) {
+                resumeEpoch_.wait(e, std::memory_order_acquire);
+            }
+            continue;
+        }
+
+        const std::uint64_t p0 =
+            progress_.load(std::memory_order_seq_cst);
+        bool moved = false;
+        Tick watermark = maxTick;
+        for (CoreId c = relay.first; c < relay.last; ++c) {
+            // Read the clock *before* pumping: every event this core
+            // produced up to that clock is then guaranteed to be in
+            // the relay queue once the pump completes — the basis of
+            // the root manager's sorted-service safe time.
+            const Tick local = sys_.core(c).localTime();
+            BusMsg msg;
+            while (sys_.core(c).outQ().pop(msg)) {
+                while (!relay.queue.push(msg)) {
+                    // Root manager backpressure: let it drain.
+                    std::this_thread::yield();
+                    if (stop_.load(std::memory_order_acquire))
+                        return;
+                }
+                moved = true;
+            }
+            if (!controls_[c]->finished.load(std::memory_order_acquire))
+                watermark = std::min(watermark, local);
+        }
+        relay.watermark.store(watermark, std::memory_order_release);
+
+        if (moved) {
+            bumpProgress();
+        } else {
+            // Nothing to move: sleep until some core makes progress.
+            sleepers_.fetch_add(1, std::memory_order_seq_cst);
+            if (progress_.load(std::memory_order_seq_cst) == p0 &&
+                phase_.load(std::memory_order_acquire) ==
+                    phaseRunning &&
+                !stop_.load(std::memory_order_acquire)) {
+                progress_.wait(p0, std::memory_order_seq_cst);
+            }
+            sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+        }
+    }
+}
+
+Tick
+ParallelEngine::computeGlobal() const
+{
+    Tick min_unfinished = maxTick;
+    Tick max_any = 0;
+    for (CoreId c = 0; c < sys_.numCores(); ++c) {
+        const Tick t = sys_.core(c).localTime();
+        max_any = std::max(max_any, t);
+        if (!controls_[c]->finished.load(std::memory_order_acquire))
+            min_unfinished = std::min(min_unfinished, t);
+    }
+    return min_unfinished == maxTick ? max_any : min_unfinished;
+}
+
+void
+ParallelEngine::updatePacing(bool monotone)
+{
+    const Tick global = computeGlobal();
+    localsScratch_.resize(sys_.numCores());
+    for (CoreId c = 0; c < sys_.numCores(); ++c)
+        localsScratch_[c] = sys_.core(c).localTime();
+    for (CoreId c = 0; c < sys_.numCores(); ++c) {
+        Tick target = pacer_.maxLocalForCore(c, global, localsScratch_);
+        if (ckpt_.enabled())
+            target = std::min(target, ckpt_.nextCheckpointAt() - 1);
+        CoreControl &ctl = *controls_[c];
+        const Tick cur = ctl.maxLocal.load(std::memory_order_relaxed);
+        if (monotone ? target > cur : target != cur) {
+            ctl.maxLocal.store(target, std::memory_order_seq_cst);
+            wakeCore(c);
+        }
+    }
+}
+
+bool
+ParallelEngine::quiescedAtBoundary(Tick boundary) const
+{
+    bool any_unfinished = false;
+    for (CoreId c = 0; c < sys_.numCores(); ++c) {
+        if (controls_[c]->finished.load(std::memory_order_acquire))
+            continue;
+        any_unfinished = true;
+        if (sys_.core(c).localTime() != boundary)
+            return false;
+    }
+    return any_unfinished;
+}
+
+void
+ParallelEngine::pauseWorld()
+{
+    pauseGen_.fetch_add(1, std::memory_order_seq_cst);
+    phase_.store(phasePaused, std::memory_order_seq_cst);
+    for (CoreId c = 0; c < sys_.numCores(); ++c)
+        wakeCore(c);
+    // Wake any relay sleeping on the progress counter so it sees the
+    // pause promptly.
+    progress_.fetch_add(1, std::memory_order_seq_cst);
+    progress_.notify_all();
+    // Wait until every core thread and relay acknowledged the pause.
+    const std::uint32_t expected =
+        sys_.numCores() + static_cast<std::uint32_t>(relays_.size());
+    std::uint32_t acked = ackCount_.load(std::memory_order_acquire);
+    while (acked < expected) {
+        ackCount_.wait(acked, std::memory_order_acquire);
+        acked = ackCount_.load(std::memory_order_acquire);
+    }
+}
+
+void
+ParallelEngine::resumeWorld()
+{
+    ackCount_.store(0, std::memory_order_seq_cst);
+    phase_.store(phaseRunning, std::memory_order_seq_cst);
+    resumeEpoch_.fetch_add(1, std::memory_order_seq_cst);
+    resumeEpoch_.notify_all();
+}
+
+void
+ParallelEngine::refreshControlAfterRestore()
+{
+    for (CoreId c = 0; c < sys_.numCores(); ++c) {
+        CoreControl &ctl = *controls_[c];
+        ctl.finished.store(sys_.core(c).finished(),
+                           std::memory_order_release);
+        ctl.committed.store(sys_.core(c).committedUops(),
+                            std::memory_order_release);
+    }
+}
+
+RunResult
+ParallelEngine::run()
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    mgr_.setSorted(pacer_.sortedService());
+    if (ckpt_.enabled()) {
+        const auto event = ckpt_.takeCheckpoint(0);
+        SLACKSIM_ASSERT(event == Checkpointer::Event::Taken,
+                        "fork checkpoints are serial-only");
+    }
+    updatePacing(true);
+
+    threads_.reserve(sys_.numCores());
+    for (CoreId c = 0; c < sys_.numCores(); ++c)
+        threads_.emplace_back([this, c] { coreThreadMain(c); });
+    for (std::uint32_t r = 0; r < relays_.size(); ++r)
+        relayThreads_.emplace_back([this, r] { relayThreadMain(r); });
+
+    double last_progress_wall = 0.0;
+    Tick last_global = 0;
+    bool warmup_pending = engine_.warmupUops > 0;
+
+    for (;;) {
+        const std::uint64_t p0 =
+            progress_.load(std::memory_order_seq_cst);
+
+        // Read local clocks *before* pumping: every event with a
+        // timestamp below the resulting safe time is then guaranteed
+        // to already be in its OutQ, which makes sorted service
+        // deterministic and identical to the serial reference. With
+        // a hierarchical manager the relays publish the equivalent
+        // per-cluster watermark.
+        const Tick global = computeGlobal();
+        Tick safe = global;
+        std::size_t activity = 0;
+        if (relays_.empty()) {
+            activity += mgr_.pumpAll();
+        } else {
+            safe = maxTick;
+            for (const auto &relay : relays_) {
+                safe = std::min(
+                    safe,
+                    relay->watermark.load(std::memory_order_acquire));
+            }
+            if (safe == maxTick)
+                safe = global; // all cores finished
+            BusMsg msg;
+            for (const auto &relay : relays_) {
+                while (relay->queue.pop(msg)) {
+                    mgr_.ingest(msg);
+                    ++activity;
+                }
+            }
+        }
+        activity += mgr_.serviceSorted(safe);
+        mgr_.flushOverflow();
+        // Wake any core that just received a delivery: inert
+        // free-running cores sleep until their InQ gets something.
+        if (std::uint64_t delivered = mgr_.takeDeliveredMask()) {
+            for (CoreId c = 0; c < sys_.numCores(); ++c)
+                if (delivered & (1ull << c))
+                    wakeCore(c);
+        }
+        pacer_.observe(global, sys_.violations());
+        updatePacing(true);
+        {
+            // Use a fresh minimum so the spread is not inflated by
+            // cores that advanced since `global` was sampled.
+            Tick min_unfinished = maxTick;
+            Tick max_unfinished = 0;
+            for (CoreId c = 0; c < sys_.numCores(); ++c) {
+                if (!controls_[c]->finished.load(
+                        std::memory_order_acquire)) {
+                    const Tick t = sys_.core(c).localTime();
+                    min_unfinished = std::min(min_unfinished, t);
+                    max_unfinished = std::max(max_unfinished, t);
+                }
+            }
+            if (min_unfinished != maxTick &&
+                max_unfinished > min_unfinished) {
+                host_.maxObservedSlack =
+                    std::max(host_.maxObservedSlack,
+                             max_unfinished - min_unfinished);
+            }
+        }
+
+        if (ckpt_.enabled()) {
+            if (mgr_.rollbackRequested()) {
+                pauseWorld();
+                ckpt_.rollback(computeGlobal());
+                refreshControlAfterRestore();
+                mgr_.setSorted(true);
+                updatePacing(false);
+                resumeWorld();
+                ++activity;
+                continue;
+            }
+            const Tick boundary = ckpt_.nextCheckpointAt();
+            if (quiescedAtBoundary(boundary) && mgr_.pumpAll() == 0) {
+                // All unfinished cores are parked exactly at the
+                // boundary and no stragglers remain in the OutQs:
+                // the world is stable, snapshot it directly.
+                const bool was_replay = pacer_.replayMode();
+                const auto event = ckpt_.takeCheckpoint(boundary);
+                SLACKSIM_ASSERT(event == Checkpointer::Event::Taken,
+                                "fork checkpoints are serial-only");
+                if (was_replay && !pacer_.sortedService()) {
+                    mgr_.serviceSorted(maxTick);
+                    mgr_.setSorted(false);
+                    mgr_.flushOverflow();
+                }
+                updatePacing(true);
+                ++activity;
+                continue;
+            }
+        }
+
+        if (warmup_pending) {
+            std::uint64_t committed = 0;
+            for (const auto &ctl : controls_)
+                committed +=
+                    ctl->committed.load(std::memory_order_acquire);
+            if (committed >= engine_.warmupUops) {
+                // Stop the world so no core mutates its stats while
+                // the warmup measurements are discarded.
+                pauseWorld();
+                sys_.resetSimStats();
+                refreshControlAfterRestore();
+                resumeWorld();
+                warmup_pending = false;
+                ++activity;
+            }
+        }
+
+        // Stop conditions.
+        if (engine_.maxCommittedUops && !warmup_pending) {
+            std::uint64_t committed = 0;
+            for (const auto &ctl : controls_)
+                committed +=
+                    ctl->committed.load(std::memory_order_acquire);
+            if (committed >= engine_.maxCommittedUops)
+                break;
+        }
+        {
+            bool all_finished = true;
+            for (const auto &ctl : controls_)
+                all_finished &=
+                    ctl->finished.load(std::memory_order_acquire);
+            if (all_finished) {
+                // With relays active the OutQs belong to the relay
+                // threads; the post-join drain below collects any
+                // stragglers instead.
+                if (relays_.empty()) {
+                    mgr_.pumpAll();
+                    mgr_.serviceSorted(maxTick);
+                    mgr_.flushOverflow();
+                }
+                break;
+            }
+        }
+
+        // Watchdog on stalled global time.
+        if (global != last_global) {
+            last_global = global;
+            last_progress_wall = secondsSince(t0);
+        } else if (secondsSince(t0) - last_progress_wall >
+                   engine_.watchdogSeconds) {
+            SLACKSIM_PANIC("parallel engine watchdog: no global ",
+                           "progress, global=", global,
+                           " scheme=", schemeName(engine_.scheme));
+        }
+
+        if (activity == 0 &&
+            progress_.load(std::memory_order_seq_cst) == p0) {
+            sleepers_.fetch_add(1, std::memory_order_seq_cst);
+            if (progress_.load(std::memory_order_seq_cst) == p0)
+                progress_.wait(p0, std::memory_order_seq_cst);
+            sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+            ++host_.managerWakeups;
+        }
+    }
+
+    // Shut the core and relay threads down.
+    stop_.store(true, std::memory_order_seq_cst);
+    resumeEpoch_.fetch_add(1, std::memory_order_seq_cst);
+    resumeEpoch_.notify_all();
+    progress_.fetch_add(1, std::memory_order_seq_cst);
+    progress_.notify_all();
+    for (CoreId c = 0; c < sys_.numCores(); ++c)
+        wakeCore(c);
+    for (auto &t : threads_)
+        t.join();
+    threads_.clear();
+    for (auto &t : relayThreads_)
+        t.join();
+    relayThreads_.clear();
+    // Drain any events still in transit (relay queues and OutQs the
+    // relays had not pumped when they stopped) so final statistics
+    // match the flat manager's.
+    if (!relays_.empty()) {
+        BusMsg msg;
+        for (const auto &relay : relays_)
+            while (relay->queue.pop(msg))
+                mgr_.ingest(msg);
+        mgr_.pumpAll();
+        mgr_.serviceSorted(maxTick);
+        mgr_.flushOverflow();
+    }
+
+    return collectResult(secondsSince(t0));
+}
+
+RunResult
+ParallelEngine::collectResult(double wall_seconds) const
+{
+    RunResult r;
+    r.workloadName = sys_.workload().name;
+    r.scheme = engine_.scheme;
+    r.parallelHost = true;
+    r.execCycles = sys_.maxLocalTime();
+    r.globalCycles = sys_.globalTime();
+    r.committedUops = sys_.totalCommittedUops();
+    for (CoreId c = 0; c < sys_.numCores(); ++c) {
+        r.perCore.push_back(sys_.core(c).stats());
+        r.coreTotal.add(sys_.core(c).stats());
+    }
+    r.uncore = sys_.uncoreStats();
+    r.busQueueHistogram = sys_.uncore().busQueueHistogram();
+    r.violations = sys_.violations();
+    r.host = host_;
+    r.host.wallSeconds = wall_seconds;
+    r.intervals = mgr_.intervals();
+    r.finalSlackBound = pacer_.currentBound();
+    return r;
+}
+
+} // namespace slacksim

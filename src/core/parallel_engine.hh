@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The threaded SlackSim engine: one host thread per simulated core
+ * plus the simulation manager on the calling thread (paper Section 2).
+ *
+ * Pacing protocol: each core owns an atomic local clock; the manager
+ * publishes a per-core max-local-time. A core runs bursts while
+ * local <= max and parks on a per-core wake word (C++20 atomic wait)
+ * otherwise; the manager bumps the wake word whenever it raises the
+ * limit. Progress notifications flow the other way through a global
+ * progress counter the manager can sleep on. Checkpoints are taken
+ * when all unfinished cores quiesce at the boundary (pacing clamps
+ * them there); rollbacks use a stop-the-world pause handshake.
+ */
+
+#ifndef SLACKSIM_CORE_PARALLEL_ENGINE_HH
+#define SLACKSIM_CORE_PARALLEL_ENGINE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/checkpointer.hh"
+#include "core/config.hh"
+#include "core/manager_logic.hh"
+#include "core/pacer.hh"
+#include "core/run_result.hh"
+#include "core/sim_system.hh"
+#include "util/spsc_queue.hh"
+
+namespace slacksim {
+
+/** The multi-threaded engine. */
+class ParallelEngine
+{
+  public:
+    explicit ParallelEngine(SimSystem &sys);
+
+    /** Run to completion (or to the configured uop budget). */
+    RunResult run();
+
+  private:
+    /** Per-core shared control block (core thread <-> manager). */
+    struct CoreControl
+    {
+        alignas(64) std::atomic<Tick> maxLocal{0};
+        alignas(64) std::atomic<std::uint32_t> wakeWord{0};
+        alignas(64) std::atomic<bool> finished{false};
+        std::atomic<std::uint64_t> committed{0};
+    };
+
+    enum Phase : std::uint32_t { phaseRunning = 0, phasePaused = 1 };
+
+    void coreThreadMain(CoreId c);
+    void relayThreadMain(std::uint32_t cluster);
+    void bumpProgress();
+    void wakeCore(CoreId c);
+    /** Publish new pacing limits; @p monotone false only while the
+     *  cores are paused (rollback). */
+    void updatePacing(bool monotone);
+    Tick computeGlobal() const;
+    bool quiescedAtBoundary(Tick boundary) const;
+    void pauseWorld();
+    void resumeWorld();
+    void refreshControlAfterRestore();
+    RunResult collectResult(double wall_seconds) const;
+
+    SimSystem &sys_;
+    EngineConfig engine_;
+    HostStats host_;
+    Pacer pacer_;
+    ManagerLogic mgr_;
+    Checkpointer ckpt_;
+
+    /** Hierarchical-manager relay: consolidates one cluster's OutQs
+     *  toward the root manager (paper Section 2's scaling note). */
+    struct Relay
+    {
+        explicit Relay(std::uint32_t capacity)
+            : queue(capacity)
+        {
+        }
+        SpscQueue<BusMsg> queue;
+        alignas(64) std::atomic<Tick> watermark{0};
+        CoreId first = 0;
+        CoreId last = 0; //!< exclusive
+    };
+
+    std::vector<std::unique_ptr<CoreControl>> controls_;
+    std::vector<std::unique_ptr<Relay>> relays_;
+    std::vector<Tick> localsScratch_;
+    std::vector<std::thread> threads_;
+    std::vector<std::thread> relayThreads_;
+
+    std::atomic<std::uint32_t> phase_{phaseRunning};
+    std::atomic<std::uint32_t> pauseGen_{0};
+    std::atomic<std::uint32_t> resumeEpoch_{0};
+    std::atomic<std::uint32_t> ackCount_{0};
+    std::atomic<std::uint64_t> progress_{0};
+    std::atomic<int> sleepers_{0}; //!< threads parked on progress_
+    std::atomic<bool> managerWaiting_{false};
+    std::atomic<bool> stop_{false};
+};
+
+} // namespace slacksim
+
+#endif // SLACKSIM_CORE_PARALLEL_ENGINE_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Run facade implementation.
+ */
+
+#include "core/run.hh"
+
+#include "core/parallel_engine.hh"
+#include "core/serial_engine.hh"
+#include "core/sim_system.hh"
+
+namespace slacksim {
+
+RunResult
+runSimulation(const SimConfig &config)
+{
+    SimSystem sys(config);
+    if (config.engine.parallelHost) {
+        ParallelEngine engine(sys);
+        return engine.run();
+    }
+    SerialEngine engine(sys);
+    return engine.run();
+}
+
+SimConfig
+paperConfig(const std::string &kernel, std::uint64_t max_uops)
+{
+    SimConfig config;
+    config.workload.kernel = kernel;
+    config.workload.numThreads = config.target.numCores;
+    config.engine.maxCommittedUops = max_uops;
+    return config;
+}
+
+} // namespace slacksim

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * One-call entry point: build the world from a SimConfig and run it
+ * on the configured host engine. This is the main public API of the
+ * library (see examples/quickstart.cpp).
+ */
+
+#ifndef SLACKSIM_CORE_RUN_HH
+#define SLACKSIM_CORE_RUN_HH
+
+#include "core/config.hh"
+#include "core/run_result.hh"
+
+namespace slacksim {
+
+/** Build a SimSystem from @p config and simulate it to completion. */
+RunResult runSimulation(const SimConfig &config);
+
+/**
+ * Convenience preset: the paper's experimental setup (8-core CMP,
+ * Section 2.1 parameters) running @p kernel, stopping after
+ * @p max_uops committed micro-ops (0 = run the trace to the end).
+ */
+SimConfig paperConfig(const std::string &kernel,
+                      std::uint64_t max_uops = 0);
+
+} // namespace slacksim
+
+#endif // SLACKSIM_CORE_RUN_HH

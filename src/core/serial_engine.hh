@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Deterministic single-threaded reference engine. Drives the same
+ * component graph as the parallel engine with a fixed round-robin
+ * host schedule:
+ *  - cycle-by-cycle: each core runs one cycle, then events are
+ *    serviced in (ts, src, seq) order — the accuracy gold standard;
+ *  - slack schemes: cores run bursts up to their pacing limit and
+ *    their events are serviced in (deterministic) arrival order, so
+ *    violation machinery can be unit-tested reproducibly.
+ */
+
+#ifndef SLACKSIM_CORE_SERIAL_ENGINE_HH
+#define SLACKSIM_CORE_SERIAL_ENGINE_HH
+
+#include "core/checkpointer.hh"
+#include "core/config.hh"
+#include "core/manager_logic.hh"
+#include "core/pacer.hh"
+#include "core/run_result.hh"
+#include "core/sim_system.hh"
+
+namespace slacksim {
+
+/** The single-threaded engine. */
+class SerialEngine
+{
+  public:
+    /** @param sys a freshly built system (the engine mutates it). */
+    SerialEngine(SimSystem &sys);
+
+    /** Run to completion (or to the configured uop budget). */
+    RunResult run();
+
+  private:
+    void updatePacing(bool monotone);
+    bool quiescedAtBoundary() const;
+    RunResult collectResult(double wall_seconds) const;
+
+    SimSystem &sys_;
+    EngineConfig engine_;
+    HostStats host_;
+    Pacer pacer_;
+    ManagerLogic mgr_;
+    Checkpointer ckpt_;
+    std::vector<Tick> maxLocal_;
+    std::vector<Tick> localsScratch_;
+};
+
+} // namespace slacksim
+
+#endif // SLACKSIM_CORE_SERIAL_ENGINE_HH

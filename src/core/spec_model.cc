@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Speculative-time model implementation.
+ */
+
+#include "core/spec_model.hh"
+
+#include "util/logging.hh"
+
+namespace slacksim {
+
+double
+speculativeTimeEstimate(const SpecModelInputs &in)
+{
+    SLACKSIM_ASSERT(in.interval > 0.0, "model needs a positive interval");
+    SLACKSIM_ASSERT(in.fraction >= 0.0 && in.fraction <= 1.0,
+                    "F must be a fraction");
+    const double normal = (1.0 - in.fraction) * in.tCpt;
+    const double wasted =
+        in.fraction * in.rollbackDistance * in.tCpt / in.interval;
+    const double replay = in.fraction * in.tCc;
+    return normal + wasted + replay;
+}
+
+} // namespace slacksim

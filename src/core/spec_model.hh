@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The paper's analytical model for speculative slack simulation time
+ * (Section 5.2):
+ *
+ *     Ts = (1 - F) * Tcpt  +  F * Dr * Tcpt / I  +  F * Tcc
+ *
+ * where Tcpt is the time of the slack simulation with checkpointing,
+ * Tcc the cycle-by-cycle time, F the fraction of checkpoint intervals
+ * with at least one violation, Dr the average rollback distance and I
+ * the checkpoint interval length (both in simulated cycles).
+ */
+
+#ifndef SLACKSIM_CORE_SPEC_MODEL_HH
+#define SLACKSIM_CORE_SPEC_MODEL_HH
+
+#include "util/types.hh"
+
+namespace slacksim {
+
+/** Inputs of the speculative-time model. */
+struct SpecModelInputs
+{
+    double tCc = 0.0;   //!< cycle-by-cycle simulation seconds
+    double tCpt = 0.0;  //!< checkpointed slack simulation seconds
+    double fraction = 0.0; //!< F: intervals with >= 1 violation
+    double rollbackDistance = 0.0; //!< Dr, simulated cycles
+    double interval = 0.0;         //!< I, simulated cycles
+};
+
+/** @return estimated speculative simulation seconds Ts. */
+double speculativeTimeEstimate(const SpecModelInputs &in);
+
+} // namespace slacksim
+
+#endif // SLACKSIM_CORE_SPEC_MODEL_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * AddressSpace implementation.
+ */
+
+#include "mem/address_space.hh"
+
+#include "util/logging.hh"
+
+namespace slacksim {
+
+AddressSpace::AddressSpace(unsigned num_threads)
+    : sharedTop_(sharedBase_),
+      privateTop_(num_threads)
+{
+    SLACKSIM_ASSERT(num_threads > 0, "AddressSpace needs >= 1 thread");
+    for (unsigned t = 0; t < num_threads; ++t)
+        privateTop_[t] = privateRegionBase_ + t * privateStride_;
+}
+
+Addr
+AddressSpace::alignUp(Addr a, std::size_t align)
+{
+    SLACKSIM_ASSERT(align && (align & (align - 1)) == 0,
+                    "alignment must be a power of two");
+    return (a + align - 1) & ~static_cast<Addr>(align - 1);
+}
+
+Addr
+AddressSpace::allocShared(std::size_t bytes, std::size_t align)
+{
+    const Addr base = alignUp(sharedTop_, align);
+    sharedTop_ = base + bytes;
+    SLACKSIM_ASSERT(sharedTop_ < privateRegionBase_,
+                    "shared heap exhausted");
+    return base;
+}
+
+Addr
+AddressSpace::allocPrivate(CoreId t, std::size_t bytes, std::size_t align)
+{
+    SLACKSIM_ASSERT(t < privateTop_.size(), "bad thread id ", t);
+    const Addr base = alignUp(privateTop_[t], align);
+    privateTop_[t] = base + bytes;
+    SLACKSIM_ASSERT(privateTop_[t] <
+                        privateRegionBase_ + (t + 1) * privateStride_,
+                    "private region exhausted for thread ", t);
+    return base;
+}
+
+Addr
+AddressSpace::codeBase(CoreId t) const
+{
+    SLACKSIM_ASSERT(t < privateTop_.size(), "bad thread id ", t);
+    return codeRegionBase_ + t * codeStride_;
+}
+
+} // namespace slacksim

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Simulated (target) address-space layout.
+ *
+ * The workload kernels run at trace-generation time, so the simulator
+ * never needs the target memory *contents* — only a consistent layout
+ * of addresses. This module hands out code, shared-heap and per-thread
+ * private regions with deterministic bump allocation, mirroring how
+ * the Splash-2 programs lay out their G_MEM shared arena and
+ * per-thread stacks.
+ */
+
+#ifndef SLACKSIM_MEM_ADDRESS_SPACE_HH
+#define SLACKSIM_MEM_ADDRESS_SPACE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace slacksim {
+
+/**
+ * Deterministic bump allocator over fixed target regions.
+ *
+ * Layout (1 GiB apart so regions can never collide):
+ *   code   region per thread at 0x0001'0000'0000 + t * codeStride
+ *   shared heap            at 0x4000'0000'0000
+ *   private region per thread at 0x8000'0000'0000 + t * privStride
+ */
+class AddressSpace
+{
+  public:
+    /** @param num_threads number of workload threads to provision. */
+    explicit AddressSpace(unsigned num_threads);
+
+    /** Allocate @p bytes in the shared heap. @return base address. */
+    Addr allocShared(std::size_t bytes, std::size_t align = 64);
+
+    /** Allocate @p bytes in thread @p t's private region. */
+    Addr allocPrivate(CoreId t, std::size_t bytes, std::size_t align = 64);
+
+    /** @return base of thread @p t's code region. */
+    Addr codeBase(CoreId t) const;
+
+    /** @return total shared bytes allocated so far. */
+    std::size_t sharedBytes() const { return sharedTop_ - sharedBase_; }
+
+    /** @return number of provisioned threads. */
+    unsigned numThreads() const
+    {
+        return static_cast<unsigned>(privateTop_.size());
+    }
+
+    /** @return true when @p a falls inside the shared heap region. */
+    static bool
+    isShared(Addr a)
+    {
+        return a >= sharedBase_ && a < privateRegionBase_;
+    }
+
+    static constexpr Addr codeRegionBase_ = 0x0001'0000'0000ull;
+    static constexpr Addr codeStride_ = 0x0000'1000'0000ull;
+    static constexpr Addr sharedBase_ = 0x4000'0000'0000ull;
+    static constexpr Addr privateRegionBase_ = 0x8000'0000'0000ull;
+    static constexpr Addr privateStride_ = 0x0000'4000'0000ull;
+
+  private:
+    static Addr alignUp(Addr a, std::size_t align);
+
+    Addr sharedTop_;
+    std::vector<Addr> privateTop_;
+};
+
+} // namespace slacksim
+
+#endif // SLACKSIM_MEM_ADDRESS_SPACE_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tiny fixed-width table / CSV emitter used by the bench harnesses to
+ * print the paper's tables and figure series.
+ */
+
+#ifndef SLACKSIM_STATS_TABLE_HH
+#define SLACKSIM_STATS_TABLE_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace slacksim {
+
+/**
+ * A text table: a header row plus data rows; cells are strings so the
+ * caller controls all numeric formatting.
+ */
+class Table
+{
+  public:
+    /** @param title caption printed above the table. */
+    explicit Table(std::string title);
+
+    /** Set the column headers (defines the column count). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append one row; must match the header's column count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Start a row builder; use cell() then endRow(). */
+    Table &cell(std::string value);
+
+    /** Convenience numeric cells. */
+    Table &cell(double value, int precision = 2);
+    Table &cell(std::uint64_t value);
+    Table &cell(std::int64_t value);
+    Table &cell(int value);
+
+    /** Finish the row started with cell(). */
+    void endRow();
+
+    /** Render with padded fixed-width columns. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no title line). */
+    void printCsv(std::ostream &os) const;
+
+    /** @return number of data rows. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** @return the table title. */
+    const std::string &title() const { return title_; }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::string> pending_;
+};
+
+/** Format a double with fixed precision. */
+std::string formatDouble(double value, int precision = 2);
+
+/** Format a rate as a percentage string, e.g. 0.00123 -> "0.123%". */
+std::string formatPercent(double fraction, int precision = 3);
+
+/** Format a cycle count compactly, e.g. 50000 -> "50k". */
+std::string formatCycles(std::uint64_t cycles);
+
+} // namespace slacksim
+
+#endif // SLACKSIM_STATS_TABLE_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * GlobalCacheMap implementation.
+ */
+
+#include "uncore/global_map.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace slacksim {
+
+MapEntry &
+GlobalCacheMap::entry(Addr line)
+{
+    return map_[line];
+}
+
+const MapEntry *
+GlobalCacheMap::find(Addr line) const
+{
+    auto it = map_.find(line);
+    return it == map_.end() ? nullptr : &it->second;
+}
+
+void
+GlobalCacheMap::eraseIfEmpty(Addr line)
+{
+    auto it = map_.find(line);
+    if (it != map_.end() && it->second.empty())
+        map_.erase(it);
+}
+
+void
+GlobalCacheMap::checkInvariants() const
+{
+    for (const auto &[line, e] : map_) {
+        if (e.owner != invalidCore) {
+            const std::uint64_t owner_bit = 1ull << e.owner;
+            SLACKSIM_ASSERT((e.dSharers & ~owner_bit) == 0,
+                            "owned line ", line,
+                            " has foreign D sharers");
+            SLACKSIM_ASSERT((e.dSharers & owner_bit) != 0,
+                            "owner of line ", line,
+                            " missing from sharer mask");
+        }
+    }
+}
+
+void
+GlobalCacheMap::save(SnapshotWriter &writer) const
+{
+    writer.putMarker(0x6d41);
+    // Serialize in sorted address order so identical logical states
+    // always produce identical snapshot bytes (unordered_map
+    // iteration order is not stable across rebuilds).
+    std::vector<Addr> lines;
+    lines.reserve(map_.size());
+    for (const auto &[line, e] : map_)
+        lines.push_back(line);
+    std::sort(lines.begin(), lines.end());
+    writer.put<std::uint64_t>(lines.size());
+    for (const Addr line : lines) {
+        writer.put(line);
+        writer.put(map_.at(line));
+    }
+}
+
+void
+GlobalCacheMap::restore(SnapshotReader &reader)
+{
+    reader.checkMarker(0x6d41);
+    map_.clear();
+    const auto count = reader.get<std::uint64_t>();
+    map_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const Addr line = reader.get<Addr>();
+        map_[line] = reader.get<MapEntry>();
+    }
+}
+
+} // namespace slacksim

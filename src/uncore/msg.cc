@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Message helpers.
+ */
+
+#include "uncore/msg.hh"
+
+namespace slacksim {
+
+const char *
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::GetS:
+        return "GetS";
+      case MsgType::GetM:
+        return "GetM";
+      case MsgType::Upgrade:
+        return "Upgrade";
+      case MsgType::PutM:
+        return "PutM";
+      case MsgType::LockAcq:
+        return "LockAcq";
+      case MsgType::LockRel:
+        return "LockRel";
+      case MsgType::BarArrive:
+        return "BarArrive";
+      case MsgType::Fill:
+        return "Fill";
+      case MsgType::UpgradeAck:
+        return "UpgradeAck";
+      case MsgType::SnoopInv:
+        return "SnoopInv";
+      case MsgType::SnoopDown:
+        return "SnoopDown";
+      case MsgType::SyncGrant:
+        return "SyncGrant";
+    }
+    return "unknown";
+}
+
+} // namespace slacksim

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Log2Histogram implementation.
+ */
+
+#include "util/histogram.hh"
+
+#include <algorithm>
+#include <ostream>
+
+namespace slacksim {
+
+std::uint64_t
+Log2Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0;
+    p = std::clamp(p, 0.0, 100.0);
+    const double rank = p / 100.0 * static_cast<double>(count_);
+    std::uint64_t seen = 0;
+    for (std::uint32_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (static_cast<double>(seen) >= rank && buckets_[i])
+            return std::min(bucketHigh(i), max_);
+    }
+    return max_;
+}
+
+void
+Log2Histogram::add(const Log2Histogram &other)
+{
+    if (other.count_ == 0)
+        return;
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    if (count_ == 0 || other.min_ < min_)
+        min_ = other.min_;
+    max_ = std::max(max_, other.max_);
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+void
+Log2Histogram::clear()
+{
+    buckets_.fill(0);
+    count_ = 0;
+    sum_ = 0;
+    min_ = 0;
+    max_ = 0;
+}
+
+void
+Log2Histogram::print(std::ostream &os, const std::string &label) const
+{
+    os << label << ": n=" << count_ << " mean=" << mean()
+       << " min=" << min() << " max=" << max_
+       << " p50=" << percentile(50) << " p99=" << percentile(99)
+       << "\n";
+    if (count_ == 0)
+        return;
+    std::uint64_t peak = 0;
+    for (const auto b : buckets_)
+        peak = std::max(peak, b);
+    for (std::uint32_t i = 0; i < buckets_.size(); ++i) {
+        if (!buckets_[i])
+            continue;
+        const int width = static_cast<int>(
+            40 * static_cast<double>(buckets_[i]) /
+            static_cast<double>(peak));
+        os << "  [" << bucketLow(i) << ", " << bucketHigh(i)
+           << "]: " << buckets_[i] << " "
+           << std::string(static_cast<std::size_t>(width), '#') << "\n";
+    }
+    os.flush();
+}
+
+} // namespace slacksim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Implementation of the logging helpers.
+ */
+
+#include "util/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <exception>
+
+namespace slacksim {
+
+namespace {
+
+std::atomic<bool> quietFlag{false};
+
+} // namespace
+
+void
+setQuietLogging(bool quiet)
+{
+    quietFlag.store(quiet, std::memory_order_relaxed);
+}
+
+bool
+quietLogging()
+{
+    return quietFlag.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (quietLogging())
+        return;
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (quietLogging())
+        return;
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace slacksim

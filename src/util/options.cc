@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Options implementation.
+ */
+
+#include "util/options.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace slacksim {
+
+Options::Options(int argc, const char *const *argv)
+{
+    if (argc > 0)
+        program_ = argv[0];
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--", 0) == 0) {
+            const auto eq = arg.find('=');
+            if (eq == std::string::npos)
+                values_[arg.substr(2)] = "";
+            else
+                values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+        } else {
+            positional_.push_back(arg);
+        }
+    }
+}
+
+bool
+Options::has(const std::string &key) const
+{
+    return values_.count(key) != 0;
+}
+
+std::string
+Options::get(const std::string &key, const std::string &fallback) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+}
+
+std::uint64_t
+Options::getUint(const std::string &key, std::uint64_t fallback) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    char *end = nullptr;
+    const std::uint64_t v = std::strtoull(it->second.c_str(), &end, 10);
+    if (!end || *end != '\0')
+        SLACKSIM_FATAL("option --", key, " expects an integer, got '",
+                       it->second, "'");
+    return v;
+}
+
+double
+Options::getDouble(const std::string &key, double fallback) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    char *end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (!end || *end != '\0')
+        SLACKSIM_FATAL("option --", key, " expects a number, got '",
+                       it->second, "'");
+    return v;
+}
+
+bool
+Options::getBool(const std::string &key, bool fallback) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    if (it->second.empty() || it->second == "1" || it->second == "true")
+        return true;
+    if (it->second == "0" || it->second == "false")
+        return false;
+    SLACKSIM_FATAL("option --", key, " expects a boolean, got '",
+                   it->second, "'");
+}
+
+} // namespace slacksim

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Minimal command-line option parser used by the examples and bench
+ * harnesses: accepts "--key=value" and "--flag" arguments.
+ */
+
+#ifndef SLACKSIM_UTIL_OPTIONS_HH
+#define SLACKSIM_UTIL_OPTIONS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace slacksim {
+
+/** Parsed command line. */
+class Options
+{
+  public:
+    /** Parse argv; unknown positional arguments are collected. */
+    Options(int argc, const char *const *argv);
+
+    /** @return true when --key was given (with or without a value). */
+    bool has(const std::string &key) const;
+
+    /** @return value of --key=value or @p fallback. */
+    std::string get(const std::string &key,
+                    const std::string &fallback = "") const;
+
+    /** Typed getters; fatal on a malformed value. */
+    std::uint64_t getUint(const std::string &key,
+                          std::uint64_t fallback) const;
+    double getDouble(const std::string &key, double fallback) const;
+    bool getBool(const std::string &key, bool fallback) const;
+
+    /** @return positional (non --option) arguments. */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    /** @return program name (argv[0]). */
+    const std::string &program() const { return program_; }
+
+  private:
+    std::string program_;
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace slacksim
+
+#endif // SLACKSIM_UTIL_OPTIONS_HH

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Deterministic, snapshot-friendly pseudo random number generation.
+ *
+ * The simulator must be bit-reproducible across runs and across
+ * checkpoint/rollback, so all randomness flows through this small
+ * xoshiro256** generator whose entire state is four 64-bit words.
+ */
+
+#ifndef SLACKSIM_UTIL_RNG_HH
+#define SLACKSIM_UTIL_RNG_HH
+
+#include <array>
+#include <cstdint>
+
+#include "util/logging.hh"
+
+namespace slacksim {
+
+/**
+ * xoshiro256** generator (Blackman & Vigna) with splitmix64 seeding.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; seed 0 is remapped internally. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        reseed(seed);
+    }
+
+    /** Re-initialize the state from a seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t x = seed ? seed : 0x106689d45497fdb5ull;
+        for (auto &word : state_)
+            word = splitmix64(x);
+    }
+
+    /** @return the next raw 64-bit value. */
+    std::uint64_t
+    next64()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** @return a uniform value in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        SLACKSIM_ASSERT(bound != 0, "Rng::below(0)");
+        // Lemire-style rejection-free reduction is fine here: the bias
+        // for bounds << 2^64 is negligible for workload generation.
+        return next64() % bound;
+    }
+
+    /** @return a uniform value in [lo, hi] inclusive. */
+    std::uint64_t
+    inRange(std::uint64_t lo, std::uint64_t hi)
+    {
+        SLACKSIM_ASSERT(lo <= hi, "Rng::inRange bad range");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** @return a uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next64() >> 11) * 0x1.0p-53;
+    }
+
+    /** @return true with the given probability (clamped to [0,1]). */
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return uniform() < p;
+    }
+
+    /** Raw state access for snapshotting. */
+    const std::array<std::uint64_t, 4> &rawState() const { return state_; }
+
+    /** Restore raw state from a snapshot. */
+    void setRawState(const std::array<std::uint64_t, 4> &s) { state_ = s; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static std::uint64_t
+    splitmix64(std::uint64_t &x)
+    {
+        x += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    std::array<std::uint64_t, 4> state_;
+};
+
+} // namespace slacksim
+
+#endif // SLACKSIM_UTIL_RNG_HH

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * In-memory checkpoint serialization.
+ *
+ * The paper checkpoints the simulator with fork(); fork() only clones
+ * the calling thread, so a multi-threaded SlackSim cannot literally be
+ * checkpointed that way. Instead every stateful component implements
+ * save()/restore() against these byte-buffer streams; a global
+ * checkpoint is the concatenation of all component snapshots taken
+ * while the simulation is quiesced (see DESIGN.md S10).
+ */
+
+#ifndef SLACKSIM_UTIL_SNAPSHOT_HH
+#define SLACKSIM_UTIL_SNAPSHOT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace slacksim {
+
+/** Append-only byte stream a component serializes itself into. */
+class SnapshotWriter
+{
+  public:
+    /** Serialize one trivially-copyable value. */
+    template <typename T>
+    void
+    put(const T &value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "put() requires a trivially copyable type");
+        const auto *bytes = reinterpret_cast<const std::uint8_t *>(&value);
+        buf_.insert(buf_.end(), bytes, bytes + sizeof(T));
+    }
+
+    /** Serialize a vector of trivially-copyable values. */
+    template <typename T>
+    void
+    putVector(const std::vector<T> &values)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "putVector() requires a trivially copyable type");
+        put<std::uint64_t>(values.size());
+        if (!values.empty()) {
+            const auto *bytes =
+                reinterpret_cast<const std::uint8_t *>(values.data());
+            buf_.insert(buf_.end(), bytes,
+                        bytes + values.size() * sizeof(T));
+        }
+    }
+
+    /**
+     * Write a section marker that restore() verifies; catches
+     * save/restore ordering bugs early.
+     */
+    void
+    putMarker(std::uint32_t tag)
+    {
+        put<std::uint32_t>(0x534e4150u); // "SNAP"
+        put<std::uint32_t>(tag);
+    }
+
+    /** @return serialized bytes accumulated so far. */
+    const std::vector<std::uint8_t> &bytes() const { return buf_; }
+
+    /** @return current size in bytes. */
+    std::size_t size() const { return buf_.size(); }
+
+    /** Move the buffer out of the writer. */
+    std::vector<std::uint8_t> release() { return std::move(buf_); }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/** Sequential reader over a snapshot byte stream. */
+class SnapshotReader
+{
+  public:
+    explicit SnapshotReader(const std::vector<std::uint8_t> &bytes)
+        : buf_(bytes)
+    {
+    }
+
+    /** Deserialize one trivially-copyable value. */
+    template <typename T>
+    T
+    get()
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "get() requires a trivially copyable type");
+        SLACKSIM_ASSERT(pos_ + sizeof(T) <= buf_.size(),
+                        "snapshot underrun at ", pos_);
+        T value;
+        std::memcpy(&value, buf_.data() + pos_, sizeof(T));
+        pos_ += sizeof(T);
+        return value;
+    }
+
+    /** Deserialize a vector written by putVector(). */
+    template <typename T>
+    std::vector<T>
+    getVector()
+    {
+        const auto count = get<std::uint64_t>();
+        SLACKSIM_ASSERT(pos_ + count * sizeof(T) <= buf_.size(),
+                        "snapshot vector underrun");
+        std::vector<T> values(count);
+        if (count) {
+            std::memcpy(values.data(), buf_.data() + pos_,
+                        count * sizeof(T));
+            pos_ += count * sizeof(T);
+        }
+        return values;
+    }
+
+    /** Verify a marker written by putMarker(). */
+    void
+    checkMarker(std::uint32_t tag)
+    {
+        const auto magic = get<std::uint32_t>();
+        const auto found = get<std::uint32_t>();
+        SLACKSIM_ASSERT(magic == 0x534e4150u && found == tag,
+                        "snapshot marker mismatch: expected ", tag,
+                        " found ", found);
+    }
+
+    /** @return true when every byte has been consumed. */
+    bool exhausted() const { return pos_ == buf_.size(); }
+
+    /** @return current read offset. */
+    std::size_t position() const { return pos_; }
+
+  private:
+    const std::vector<std::uint8_t> &buf_;
+    std::size_t pos_ = 0;
+};
+
+/** Interface for anything that participates in global checkpoints. */
+class Snapshotable
+{
+  public:
+    virtual ~Snapshotable() = default;
+
+    /** Serialize full state into @p writer. */
+    virtual void save(SnapshotWriter &writer) const = 0;
+
+    /** Restore full state from @p reader. */
+    virtual void restore(SnapshotReader &reader) = 0;
+};
+
+} // namespace slacksim
+
+#endif // SLACKSIM_UTIL_SNAPSHOT_HH

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Bounded lock-free single-producer/single-consumer ring buffer.
+ *
+ * Used for the per-core OutQ (core thread -> manager thread) and InQ
+ * (manager thread -> core thread). The design matches the classic
+ * Lamport queue with C++11 acquire/release pairs; capacity is rounded
+ * up to a power of two so index wrapping is a mask.
+ */
+
+#ifndef SLACKSIM_UTIL_SPSC_QUEUE_HH
+#define SLACKSIM_UTIL_SPSC_QUEUE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace slacksim {
+
+/**
+ * Bounded SPSC FIFO. Exactly one thread may call push()/full(); exactly
+ * one (possibly different) thread may call pop()/front()/empty().
+ * The quiesced*() helpers may only be used while both sides are parked
+ * (e.g. during checkpoint/rollback).
+ */
+template <typename T>
+class SpscQueue
+{
+  public:
+    /** @param capacity minimum number of storable elements. */
+    explicit SpscQueue(std::size_t capacity = 1024)
+        : mask_(roundUpPow2(capacity + 1) - 1),
+          slots_(mask_ + 1)
+    {
+    }
+
+    SpscQueue(const SpscQueue &) = delete;
+    SpscQueue &operator=(const SpscQueue &) = delete;
+
+    /** Producer: append an element. @return false when full. */
+    bool
+    push(const T &value)
+    {
+        const std::size_t tail = tail_.load(std::memory_order_relaxed);
+        const std::size_t next = (tail + 1) & mask_;
+        if (next == head_.load(std::memory_order_acquire))
+            return false;
+        slots_[tail] = value;
+        tail_.store(next, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer: @return pointer to the oldest element, or nullptr. */
+    const T *
+    front() const
+    {
+        const std::size_t head = head_.load(std::memory_order_relaxed);
+        if (head == tail_.load(std::memory_order_acquire))
+            return nullptr;
+        return &slots_[head];
+    }
+
+    /** Consumer: remove the oldest element. @return false if empty. */
+    bool
+    pop(T &out)
+    {
+        const std::size_t head = head_.load(std::memory_order_relaxed);
+        if (head == tail_.load(std::memory_order_acquire))
+            return false;
+        out = slots_[head];
+        head_.store((head + 1) & mask_, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer: drop the oldest element (must exist). */
+    void
+    popFront()
+    {
+        const std::size_t head = head_.load(std::memory_order_relaxed);
+        SLACKSIM_ASSERT(head != tail_.load(std::memory_order_acquire),
+                        "popFront on empty SpscQueue");
+        head_.store((head + 1) & mask_, std::memory_order_release);
+    }
+
+    /** Consumer-side emptiness check. */
+    bool
+    empty() const
+    {
+        return head_.load(std::memory_order_relaxed) ==
+               tail_.load(std::memory_order_acquire);
+    }
+
+    /** Producer-side fullness check. */
+    bool
+    full() const
+    {
+        const std::size_t tail = tail_.load(std::memory_order_relaxed);
+        return ((tail + 1) & mask_) ==
+               head_.load(std::memory_order_acquire);
+    }
+
+    /** Approximate element count (exact when quiesced). */
+    std::size_t
+    size() const
+    {
+        const std::size_t head = head_.load(std::memory_order_acquire);
+        const std::size_t tail = tail_.load(std::memory_order_acquire);
+        return (tail - head) & mask_;
+    }
+
+    /** Maximum number of storable elements. */
+    std::size_t capacity() const { return mask_; }
+
+    /**
+     * Copy the queue contents front-to-back. Requires both endpoints
+     * to be quiescent (checkpoint path only).
+     */
+    std::vector<T>
+    quiescedContents() const
+    {
+        std::vector<T> out;
+        std::size_t head = head_.load(std::memory_order_acquire);
+        const std::size_t tail = tail_.load(std::memory_order_acquire);
+        while (head != tail) {
+            out.push_back(slots_[head]);
+            head = (head + 1) & mask_;
+        }
+        return out;
+    }
+
+    /**
+     * Replace the queue contents. Requires both endpoints to be
+     * quiescent (rollback path only).
+     */
+    void
+    quiescedAssign(const std::vector<T> &items)
+    {
+        SLACKSIM_ASSERT(items.size() <= capacity(),
+                        "quiescedAssign overflow");
+        head_.store(0, std::memory_order_relaxed);
+        tail_.store(0, std::memory_order_relaxed);
+        std::size_t tail = 0;
+        for (const T &item : items) {
+            slots_[tail] = item;
+            tail = (tail + 1) & mask_;
+        }
+        tail_.store(tail, std::memory_order_release);
+    }
+
+  private:
+    static std::size_t
+    roundUpPow2(std::size_t v)
+    {
+        std::size_t p = 1;
+        while (p < v)
+            p <<= 1;
+        return p;
+    }
+
+    const std::size_t mask_;
+    std::vector<T> slots_;
+    alignas(64) std::atomic<std::size_t> head_{0};
+    alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+} // namespace slacksim
+
+#endif // SLACKSIM_UTIL_SPSC_QUEUE_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every SlackSim module.
+ */
+
+#ifndef SLACKSIM_UTIL_TYPES_HH
+#define SLACKSIM_UTIL_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace slacksim {
+
+/** Simulated (target) time, in target clock cycles. */
+using Tick = std::uint64_t;
+
+/** A tick value that is larger than any reachable simulated time. */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Target physical address (byte granularity). */
+using Addr = std::uint64_t;
+
+/** Index of a target core (0-based). */
+using CoreId = std::uint32_t;
+
+/** Invalid / "no core" marker. */
+constexpr CoreId invalidCore = std::numeric_limits<CoreId>::max();
+
+/** Identifier of a lock or barrier object in the workload. */
+using SyncId = std::uint32_t;
+
+/** Monotone sequence number used for deterministic tie-breaking. */
+using SeqNum = std::uint64_t;
+
+} // namespace slacksim
+
+#endif // SLACKSIM_UTIL_TYPES_HH

@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Splash-2 Barnes equivalent: Barnes-Hut N-body. Each timestep
+ * (1) rebuilds the octree by concurrent insertion with per-cell locks,
+ * (2) computes cell centers of mass bottom-up over a cell partition,
+ * (3) computes forces by tree traversal with the opening criterion
+ * size/dist < theta, and (4) advances the bodies; barriers separate
+ * phases. The tree is *really* built over random body positions at
+ * generation time, so the reference stream has the genuine
+ * data-dependent, irregular sharing pattern of the original program.
+ */
+
+#include "workload/kernels.hh"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "mem/address_space.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace slacksim {
+
+namespace {
+
+constexpr std::uint64_t nodeBytes = 64;  // one cache line per cell
+constexpr std::uint64_t bodyBytes = 128; // two lines per body
+constexpr unsigned numCellLocks = 64;
+constexpr double theta = 1.0;            // Splash-2 default tolerance
+constexpr int maxDepth = 24;
+
+struct Vec3
+{
+    double x = 0, y = 0, z = 0;
+};
+
+double
+dist(const Vec3 &a, const Vec3 &b)
+{
+    const double dx = a.x - b.x, dy = a.y - b.y, dz = a.z - b.z;
+    return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+struct Cell
+{
+    Vec3 center;
+    double halfSize = 0.5;
+    int children[8] = {-1, -1, -1, -1, -1, -1, -1, -1};
+    int body = -1;     // leaf payload (-1 while internal/empty)
+    bool isLeaf = true;
+    Vec3 com;          // center of mass (filled in phase 2)
+};
+
+struct Tree
+{
+    std::vector<Cell> cells;
+
+    int
+    alloc(const Vec3 &center, double half_size)
+    {
+        Cell c;
+        c.center = center;
+        c.halfSize = half_size;
+        cells.push_back(c);
+        return static_cast<int>(cells.size()) - 1;
+    }
+
+    static int
+    octant(const Cell &c, const Vec3 &p)
+    {
+        return (p.x >= c.center.x ? 1 : 0) |
+               (p.y >= c.center.y ? 2 : 0) |
+               (p.z >= c.center.z ? 4 : 0);
+    }
+
+    static Vec3
+    childCenter(const Cell &c, int oct)
+    {
+        const double q = c.halfSize / 2;
+        return {c.center.x + ((oct & 1) ? q : -q),
+                c.center.y + ((oct & 2) ? q : -q),
+                c.center.z + ((oct & 4) ? q : -q)};
+    }
+};
+
+struct BarnesContext
+{
+    Addr treeBase;
+    Addr bodyBase;
+    std::uint32_t grain;
+
+    Addr node(int i) const { return treeBase + i * nodeBytes; }
+    Addr body(std::uint64_t i) const { return bodyBase + i * bodyBytes; }
+    static SyncId cellLock(int i) { return i % numCellLocks; }
+};
+
+/**
+ * Insert body `bi` at position `p`, emitting the descent loads and the
+ * locked cell mutations into `tb`. Returns nothing; grows the tree.
+ */
+void
+insertBody(Tree &tree, TraceBuilder &tb, const BarnesContext &ctx,
+           int bi, const Vec3 &p, const std::vector<Vec3> &pos)
+{
+    int cur = 0;
+    int depth = 0;
+    tb.load(ctx.body(bi), 0);
+    while (true) {
+        SLACKSIM_ASSERT(++depth < maxDepth,
+                        "barnes: octree too deep (coincident bodies?)");
+        tb.load(ctx.node(cur), 2 * ctx.grain);
+        Cell &c = tree.cells[cur];
+        if (!c.isLeaf) {
+            const int oct = Tree::octant(c, p);
+            if (c.children[oct] < 0) {
+                // Claim the empty slot under the cell lock.
+                tb.lock(BarnesContext::cellLock(cur));
+                const int leaf =
+                    tree.alloc(Tree::childCenter(c, oct), c.halfSize / 2);
+                tree.cells[leaf].body = bi;
+                tree.cells[cur].children[oct] = leaf;
+                tb.store(ctx.node(leaf));
+                tb.store(ctx.node(cur));
+                tb.unlock(BarnesContext::cellLock(cur));
+                return;
+            }
+            cur = c.children[oct];
+            continue;
+        }
+        if (c.body < 0) {
+            // Empty leaf (root before first insertion).
+            tb.lock(BarnesContext::cellLock(cur));
+            tree.cells[cur].body = bi;
+            tb.store(ctx.node(cur));
+            tb.unlock(BarnesContext::cellLock(cur));
+            return;
+        }
+        // Occupied leaf: split it and push the old body down, then
+        // retry from this (now internal) cell.
+        tb.lock(BarnesContext::cellLock(cur));
+        const int old_body = c.body;
+        tree.cells[cur].isLeaf = false;
+        tree.cells[cur].body = -1;
+        const int old_oct = Tree::octant(tree.cells[cur], pos[old_body]);
+        const int child = tree.alloc(
+            Tree::childCenter(tree.cells[cur], old_oct),
+            tree.cells[cur].halfSize / 2);
+        tree.cells[child].body = old_body;
+        tree.cells[cur].children[old_oct] = child;
+        tb.store(ctx.node(child));
+        tb.store(ctx.node(cur));
+        tb.unlock(BarnesContext::cellLock(cur));
+    }
+}
+
+/** Emit the force traversal for one body over the finished tree. */
+void
+emitForce(const Tree &tree, TraceBuilder &tb, const BarnesContext &ctx,
+          const Vec3 &p, std::vector<int> &stack)
+{
+    stack.clear();
+    stack.push_back(0);
+    while (!stack.empty()) {
+        const int ni = stack.back();
+        stack.pop_back();
+        const Cell &c = tree.cells[ni];
+        tb.load(ctx.node(ni), 0);
+        if (c.isLeaf) {
+            if (c.body >= 0) {
+                tb.load(ctx.body(c.body), 0);
+                tb.compute(10 * ctx.grain, true); // pairwise kernel
+            }
+            continue;
+        }
+        const double d = dist(c.com, p);
+        if (d > 1e-9 && (2 * c.halfSize) / d < theta) {
+            tb.compute(10 * ctx.grain, true); // accept cell as a mass
+            continue;
+        }
+        tb.compute(3 * ctx.grain, true); // opening test arithmetic
+        for (int child : c.children)
+            if (child >= 0)
+                stack.push_back(child);
+    }
+}
+
+} // namespace
+
+Workload
+makeBarnes(const WorkloadParams &params)
+{
+    const unsigned T = params.numThreads;
+    const std::uint64_t n = params.bodies ? params.bodies : 1024;
+    const std::uint64_t steps = params.timesteps ? params.timesteps : 2;
+    SLACKSIM_ASSERT(n >= T, "barnes: fewer bodies than threads");
+
+    AddressSpace space(T);
+    BarnesContext ctx;
+    ctx.grain = params.computeGrain;
+    // Generous arena: a Barnes-Hut tree has < 2N internal cells.
+    const std::uint64_t max_cells = 4 * n + 64;
+    ctx.treeBase = space.allocShared(max_cells * nodeBytes, 64);
+    ctx.bodyBase = space.allocShared(n * bodyBytes, 64);
+
+    Workload w;
+    w.name = "barnes";
+    w.numLocks = numCellLocks;
+    w.numBarriers = 1;
+    w.threads.resize(T);
+    w.sharedFootprintBytes = max_cells * nodeBytes + n * bodyBytes;
+
+    for (unsigned t = 0; t < T; ++t)
+        w.threads[t].codeFootprint = 14 * 1024;
+
+    Rng rng(params.seed ^ 0xba27e5ull);
+    std::vector<Vec3> pos(n);
+    for (auto &p : pos) {
+        // Mildly clustered distribution: half the bodies in a tight
+        // clump, so the tree is uneven like a Plummer model's.
+        if (rng.chance(0.5)) {
+            p = {0.3 + rng.uniform() * 0.1, 0.3 + rng.uniform() * 0.1,
+                 0.3 + rng.uniform() * 0.1};
+        } else {
+            p = {rng.uniform(), rng.uniform(), rng.uniform()};
+        }
+    }
+
+    std::vector<TraceBuilder> builders;
+    builders.reserve(T);
+    for (unsigned t = 0; t < T; ++t)
+        builders.emplace_back(w.threads[t]);
+
+    std::vector<int> stack;
+    for (std::uint64_t step = 0; step < steps; ++step) {
+        for (unsigned t = 0; t < T; ++t)
+            builders[t].barrier(0);
+
+        // Phase 1: concurrent tree build. The global insertion order
+        // interleaves threads round-robin, mirroring the concurrent
+        // lock-protected insertions of the original program.
+        Tree tree;
+        tree.alloc({0.5, 0.5, 0.5}, 0.5); // root
+        const std::uint64_t per = (n + T - 1) / T;
+        for (std::uint64_t k = 0; k < per; ++k) {
+            for (unsigned t = 0; t < T; ++t) {
+                const std::uint64_t bi = t * per + k;
+                if (bi < n) {
+                    insertBody(tree, builders[t], ctx,
+                               static_cast<int>(bi), pos[bi], pos);
+                }
+            }
+        }
+        SLACKSIM_ASSERT(tree.cells.size() <= max_cells,
+                        "barnes: tree arena overflow");
+        for (unsigned t = 0; t < T; ++t)
+            builders[t].barrier(0);
+
+        // Phase 2: centers of mass, cells partitioned round-robin.
+        // Compute real COMs bottom-up (children have larger indices
+        // only for leaves created later, so walk in reverse order).
+        for (int ci = static_cast<int>(tree.cells.size()) - 1;
+             ci >= 0; --ci) {
+            Cell &c = tree.cells[ci];
+            if (c.isLeaf) {
+                c.com = c.body >= 0 ? pos[c.body] : c.center;
+            } else {
+                Vec3 acc;
+                int cnt = 0;
+                for (int ch : c.children) {
+                    if (ch >= 0) {
+                        acc.x += tree.cells[ch].com.x;
+                        acc.y += tree.cells[ch].com.y;
+                        acc.z += tree.cells[ch].com.z;
+                        ++cnt;
+                    }
+                }
+                c.com = {acc.x / cnt, acc.y / cnt, acc.z / cnt};
+            }
+            TraceBuilder &tb = builders[ci % T];
+            tb.load(ctx.node(ci), 0);
+            if (!c.isLeaf) {
+                for (int ch : c.children)
+                    if (ch >= 0)
+                        tb.load(ctx.node(ch), 0);
+                tb.compute(6 * ctx.grain, true);
+                tb.store(ctx.node(ci));
+            }
+        }
+        for (unsigned t = 0; t < T; ++t)
+            builders[t].barrier(0);
+
+        // Phase 3: force computation over owned bodies.
+        for (unsigned t = 0; t < T; ++t) {
+            for (std::uint64_t k = 0; k < per; ++k) {
+                const std::uint64_t bi = t * per + k;
+                if (bi >= n)
+                    continue;
+                builders[t].load(ctx.body(bi), 0);
+                emitForce(tree, builders[t], ctx, pos[bi], stack);
+                builders[t].store(ctx.body(bi) + 64);
+            }
+            builders[t].barrier(0);
+        }
+
+        // Phase 4: advance positions (and perturb them so the next
+        // step rebuilds a slightly different tree).
+        for (unsigned t = 0; t < T; ++t) {
+            for (std::uint64_t k = 0; k < per; ++k) {
+                const std::uint64_t bi = t * per + k;
+                if (bi >= n)
+                    continue;
+                builders[t].load(ctx.body(bi), 0);
+                builders[t].load(ctx.body(bi) + 64, 0);
+                builders[t].compute(8 * ctx.grain, true);
+                builders[t].store(ctx.body(bi));
+            }
+        }
+        for (std::uint64_t bi = 0; bi < n; ++bi) {
+            pos[bi].x += (rng.uniform() - 0.5) * 0.02;
+            pos[bi].y += (rng.uniform() - 0.5) * 0.02;
+            pos[bi].z += (rng.uniform() - 0.5) * 0.02;
+            pos[bi].x = std::min(0.999, std::max(0.001, pos[bi].x));
+            pos[bi].y = std::min(0.999, std::max(0.001, pos[bi].y));
+            pos[bi].z = std::min(0.999, std::max(0.001, pos[bi].z));
+        }
+    }
+
+    for (unsigned t = 0; t < T; ++t) {
+        builders[t].barrier(0);
+        builders[t].end();
+    }
+    return w;
+}
+
+} // namespace slacksim

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Splash-2 FFT equivalent: six-step 1-D FFT of N complex points laid
+ * out as a sqrt(N) x sqrt(N) matrix (transpose, row FFTs, twiddle
+ * scaling, row FFTs, transpose back), with blocked transposes and a
+ * barrier between phases. Addresses are data-independent, so the
+ * generator replays the exact loop nest of the algorithm.
+ */
+
+#include "workload/kernels.hh"
+
+#include <cstdint>
+
+#include "mem/address_space.hh"
+#include "util/logging.hh"
+
+namespace slacksim {
+
+namespace {
+
+constexpr std::uint64_t elemBytes = 16; // complex double
+
+struct FftContext
+{
+    std::uint64_t n1;          // matrix dimension (sqrt of N)
+    Addr x;                    // data matrix
+    Addr trans;                // transpose scratch matrix
+    Addr umain;                // twiddle factor matrix
+    Addr upriv;                // shared root-of-unity table for row FFTs
+    std::uint32_t grain;
+
+    Addr
+    elem(Addr base, std::uint64_t r, std::uint64_t c) const
+    {
+        return base + (r * n1 + c) * elemBytes;
+    }
+};
+
+/** Blocked transpose of rows [row0,row1) of src into dst. */
+void
+emitTranspose(TraceBuilder &b, const FftContext &ctx, Addr src, Addr dst,
+              std::uint64_t row0, std::uint64_t row1)
+{
+    constexpr std::uint64_t bs = 8; // transpose patch size
+    for (std::uint64_t rb = row0; rb < row1; rb += bs) {
+        for (std::uint64_t cb = 0; cb < ctx.n1; cb += bs) {
+            for (std::uint64_t r = rb; r < rb + bs && r < row1; ++r) {
+                for (std::uint64_t c = cb;
+                     c < cb + bs && c < ctx.n1; ++c) {
+                    // dst[r][c] = src[c][r]: the load walks a column
+                    // of src, i.e. rows owned by other threads.
+                    b.load(ctx.elem(src, c, r), ctx.grain);
+                    b.store(ctx.elem(dst, r, c));
+                }
+            }
+        }
+    }
+}
+
+/** Iterative radix-2 FFT over one row of `base`. */
+void
+emitRowFft(TraceBuilder &b, const FftContext &ctx, Addr base,
+           std::uint64_t row)
+{
+    std::uint64_t log_n = 0;
+    while ((1ull << log_n) < ctx.n1)
+        ++log_n;
+
+    for (std::uint64_t stage = 0; stage < log_n; ++stage) {
+        const std::uint64_t half = 1ull << stage;
+        const std::uint64_t step = half << 1;
+        for (std::uint64_t group = 0; group < ctx.n1; group += step) {
+            for (std::uint64_t k = 0; k < half; ++k) {
+                const std::uint64_t i = group + k;
+                const std::uint64_t j = i + half;
+                // twiddle = upriv[k * (n1 / step)]
+                const Addr tw =
+                    ctx.upriv + (k * (ctx.n1 / step)) * elemBytes;
+                b.load(tw, 0);
+                b.load(ctx.elem(base, row, i), 0);
+                b.load(ctx.elem(base, row, j), 0);
+                b.compute(8 * ctx.grain, true);
+                b.store(ctx.elem(base, row, i));
+                b.store(ctx.elem(base, row, j));
+            }
+        }
+    }
+}
+
+/** Per-element twiddle scaling of my rows. */
+void
+emitTwiddle(TraceBuilder &b, const FftContext &ctx, Addr base,
+            std::uint64_t row0, std::uint64_t row1)
+{
+    for (std::uint64_t r = row0; r < row1; ++r) {
+        for (std::uint64_t c = 0; c < ctx.n1; ++c) {
+            b.load(ctx.elem(ctx.umain, r, c), 0);
+            b.load(ctx.elem(base, r, c), 0);
+            b.compute(6 * ctx.grain, true);
+            b.store(ctx.elem(base, r, c));
+        }
+    }
+}
+
+} // namespace
+
+Workload
+makeFft(const WorkloadParams &params)
+{
+    const unsigned T = params.numThreads;
+    const std::uint64_t n = params.fftPoints ? params.fftPoints : 16384;
+
+    // N must be a power of four so the matrix is square with a
+    // power-of-two side, like the Splash-2 program requires.
+    std::uint64_t n1 = 1;
+    while (n1 * n1 < n)
+        n1 <<= 1;
+    if (n1 * n1 != n)
+        SLACKSIM_FATAL("fft: point count ", n, " is not a power of 4");
+    if (n1 % T != 0)
+        SLACKSIM_FATAL("fft: sqrt(N)=", n1, " not divisible by ", T,
+                       " threads");
+
+    AddressSpace space(T);
+    FftContext ctx;
+    ctx.n1 = n1;
+    ctx.grain = params.computeGrain;
+    ctx.x = space.allocShared(n * elemBytes, 64);
+    ctx.trans = space.allocShared(n * elemBytes, 64);
+    ctx.umain = space.allocShared(n * elemBytes, 64);
+    ctx.upriv = space.allocShared(n1 * elemBytes, 64);
+
+    Workload w;
+    w.name = "fft";
+    w.numLocks = 0;
+    w.numBarriers = 1;
+    w.threads.resize(T);
+    w.sharedFootprintBytes = (3 * n + n1) * elemBytes;
+
+    const std::uint64_t rows_per = n1 / T;
+    for (unsigned t = 0; t < T; ++t) {
+        TraceBuilder b(w.threads[t]);
+        w.threads[t].codeFootprint = 12 * 1024;
+        const std::uint64_t row0 = t * rows_per;
+        const std::uint64_t row1 = row0 + rows_per;
+
+        b.barrier(0);
+        emitTranspose(b, ctx, ctx.x, ctx.trans, row0, row1);
+        b.barrier(0);
+        for (std::uint64_t r = row0; r < row1; ++r)
+            emitRowFft(b, ctx, ctx.trans, r);
+        b.barrier(0);
+        emitTwiddle(b, ctx, ctx.trans, row0, row1);
+        b.barrier(0);
+        for (std::uint64_t r = row0; r < row1; ++r)
+            emitRowFft(b, ctx, ctx.trans, r);
+        b.barrier(0);
+        emitTranspose(b, ctx, ctx.trans, ctx.x, row0, row1);
+        b.barrier(0);
+        b.end();
+    }
+    return w;
+}
+
+} // namespace slacksim

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Workload registry and the micro-kernels.
+ */
+
+#include "workload/kernels.hh"
+
+#include <functional>
+#include <map>
+
+#include "mem/address_space.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace slacksim {
+
+namespace {
+
+using Generator = std::function<Workload(const WorkloadParams &)>;
+
+const std::map<std::string, Generator> &
+registry()
+{
+    static const std::map<std::string, Generator> table = {
+        {"barnes", makeBarnes},
+        {"ocean", makeOcean},
+        {"radix", makeRadix},
+        {"fft", makeFft},
+        {"lu", makeLu},
+        {"water", makeWater},
+        {"pingpong", makePingPong},
+        {"falseshare", makeFalseShare},
+        {"stream", makeStream},
+        {"uniform", makeUniform},
+        {"syncstorm", makeSyncStorm},
+    };
+    return table;
+}
+
+std::uint64_t
+pick(std::uint64_t requested, std::uint64_t fallback)
+{
+    return requested ? requested : fallback;
+}
+
+} // namespace
+
+Workload
+makeWorkload(const WorkloadParams &params)
+{
+    auto it = registry().find(params.kernel);
+    if (it == registry().end())
+        SLACKSIM_FATAL("unknown workload kernel '", params.kernel, "'");
+    if (params.numThreads == 0 || params.numThreads > 64)
+        SLACKSIM_FATAL("numThreads must be in [1, 64], got ",
+                       params.numThreads);
+    Workload w = it->second(params);
+    validateWorkload(w);
+    return w;
+}
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    for (const auto &[name, gen] : registry())
+        names.push_back(name);
+    return names;
+}
+
+std::vector<std::string>
+splashNames()
+{
+    return {"barnes", "fft", "lu", "water"};
+}
+
+Workload
+makePingPong(const WorkloadParams &params)
+{
+    const unsigned T = params.numThreads;
+    const std::uint64_t iters = pick(params.iters, 2000);
+    const std::uint32_t grain = params.computeGrain;
+
+    AddressSpace space(T);
+    const Addr counter = space.allocShared(64, 64);
+
+    Workload w;
+    w.name = "pingpong";
+    w.numLocks = 1;
+    w.numBarriers = 1;
+    w.threads.resize(T);
+    w.sharedFootprintBytes = 64;
+
+    for (unsigned t = 0; t < T; ++t) {
+        TraceBuilder b(w.threads[t]);
+        w.threads[t].codeFootprint = 1024;
+        b.barrier(0);
+        for (std::uint64_t i = 0; i < iters; ++i) {
+            b.lock(0);
+            b.load(counter, 2 * grain);
+            b.store(counter);
+            b.unlock(0);
+            b.compute(8 * grain);
+        }
+        b.barrier(0);
+        b.end();
+    }
+    return w;
+}
+
+Workload
+makeFalseShare(const WorkloadParams &params)
+{
+    const unsigned T = params.numThreads;
+    const std::uint64_t iters = pick(params.iters, 4000);
+    const std::uint32_t grain = params.computeGrain;
+
+    AddressSpace space(T);
+    // All threads write disjoint words of the same handful of lines:
+    // a classic coherence-traffic generator (heavy map transitions).
+    const Addr base = space.allocShared(64 * 4, 64);
+
+    Workload w;
+    w.name = "falseshare";
+    w.numLocks = 0;
+    w.numBarriers = 1;
+    w.threads.resize(T);
+    w.sharedFootprintBytes = 64 * 4;
+
+    for (unsigned t = 0; t < T; ++t) {
+        TraceBuilder b(w.threads[t]);
+        w.threads[t].codeFootprint = 1024;
+        b.barrier(0);
+        for (std::uint64_t i = 0; i < iters; ++i) {
+            const Addr line = base + (i % 4) * 64;
+            const Addr mine = line + (t % 8) * 8;
+            b.store(mine);
+            b.load(mine, grain);
+            b.compute(4 * grain);
+        }
+        b.barrier(0);
+        b.end();
+    }
+    return w;
+}
+
+Workload
+makeStream(const WorkloadParams &params)
+{
+    const unsigned T = params.numThreads;
+    const std::uint64_t iters = pick(params.iters, 3);
+    const std::uint64_t bytes = pick(params.footprintBytes, 256 * 1024);
+    const std::uint32_t grain = params.computeGrain;
+
+    AddressSpace space(T);
+
+    Workload w;
+    w.name = "stream";
+    w.numLocks = 0;
+    w.numBarriers = 1;
+    w.threads.resize(T);
+
+    for (unsigned t = 0; t < T; ++t) {
+        TraceBuilder b(w.threads[t]);
+        w.threads[t].codeFootprint = 2048;
+        const Addr src = space.allocPrivate(t, bytes, 64);
+        const Addr dst = space.allocPrivate(t, bytes, 64);
+        b.barrier(0);
+        for (std::uint64_t pass = 0; pass < iters; ++pass) {
+            for (std::uint64_t off = 0; off < bytes; off += 64) {
+                b.load(src + off, grain);
+                b.store(dst + off);
+            }
+        }
+        b.barrier(0);
+        b.end();
+    }
+    return w;
+}
+
+Workload
+makeUniform(const WorkloadParams &params)
+{
+    const unsigned T = params.numThreads;
+    const std::uint64_t iters = pick(params.iters, 20000);
+    const std::uint64_t bytes = pick(params.footprintBytes, 512 * 1024);
+    const std::uint32_t grain = params.computeGrain;
+
+    AddressSpace space(T);
+    const Addr shared = space.allocShared(bytes, 64);
+
+    Workload w;
+    w.name = "uniform";
+    w.numLocks = 0;
+    w.numBarriers = 1;
+    w.threads.resize(T);
+    w.sharedFootprintBytes = bytes;
+
+    for (unsigned t = 0; t < T; ++t) {
+        TraceBuilder b(w.threads[t]);
+        w.threads[t].codeFootprint = 4096;
+        const std::uint64_t priv_bytes = bytes / 4;
+        const Addr priv = space.allocPrivate(t, priv_bytes, 64);
+        Rng rng(params.seed * 1315423911u + t);
+        b.barrier(0);
+        for (std::uint64_t i = 0; i < iters; ++i) {
+            const bool use_shared = rng.chance(params.sharedFraction);
+            const Addr region = use_shared ? shared : priv;
+            const std::uint64_t span = use_shared ? bytes : priv_bytes;
+            const Addr a = region + (rng.below(span / 8)) * 8;
+            if (rng.chance(params.storeFraction))
+                b.store(a);
+            else
+                b.load(a, grain);
+            b.compute(3 * grain);
+        }
+        b.barrier(0);
+        b.end();
+    }
+    return w;
+}
+
+Workload
+makeSyncStorm(const WorkloadParams &params)
+{
+    const unsigned T = params.numThreads;
+    const std::uint64_t iters = pick(params.iters, 500);
+    const std::uint32_t grain = params.computeGrain;
+
+    AddressSpace space(T);
+    const Addr scratch = space.allocShared(64 * T, 64);
+
+    Workload w;
+    w.name = "syncstorm";
+    w.numLocks = 4;
+    w.numBarriers = 2;
+    w.threads.resize(T);
+    w.sharedFootprintBytes = 64 * T;
+
+    for (unsigned t = 0; t < T; ++t) {
+        TraceBuilder b(w.threads[t]);
+        w.threads[t].codeFootprint = 1024;
+        b.barrier(0);
+        for (std::uint64_t i = 0; i < iters; ++i) {
+            b.compute((4 + (t % 3)) * grain);
+            const SyncId lock = static_cast<SyncId>(i % 4);
+            b.lock(lock);
+            b.load(scratch + (i % T) * 64, grain);
+            b.store(scratch + (i % T) * 64);
+            b.unlock(lock);
+            b.barrier(1);
+        }
+        b.barrier(0);
+        b.end();
+    }
+    return w;
+}
+
+} // namespace slacksim

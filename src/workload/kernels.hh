@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Workload kernel generators.
+ *
+ * Four Splash-2-equivalent kernels (Table 1 of the paper) plus a set
+ * of micro-kernels used by tests and ablation benches. Each generator
+ * runs the real algorithm at generation time over a simulated address
+ * space and records the per-thread dynamic memory/sync stream.
+ *
+ * Paper input sets -> our defaults:
+ *   Barnes  1024 bodies            -> 1024 bodies, 2 timesteps
+ *   FFT     64K points             -> 16K points (64K available)
+ *   LU      256x256 matrix         -> 256x256, block 16
+ *   Water-N 216 molecules          -> 216 molecules, 1 timestep
+ * plus two more Splash-2 applications beyond the paper's four
+ * (ocean: strip-partitioned stencil; radix: all-to-all sort) and the
+ * micro-kernels.
+ */
+
+#ifndef SLACKSIM_WORKLOAD_KERNELS_HH
+#define SLACKSIM_WORKLOAD_KERNELS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/trace.hh"
+
+namespace slacksim {
+
+/** Tunable workload parameters; 0 selects the kernel's default. */
+struct WorkloadParams
+{
+    std::string kernel = "fft"; //!< kernel name, see workloadNames()
+    unsigned numThreads = 8;
+    std::uint64_t seed = 42;
+
+    // Splash kernels.
+    std::uint64_t bodies = 0;      //!< barnes: number of bodies
+    std::uint64_t timesteps = 0;   //!< barnes/water: simulated steps
+    std::uint64_t fftPoints = 0;   //!< fft: N (power of four)
+    std::uint64_t matrixN = 0;     //!< lu: matrix dimension
+    std::uint64_t blockB = 0;      //!< lu: block size
+    std::uint64_t molecules = 0;   //!< water: molecule count
+
+    // Micro kernels.
+    std::uint64_t iters = 0;          //!< per-thread iterations
+    std::uint64_t footprintBytes = 0; //!< uniform/stream working set
+    double sharedFraction = 0.5;      //!< uniform: P(shared access)
+    double storeFraction = 0.3;       //!< uniform: P(access is store)
+
+    /** Multiplier applied to all Compute record counts. */
+    std::uint32_t computeGrain = 1;
+};
+
+/** Build the workload selected by @p params. Fatal on unknown name. */
+Workload makeWorkload(const WorkloadParams &params);
+
+/** @return all registered kernel names. */
+std::vector<std::string> workloadNames();
+
+/** @return the four Splash benchmark names in paper order. */
+std::vector<std::string> splashNames();
+
+// Individual generators (exposed for targeted tests).
+Workload makeBarnes(const WorkloadParams &params);
+Workload makeOcean(const WorkloadParams &params);
+Workload makeRadix(const WorkloadParams &params);
+Workload makeFft(const WorkloadParams &params);
+Workload makeLu(const WorkloadParams &params);
+Workload makeWater(const WorkloadParams &params);
+Workload makePingPong(const WorkloadParams &params);
+Workload makeFalseShare(const WorkloadParams &params);
+Workload makeStream(const WorkloadParams &params);
+Workload makeUniform(const WorkloadParams &params);
+Workload makeSyncStorm(const WorkloadParams &params);
+
+} // namespace slacksim
+
+#endif // SLACKSIM_WORKLOAD_KERNELS_HH

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Splash-2 LU equivalent: blocked right-looking dense LU factorization
+ * with contiguous block allocation and a 2-D scatter block->thread
+ * assignment. Per elimination step k: the owner factors the diagonal
+ * block; owners update the perimeter row/column blocks against it; all
+ * owners apply the rank-b update to their interior blocks. Barriers
+ * separate the phases, exactly as in the Splash-2 program.
+ *
+ * The innermost daxpy loops are emitted at cache-line granularity for
+ * streaming operands (one load per 64-byte line) — the reference
+ * stream a compiled b-element vector loop actually produces.
+ */
+
+#include "workload/kernels.hh"
+
+#include <cstdint>
+
+#include "mem/address_space.hh"
+#include "util/logging.hh"
+
+namespace slacksim {
+
+namespace {
+
+constexpr std::uint64_t elemBytes = 8;
+constexpr std::uint64_t elemsPerLine = 64 / elemBytes;
+
+struct LuContext
+{
+    Addr base;
+    std::uint64_t b;  // block dimension
+    std::uint64_t nb; // blocks per matrix dimension
+    std::uint32_t grain;
+
+    Addr
+    elem(std::uint64_t bi, std::uint64_t bj, std::uint64_t i,
+         std::uint64_t j) const
+    {
+        const std::uint64_t block_index = bi * nb + bj;
+        return base +
+               (block_index * b * b + i * b + j) * elemBytes;
+    }
+};
+
+/** Emit loads covering one b-element row of a block (line granular). */
+void
+emitRowTouch(TraceBuilder &tb, const LuContext &ctx, std::uint64_t bi,
+             std::uint64_t bj, std::uint64_t i, bool store)
+{
+    for (std::uint64_t j = 0; j < ctx.b; j += elemsPerLine) {
+        if (store)
+            tb.store(ctx.elem(bi, bj, i, j));
+        else
+            tb.load(ctx.elem(bi, bj, i, j), 0);
+    }
+}
+
+/**
+ * dst -= A * B (all b x b blocks): the workhorse "bmod" update. The
+ * same reference shape models the triangular solves (bdiv/bmodd),
+ * whose flop count and stream are equivalent at this granularity.
+ */
+void
+emitBlockUpdate(TraceBuilder &tb, const LuContext &ctx,
+                std::uint64_t di, std::uint64_t dj,
+                std::uint64_t ai, std::uint64_t aj,
+                std::uint64_t bi, std::uint64_t bj)
+{
+    for (std::uint64_t i = 0; i < ctx.b; ++i) {
+        emitRowTouch(tb, ctx, di, dj, i, false); // dst row in
+        for (std::uint64_t kk = 0; kk < ctx.b; ++kk) {
+            tb.load(ctx.elem(ai, aj, i, kk), 0);
+            emitRowTouch(tb, ctx, bi, bj, kk, false); // B row stream
+            tb.compute(static_cast<std::uint32_t>(
+                           (ctx.b / 4) * ctx.grain),
+                       true);
+        }
+        emitRowTouch(tb, ctx, di, dj, i, true); // dst row out
+    }
+}
+
+/** In-place factorization of the diagonal block (k,k). */
+void
+emitDiagFactor(TraceBuilder &tb, const LuContext &ctx, std::uint64_t k)
+{
+    for (std::uint64_t j = 0; j < ctx.b; ++j) {
+        tb.load(ctx.elem(k, k, j, j), 1 * ctx.grain);
+        for (std::uint64_t i = j + 1; i < ctx.b; ++i) {
+            tb.load(ctx.elem(k, k, i, j), 0);
+            tb.compute(2 * ctx.grain, true);
+            tb.store(ctx.elem(k, k, i, j));
+        }
+    }
+}
+
+} // namespace
+
+Workload
+makeLu(const WorkloadParams &params)
+{
+    const unsigned T = params.numThreads;
+    const std::uint64_t n = params.matrixN ? params.matrixN : 256;
+    const std::uint64_t b = params.blockB ? params.blockB : 16;
+
+    if (n % b != 0)
+        SLACKSIM_FATAL("lu: block size ", b, " must divide n=", n);
+    const std::uint64_t nb = n / b;
+
+    // 2-D scatter decomposition: pr x pc thread grid.
+    unsigned pr = 1;
+    for (unsigned d = 1; d * d <= T; ++d)
+        if (T % d == 0)
+            pr = d;
+    const unsigned pc = T / pr;
+
+    AddressSpace space(T);
+    LuContext ctx;
+    ctx.b = b;
+    ctx.nb = nb;
+    ctx.grain = params.computeGrain;
+    ctx.base = space.allocShared(n * n * elemBytes, 64);
+
+    Workload w;
+    w.name = "lu";
+    w.numLocks = 0;
+    w.numBarriers = 1;
+    w.threads.resize(T);
+    w.sharedFootprintBytes = n * n * elemBytes;
+
+    auto owner = [&](std::uint64_t bi, std::uint64_t bj) -> unsigned {
+        return static_cast<unsigned>((bi % pr) * pc + (bj % pc));
+    };
+
+    for (unsigned t = 0; t < T; ++t) {
+        TraceBuilder tb(w.threads[t]);
+        w.threads[t].codeFootprint = 10 * 1024;
+        tb.barrier(0);
+
+        for (std::uint64_t k = 0; k < nb; ++k) {
+            if (owner(k, k) == t)
+                emitDiagFactor(tb, ctx, k);
+            tb.barrier(0);
+
+            // Perimeter: column blocks (i,k) and row blocks (k,j).
+            for (std::uint64_t i = k + 1; i < nb; ++i) {
+                if (owner(i, k) == t)
+                    emitBlockUpdate(tb, ctx, i, k, i, k, k, k);
+            }
+            for (std::uint64_t j = k + 1; j < nb; ++j) {
+                if (owner(k, j) == t)
+                    emitBlockUpdate(tb, ctx, k, j, k, k, k, j);
+            }
+            tb.barrier(0);
+
+            // Interior rank-b update.
+            for (std::uint64_t i = k + 1; i < nb; ++i) {
+                for (std::uint64_t j = k + 1; j < nb; ++j) {
+                    if (owner(i, j) == t)
+                        emitBlockUpdate(tb, ctx, i, j, i, k, k, j);
+                }
+            }
+            tb.barrier(0);
+        }
+        tb.end();
+    }
+    return w;
+}
+
+} // namespace slacksim

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Splash-2 Ocean equivalent: iterative 5-point stencil relaxation on
+ * an n x n grid partitioned into horizontal strips. Each sweep reads
+ * the halo rows owned by the neighboring threads (the nearest-
+ * neighbor sharing pattern that defines Ocean), updates the interior,
+ * and joins a lock-protected global residual reduction followed by a
+ * barrier. Red-black ordering alternates between two grids like the
+ * original program's multigrid smoother.
+ */
+
+#include "workload/kernels.hh"
+
+#include <cstdint>
+
+#include "mem/address_space.hh"
+#include "util/logging.hh"
+
+namespace slacksim {
+
+Workload
+makeOcean(const WorkloadParams &params)
+{
+    const unsigned T = params.numThreads;
+    // Reuse matrixN for the grid dimension; default 130 interior+halo
+    // like the scaled-down Splash runs.
+    const std::uint64_t n = params.matrixN ? params.matrixN : 128;
+    const std::uint64_t sweeps = params.timesteps ? params.timesteps : 4;
+    const std::uint32_t grain = params.computeGrain;
+    SLACKSIM_ASSERT(n >= 2 * T, "ocean: grid too small for threads");
+
+    constexpr std::uint64_t elemBytes = 8;
+    constexpr std::uint64_t elemsPerLine = 64 / elemBytes;
+
+    AddressSpace space(T);
+    const Addr grid_a = space.allocShared(n * n * elemBytes, 64);
+    const Addr grid_b = space.allocShared(n * n * elemBytes, 64);
+    const Addr globals = space.allocShared(64, 64); // residual sum
+    auto elem = [&](Addr base, std::uint64_t r, std::uint64_t c) {
+        return base + (r * n + c) * elemBytes;
+    };
+
+    Workload w;
+    w.name = "ocean";
+    w.numLocks = 1;
+    w.numBarriers = 1;
+    w.threads.resize(T);
+    w.sharedFootprintBytes = 2 * n * n * elemBytes + 64;
+
+    const std::uint64_t rows_per = n / T;
+    for (unsigned t = 0; t < T; ++t) {
+        TraceBuilder b(w.threads[t]);
+        w.threads[t].codeFootprint = 8 * 1024;
+        const std::uint64_t row0 = t * rows_per;
+        const std::uint64_t row1 =
+            t + 1 == T ? n : row0 + rows_per;
+
+        b.barrier(0);
+        for (std::uint64_t sweep = 0; sweep < sweeps; ++sweep) {
+            const Addr src = sweep % 2 ? grid_b : grid_a;
+            const Addr dst = sweep % 2 ? grid_a : grid_b;
+            for (std::uint64_t r = row0; r < row1; ++r) {
+                if (r == 0 || r == n - 1)
+                    continue; // fixed boundary rows
+                for (std::uint64_t c = 0; c < n; c += elemsPerLine) {
+                    // 5-point stencil at line granularity: center row
+                    // line plus the rows above and below. The first /
+                    // last rows of a strip read the neighbor thread's
+                    // rows — the halo sharing.
+                    b.load(elem(src, r, c), 0);
+                    b.load(elem(src, r - 1, c), 0);
+                    b.load(elem(src, r + 1, c), 0);
+                    b.compute(
+                        static_cast<std::uint32_t>(elemsPerLine) * 4 *
+                            grain,
+                        true);
+                    b.store(elem(dst, r, c));
+                }
+            }
+            // Global residual reduction under the lock.
+            b.lock(0);
+            b.load(globals, 2 * grain);
+            b.store(globals);
+            b.unlock(0);
+            b.barrier(0);
+        }
+        b.end();
+    }
+    return w;
+}
+
+} // namespace slacksim

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Splash-2 Radix equivalent: parallel radix sort of N random integer
+ * keys, r bits per digit pass. Each pass runs (1) a private local
+ * histogram over the owned key block, (2) a rank phase where every
+ * thread reads all other threads' histograms (the program's
+ * all-to-all read), and (3) the permutation phase that scatters keys
+ * into their destination positions across the whole array — Radix's
+ * signature bus-saturating write traffic. The sort really executes
+ * over RNG-generated keys at generation time, so the scatter
+ * addresses are the true data-dependent ones.
+ */
+
+#include "workload/kernels.hh"
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/address_space.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace slacksim {
+
+Workload
+makeRadix(const WorkloadParams &params)
+{
+    const unsigned T = params.numThreads;
+    // Reuse `iters` as the key count; paper-era runs sort 256K keys,
+    // scaled down by default.
+    std::uint64_t n = params.iters ? params.iters : 16384;
+    constexpr std::uint32_t radixBits = 8;
+    constexpr std::uint64_t buckets = 1u << radixBits;
+    constexpr std::uint32_t passes = 2; // low 16 bits sorted
+    const std::uint32_t grain = params.computeGrain;
+    n = ((n + T - 1) / T) * T; // round up to a whole block per thread
+
+    constexpr std::uint64_t keyBytes = 8;
+
+    AddressSpace space(T);
+    const Addr keys_a = space.allocShared(n * keyBytes, 64);
+    const Addr keys_b = space.allocShared(n * keyBytes, 64);
+    const Addr histo_base =
+        space.allocShared(T * buckets * keyBytes, 64);
+    auto keyAddr = [&](Addr base, std::uint64_t i) {
+        return base + i * keyBytes;
+    };
+    auto histoAddr = [&](unsigned t, std::uint64_t b) {
+        return histo_base + (t * buckets + b) * keyBytes;
+    };
+
+    // Generate and actually sort the keys so the permutation uses the
+    // genuine destinations.
+    Rng rng(params.seed ^ 0x5ad1ull);
+    std::vector<std::uint32_t> keys(n);
+    for (auto &k : keys)
+        k = static_cast<std::uint32_t>(rng.next64());
+
+    Workload w;
+    w.name = "radix";
+    w.numLocks = 0;
+    w.numBarriers = 1;
+    w.threads.resize(T);
+    w.sharedFootprintBytes =
+        2 * n * keyBytes + T * buckets * keyBytes;
+
+    std::vector<TraceBuilder> builders;
+    builders.reserve(T);
+    for (unsigned t = 0; t < T; ++t) {
+        w.threads[t].codeFootprint = 10 * 1024;
+        builders.emplace_back(w.threads[t]);
+        builders[t].barrier(0);
+    }
+
+    const std::uint64_t per = n / T;
+    std::vector<std::uint32_t> next(n);
+    for (std::uint32_t pass = 0; pass < passes; ++pass) {
+        const std::uint32_t shift = pass * radixBits;
+        const Addr src = pass % 2 ? keys_b : keys_a;
+        const Addr dst = pass % 2 ? keys_a : keys_b;
+
+        // Phase 1: local histograms.
+        std::vector<std::vector<std::uint64_t>> histo(
+            T, std::vector<std::uint64_t>(buckets, 0));
+        for (unsigned t = 0; t < T; ++t) {
+            for (std::uint64_t i = t * per; i < (t + 1) * per; ++i) {
+                const std::uint64_t bucket =
+                    (keys[i] >> shift) & (buckets - 1);
+                ++histo[t][bucket];
+                builders[t].load(keyAddr(src, i), 1 * grain);
+                builders[t].load(histoAddr(t, bucket), 0);
+                builders[t].store(histoAddr(t, bucket));
+            }
+            builders[t].barrier(0);
+        }
+
+        // Phase 2: global ranks — every thread scans all histograms
+        // (all-to-all read at line granularity).
+        std::vector<std::vector<std::uint64_t>> rank(
+            T, std::vector<std::uint64_t>(buckets, 0));
+        {
+            std::uint64_t running = 0;
+            for (std::uint64_t b = 0; b < buckets; ++b) {
+                for (unsigned t = 0; t < T; ++t) {
+                    rank[t][b] = running;
+                    running += histo[t][b];
+                }
+            }
+        }
+        for (unsigned t = 0; t < T; ++t) {
+            for (unsigned o = 0; o < T; ++o) {
+                for (std::uint64_t b = 0; b < buckets;
+                     b += 64 / keyBytes) {
+                    builders[t].load(histoAddr(o, b), 0);
+                }
+            }
+            builders[t].compute(
+                static_cast<std::uint32_t>(buckets / 4) * grain, true);
+            builders[t].barrier(0);
+        }
+
+        // Phase 3: permutation — scatter owned keys to their global
+        // destinations.
+        for (unsigned t = 0; t < T; ++t) {
+            for (std::uint64_t i = t * per; i < (t + 1) * per; ++i) {
+                const std::uint64_t bucket =
+                    (keys[i] >> shift) & (buckets - 1);
+                const std::uint64_t pos = rank[t][bucket]++;
+                next[pos] = keys[i];
+                builders[t].load(keyAddr(src, i), 1 * grain);
+                builders[t].store(keyAddr(dst, pos));
+            }
+            builders[t].barrier(0);
+        }
+        for (std::uint64_t i = 0; i < n; ++i)
+            keys[i] = next[i];
+    }
+
+    for (unsigned t = 0; t < T; ++t) {
+        builders[t].barrier(0);
+        builders[t].end();
+    }
+
+    // Sanity: the keys really are sorted on the low bits now.
+    for (std::uint64_t i = 1; i < n; ++i) {
+        SLACKSIM_ASSERT((keys[i - 1] & 0xffff) <= (keys[i] & 0xffff),
+                        "radix generator failed to sort");
+    }
+    return w;
+}
+
+} // namespace slacksim

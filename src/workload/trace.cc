@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Workload structural validation.
+ */
+
+#include "workload/trace.hh"
+
+#include <map>
+#include <set>
+
+#include "util/logging.hh"
+
+namespace slacksim {
+
+void
+validateWorkload(const Workload &workload)
+{
+    SLACKSIM_ASSERT(!workload.threads.empty(),
+                    "workload '", workload.name, "' has no threads");
+
+    // Barrier arrival counts must match across all threads so no
+    // thread can be left waiting forever.
+    std::map<SyncId, std::uint64_t> barrierCounts;
+    bool first = true;
+
+    for (std::size_t t = 0; t < workload.threads.size(); ++t) {
+        const auto &trace = workload.threads[t].instrs;
+        SLACKSIM_ASSERT(!trace.empty() &&
+                            trace.back().op == TraceOp::End,
+                        "thread ", t, " of '", workload.name,
+                        "' does not end with End");
+
+        std::set<SyncId> held;
+        std::map<SyncId, std::uint64_t> barriers;
+        for (std::size_t i = 0; i < trace.size(); ++i) {
+            const TraceInstr &instr = trace[i];
+            switch (instr.op) {
+              case TraceOp::Lock:
+                SLACKSIM_ASSERT(instr.sync < workload.numLocks,
+                                "lock id ", instr.sync, " out of range");
+                SLACKSIM_ASSERT(!held.count(instr.sync),
+                                "thread ", t, " re-acquires lock ",
+                                instr.sync);
+                held.insert(instr.sync);
+                break;
+              case TraceOp::Unlock:
+                SLACKSIM_ASSERT(held.count(instr.sync),
+                                "thread ", t, " releases unheld lock ",
+                                instr.sync);
+                held.erase(instr.sync);
+                break;
+              case TraceOp::Barrier:
+                SLACKSIM_ASSERT(instr.sync < workload.numBarriers,
+                                "barrier id ", instr.sync,
+                                " out of range");
+                SLACKSIM_ASSERT(held.empty(),
+                                "thread ", t,
+                                " enters barrier holding a lock");
+                ++barriers[instr.sync];
+                break;
+              case TraceOp::End:
+                SLACKSIM_ASSERT(i + 1 == trace.size(),
+                                "End not last in thread ", t);
+                break;
+              case TraceOp::Compute:
+                SLACKSIM_ASSERT(instr.count > 0,
+                                "empty Compute in thread ", t);
+                break;
+              case TraceOp::Load:
+              case TraceOp::Store:
+                break;
+            }
+        }
+        SLACKSIM_ASSERT(held.empty(),
+                        "thread ", t, " ends holding a lock");
+
+        if (first) {
+            barrierCounts = barriers;
+            first = false;
+        } else {
+            SLACKSIM_ASSERT(barriers == barrierCounts,
+                            "barrier arrival counts differ in thread ",
+                            t, " of '", workload.name, "'");
+        }
+    }
+}
+
+} // namespace slacksim

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * The workload trace "ISA" and per-thread trace programs.
+ *
+ * SlackSim ran Splash-2 PISA binaries through a SimpleScalar-derived
+ * functional front end. Our substitution (DESIGN.md S6) runs the same
+ * algorithms at *generation* time and captures their dynamic memory
+ * reference and synchronization stream as a compact trace; the timing
+ * core then replays the trace. Because all synchronization operations
+ * (locks/barriers) are embedded in the trace and arbitrated inside
+ * the simulator, simulated-workload-state violations cannot occur —
+ * exactly the property the paper gets from MP_Simplesim's APIs.
+ */
+
+#ifndef SLACKSIM_WORKLOAD_TRACE_HH
+#define SLACKSIM_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace slacksim {
+
+/** Trace operation kinds. */
+enum class TraceOp : std::uint8_t {
+    Compute, //!< a run of `count` single-cycle ALU micro-ops
+    Load,    //!< one load from `addr`
+    Store,   //!< one store to `addr`
+    Lock,    //!< acquire lock `sync` (blocks until granted)
+    Unlock,  //!< release lock `sync`
+    Barrier, //!< arrive at barrier `sync`, block until all arrive
+    End,     //!< end of trace
+};
+
+/** Flag bits on a trace instruction. */
+enum TraceFlags : std::uint8_t {
+    /** First ALU op of this Compute group consumes the last load. */
+    traceFlagDependsOnLoad = 1u << 0,
+};
+
+/** One trace record; 16 bytes packed. */
+struct TraceInstr
+{
+    Addr addr = 0;           //!< load/store target address
+    std::uint32_t count = 1; //!< Compute: number of ALU micro-ops
+    std::uint16_t sync = 0;  //!< lock/barrier identifier
+    TraceOp op = TraceOp::End;
+    std::uint8_t flags = 0;
+
+    /** @return number of committed micro-ops this record expands to. */
+    std::uint64_t
+    microOps() const
+    {
+        return op == TraceOp::Compute ? count : 1;
+    }
+};
+
+static_assert(sizeof(TraceInstr) == 16, "TraceInstr must stay compact");
+
+/** A full dynamic trace for one workload thread. */
+struct TraceProgram
+{
+    std::vector<TraceInstr> instrs;
+    /** Synthetic static-code footprint in bytes (drives L1I behavior). */
+    std::uint64_t codeFootprint = 4096;
+
+    /** Total committed micro-ops the trace expands to. */
+    std::uint64_t
+    totalMicroOps() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &instr : instrs)
+            if (instr.op != TraceOp::End)
+                n += instr.microOps();
+        return n;
+    }
+};
+
+/**
+ * Convenience emitter used by the kernel generators. Consecutive
+ * compute ops are coalesced into one record.
+ */
+class TraceBuilder
+{
+  public:
+    explicit TraceBuilder(TraceProgram &program)
+        : program_(program)
+    {
+    }
+
+    /** Emit @p n ALU micro-ops. */
+    void
+    compute(std::uint32_t n, bool depends_on_load = false)
+    {
+        if (n == 0)
+            return;
+        auto &instrs = program_.instrs;
+        if (!depends_on_load && !instrs.empty() &&
+            instrs.back().op == TraceOp::Compute &&
+            instrs.back().count <= 0xffffff) {
+            instrs.back().count += n;
+            return;
+        }
+        TraceInstr instr;
+        instr.op = TraceOp::Compute;
+        instr.count = n;
+        if (depends_on_load)
+            instr.flags |= traceFlagDependsOnLoad;
+        instrs.push_back(instr);
+    }
+
+    /** Emit a load of @p addr, optionally followed by dependent work. */
+    void
+    load(Addr addr, std::uint32_t dependent_work = 0)
+    {
+        TraceInstr instr;
+        instr.op = TraceOp::Load;
+        instr.addr = addr;
+        program_.instrs.push_back(instr);
+        if (dependent_work)
+            compute(dependent_work, true);
+    }
+
+    /** Emit a store to @p addr. */
+    void
+    store(Addr addr)
+    {
+        TraceInstr instr;
+        instr.op = TraceOp::Store;
+        instr.addr = addr;
+        program_.instrs.push_back(instr);
+    }
+
+    /** Emit a lock acquire. */
+    void
+    lock(SyncId id)
+    {
+        TraceInstr instr;
+        instr.op = TraceOp::Lock;
+        instr.sync = static_cast<std::uint16_t>(id);
+        program_.instrs.push_back(instr);
+    }
+
+    /** Emit a lock release. */
+    void
+    unlock(SyncId id)
+    {
+        TraceInstr instr;
+        instr.op = TraceOp::Unlock;
+        instr.sync = static_cast<std::uint16_t>(id);
+        program_.instrs.push_back(instr);
+    }
+
+    /** Emit a barrier arrival. */
+    void
+    barrier(SyncId id)
+    {
+        TraceInstr instr;
+        instr.op = TraceOp::Barrier;
+        instr.sync = static_cast<std::uint16_t>(id);
+        program_.instrs.push_back(instr);
+    }
+
+    /** Finalize the trace with an End record. */
+    void
+    end()
+    {
+        TraceInstr instr;
+        instr.op = TraceOp::End;
+        program_.instrs.push_back(instr);
+    }
+
+    /** @return records emitted so far. */
+    std::size_t size() const { return program_.instrs.size(); }
+
+  private:
+    TraceProgram &program_;
+};
+
+/** A complete multi-threaded workload: one trace per core. */
+struct Workload
+{
+    std::string name;
+    std::vector<TraceProgram> threads;
+    std::uint32_t numLocks = 0;
+    std::uint32_t numBarriers = 0;
+    std::uint64_t sharedFootprintBytes = 0;
+
+    /** Total committed micro-ops across all threads. */
+    std::uint64_t
+    totalMicroOps() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &t : threads)
+            n += t.totalMicroOps();
+        return n;
+    }
+};
+
+/**
+ * Check structural sanity of a workload: every thread's trace ends
+ * with End, every Lock has a matching Unlock in program order, all
+ * threads hit every barrier the same number of times, and sync ids
+ * are within the declared ranges. Aborts via panic on failure (these
+ * are generator bugs, not user errors).
+ */
+void validateWorkload(const Workload &workload);
+
+} // namespace slacksim
+
+#endif // SLACKSIM_WORKLOAD_TRACE_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Static workload-trace characterization: operation mix, memory
+ * footprints, and inter-thread sharing degree. Used by the
+ * workload_report example to print a Table-1-style description of
+ * each benchmark and by tests to pin the kernels' structural
+ * properties.
+ */
+
+#ifndef SLACKSIM_WORKLOAD_TRACE_STATS_HH
+#define SLACKSIM_WORKLOAD_TRACE_STATS_HH
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "workload/trace.hh"
+
+namespace slacksim {
+
+/** Aggregate characterization of one workload. */
+struct WorkloadStats
+{
+    std::uint32_t threads = 0;
+
+    // Dynamic operation mix (micro-ops).
+    std::uint64_t computeUops = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t lockPairs = 0;      //!< lock+unlock pairs
+    std::uint64_t barrierArrivals = 0;
+
+    // Line-granular memory footprints (64-byte lines).
+    std::uint64_t totalLines = 0;     //!< distinct lines touched
+    std::uint64_t sharedLines = 0;    //!< touched by >= 2 threads
+    std::uint64_t rwSharedLines = 0;  //!< written by one thread and
+                                      //!< touched by another
+    std::uint64_t maxSharers = 0;     //!< most threads on one line
+
+    // Imbalance: max/min per-thread micro-ops.
+    std::uint64_t minThreadUops = 0;
+    std::uint64_t maxThreadUops = 0;
+
+    /** Total committed micro-ops. */
+    std::uint64_t
+    totalUops() const
+    {
+        return computeUops + loads + stores + 2 * lockPairs +
+               barrierArrivals;
+    }
+
+    /** Fraction of memory operations among all micro-ops. */
+    double
+    memoryFraction() const
+    {
+        const auto total = totalUops();
+        return total ? static_cast<double>(loads + stores) / total
+                     : 0.0;
+    }
+
+    /** Fraction of touched lines shared between threads. */
+    double
+    sharedFraction() const
+    {
+        return totalLines
+                   ? static_cast<double>(sharedLines) / totalLines
+                   : 0.0;
+    }
+
+    /** max/min per-thread work ratio (1.0 = perfectly balanced). */
+    double
+    imbalance() const
+    {
+        return minThreadUops
+                   ? static_cast<double>(maxThreadUops) / minThreadUops
+                   : 0.0;
+    }
+};
+
+/** Analyze @p workload (line granularity = 64 bytes). */
+WorkloadStats analyzeWorkload(const Workload &workload);
+
+/** Print a one-workload characterization block. */
+void printWorkloadStats(std::ostream &os, const std::string &name,
+                        const WorkloadStats &stats);
+
+} // namespace slacksim
+
+#endif // SLACKSIM_WORKLOAD_TRACE_STATS_HH

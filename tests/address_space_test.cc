@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Unit tests for the simulated address-space layout.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/address_space.hh"
+
+using namespace slacksim;
+
+TEST(AddressSpace, SharedAllocationsAreDisjointAndAligned)
+{
+    AddressSpace space(8);
+    const Addr a = space.allocShared(100, 64);
+    const Addr b = space.allocShared(1, 64);
+    const Addr c = space.allocShared(4096, 128);
+    EXPECT_EQ(a % 64, 0u);
+    EXPECT_EQ(b % 64, 0u);
+    EXPECT_EQ(c % 128, 0u);
+    EXPECT_GE(b, a + 100);
+    EXPECT_GE(c, b + 1);
+    EXPECT_EQ(space.sharedBytes(), c + 4096 - AddressSpace::sharedBase_);
+}
+
+TEST(AddressSpace, PrivateRegionsPerThreadAreDisjoint)
+{
+    AddressSpace space(4);
+    const Addr p0 = space.allocPrivate(0, 1 << 20);
+    const Addr p1 = space.allocPrivate(1, 1 << 20);
+    const Addr p0b = space.allocPrivate(0, 64);
+    EXPECT_NE(p0, p1);
+    // Thread regions are separated by the fixed stride.
+    EXPECT_EQ(p1 - p0, AddressSpace::privateStride_);
+    EXPECT_GE(p0b, p0 + (1 << 20));
+    EXPECT_LT(p0b, p1);
+}
+
+TEST(AddressSpace, CodeBasesAreDistinct)
+{
+    AddressSpace space(8);
+    for (CoreId a = 0; a < 8; ++a)
+        for (CoreId b = a + 1; b < 8; ++b)
+            EXPECT_NE(space.codeBase(a), space.codeBase(b));
+}
+
+TEST(AddressSpace, RegionClassification)
+{
+    AddressSpace space(2);
+    const Addr shared = space.allocShared(64);
+    const Addr priv = space.allocPrivate(0, 64);
+    EXPECT_TRUE(AddressSpace::isShared(shared));
+    EXPECT_FALSE(AddressSpace::isShared(priv));
+    EXPECT_FALSE(AddressSpace::isShared(space.codeBase(0)));
+}
+
+TEST(AddressSpace, DeterministicLayout)
+{
+    AddressSpace a(8), b(8);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(a.allocShared(100 + i, 64), b.allocShared(100 + i, 64));
+    for (CoreId t = 0; t < 8; ++t)
+        EXPECT_EQ(a.allocPrivate(t, 1000), b.allocPrivate(t, 1000));
+}

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for checkpointing, the per-interval measurements (Tables 3/4
+ * machinery), full speculative rollback + cycle-by-cycle replay, and
+ * whole-world snapshot round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/run.hh"
+#include "core/sim_system.hh"
+#include "workload/kernels.hh"
+
+using namespace slacksim;
+
+namespace {
+
+SimConfig
+measureConfig(const std::string &kernel, Tick interval,
+              bool parallel_host)
+{
+    SimConfig config;
+    config.workload.kernel = kernel;
+    config.workload.numThreads = config.target.numCores;
+    config.workload.iters = 2000;
+    config.workload.fftPoints = 1024;
+    config.workload.footprintBytes = 64 * 1024;
+    config.engine.scheme = SchemeKind::Adaptive;
+    config.engine.adaptive.targetViolationRate = 1e-4;
+    config.engine.adaptive.initialBound = 16;
+    config.engine.parallelHost = parallel_host;
+    config.engine.checkpoint.mode = CheckpointMode::Measure;
+    config.engine.checkpoint.interval = interval;
+    return config;
+}
+
+} // namespace
+
+TEST(CheckpointMeasure, IntervalsCoverTheRun)
+{
+    const auto r = runSimulation(measureConfig("falseshare", 2000,
+                                               false));
+    EXPECT_GT(r.host.checkpointsTaken, 1u);
+    EXPECT_GT(r.host.checkpointBytes, 10000u);
+    // One interval per checkpoint except the last open one.
+    EXPECT_EQ(r.intervals.size(), r.host.checkpointsTaken - 1);
+    for (std::size_t i = 0; i < r.intervals.size(); ++i) {
+        EXPECT_EQ(r.intervals[i].start, i * 2000);
+        if (r.intervals[i].violated())
+            EXPECT_LT(r.intervals[i].firstViolationOffset, 2000u);
+    }
+    EXPECT_EQ(r.host.rollbacks, 0u); // measurement never rolls back
+}
+
+TEST(CheckpointMeasure, FractionRisesWithInterval)
+{
+    // Larger intervals are more likely to contain a violation
+    // (paper Table 3's trend).
+    const auto r_small =
+        runSimulation(measureConfig("falseshare", 500, false));
+    const auto r_large =
+        runSimulation(measureConfig("falseshare", 8000, false));
+    ASSERT_GT(r_small.intervals.size(), 2u);
+    ASSERT_GT(r_large.intervals.size(), 0u);
+    EXPECT_LE(r_small.fractionIntervalsViolated() - 0.3,
+              r_large.fractionIntervalsViolated());
+}
+
+TEST(CheckpointMeasure, WorksOnParallelHost)
+{
+    const auto r =
+        runSimulation(measureConfig("falseshare", 2000, true));
+    EXPECT_GT(r.host.checkpointsTaken, 1u);
+    EXPECT_EQ(r.host.rollbacks, 0u);
+    EXPECT_GT(r.intervals.size(), 0u);
+}
+
+TEST(CheckpointMeasure, MeasureModeDoesNotChangeResults)
+{
+    // Checkpointing quiesces the world but must not perturb the
+    // simulated outcome of a deterministic (serial, CC) run.
+    SimConfig plain = measureConfig("pingpong", 2000, false);
+    plain.engine.scheme = SchemeKind::CycleByCycle;
+    plain.workload.iters = 500;
+    SimConfig with_cp = plain;
+    plain.engine.checkpoint.mode = CheckpointMode::Off;
+
+    const auto r_plain = runSimulation(plain);
+    const auto r_cp = runSimulation(with_cp);
+    EXPECT_EQ(r_plain.execCycles, r_cp.execCycles);
+    EXPECT_EQ(r_plain.committedUops, r_cp.committedUops);
+    EXPECT_EQ(r_plain.coreTotal.l1dMisses, r_cp.coreTotal.l1dMisses);
+    EXPECT_EQ(r_plain.uncore.busRequests, r_cp.uncore.busRequests);
+}
+
+TEST(Speculative, RollsBackAndStillCompletes)
+{
+    SimConfig config = measureConfig("falseshare", 2000, false);
+    config.engine.checkpoint.mode = CheckpointMode::Speculative;
+    config.engine.adaptive.initialBound = 64; // provoke violations
+    config.engine.adaptive.targetViolationRate = 0.05;
+    const Workload w = makeWorkload(config.workload);
+    const auto r = runSimulation(config);
+    EXPECT_GT(r.host.rollbacks, 0u);
+    EXPECT_GT(r.host.replayCycles, 0u);
+    EXPECT_GT(r.host.wastedCycles, 0u);
+    // Despite rollbacks, the run completes the whole trace exactly.
+    EXPECT_EQ(r.committedUops, w.totalMicroOps());
+}
+
+TEST(Speculative, WorksOnParallelHost)
+{
+    SimConfig config = measureConfig("falseshare", 2000, true);
+    config.engine.checkpoint.mode = CheckpointMode::Speculative;
+    config.engine.adaptive.initialBound = 64;
+    config.engine.adaptive.targetViolationRate = 0.05;
+    const Workload w = makeWorkload(config.workload);
+    const auto r = runSimulation(config);
+    EXPECT_GT(r.host.rollbacks, 0u);
+    EXPECT_EQ(r.committedUops, w.totalMicroOps());
+}
+
+TEST(Speculative, SerialSpeculativeIsDeterministic)
+{
+    SimConfig config = measureConfig("falseshare", 1000, false);
+    config.engine.checkpoint.mode = CheckpointMode::Speculative;
+    config.engine.adaptive.initialBound = 32;
+    config.engine.adaptive.targetViolationRate = 0.05;
+    const auto a = runSimulation(config);
+    const auto b = runSimulation(config);
+    EXPECT_EQ(a.execCycles, b.execCycles);
+    EXPECT_EQ(a.committedUops, b.committedUops);
+    EXPECT_EQ(a.host.rollbacks, b.host.rollbacks);
+    EXPECT_EQ(a.host.wastedCycles, b.host.wastedCycles);
+}
+
+TEST(Speculative, SelectiveRollbackOnMapOnlyRollsBackLess)
+{
+    // The paper suggests ignoring bus violations and rolling back on
+    // the rare map violations only.
+    SimConfig all = measureConfig("falseshare", 1000, false);
+    all.engine.checkpoint.mode = CheckpointMode::Speculative;
+    all.engine.adaptive.initialBound = 32;
+    all.engine.adaptive.targetViolationRate = 0.05;
+    SimConfig map_only = all;
+    map_only.engine.checkpoint.rollbackOnBus = false;
+
+    const auto r_all = runSimulation(all);
+    const auto r_map = runSimulation(map_only);
+    EXPECT_LE(r_map.host.rollbacks, r_all.host.rollbacks);
+}
+
+TEST(Speculative, CycleByCycleBaseNeverRollsBack)
+{
+    SimConfig config = measureConfig("falseshare", 1000, false);
+    config.engine.scheme = SchemeKind::CycleByCycle;
+    config.engine.checkpoint.mode = CheckpointMode::Speculative;
+    config.workload.iters = 500;
+    const auto r = runSimulation(config);
+    EXPECT_EQ(r.host.rollbacks, 0u);
+    EXPECT_EQ(r.violations.total(), 0u);
+}
+
+TEST(Checkpointer, ExtraCopyBytesArenaWorks)
+{
+    SimConfig config = measureConfig("pingpong", 1000, false);
+    config.workload.iters = 300;
+    config.engine.checkpoint.extraCopyBytes = 8 * 1024 * 1024;
+    const auto r = runSimulation(config);
+    EXPECT_GT(r.host.checkpointsTaken, 0u);
+    EXPECT_GT(r.host.checkpointSeconds, 0.0);
+}
+
+TEST(SimSystem, WholeWorldSnapshotRoundTrip)
+{
+    SimConfig config = measureConfig("uniform", 1000, false);
+    config.workload.iters = 500;
+    SimSystem sys(config);
+
+    SnapshotWriter w0;
+    sys.save(w0);
+    const std::size_t size0 = w0.size();
+
+    // Restoring the initial snapshot into the same world must be a
+    // no-op: a second save produces identical bytes.
+    SnapshotReader r(w0.bytes());
+    sys.restore(r);
+    EXPECT_TRUE(r.exhausted());
+    SnapshotWriter w1;
+    sys.save(w1);
+    EXPECT_EQ(w1.size(), size0);
+    EXPECT_EQ(w1.bytes(), w0.bytes());
+}
+
+TEST(SimSystem, AccessorsOnFreshWorld)
+{
+    SimConfig config = measureConfig("pingpong", 1000, false);
+    SimSystem sys(config);
+    EXPECT_EQ(sys.numCores(), 8u);
+    EXPECT_EQ(sys.globalTime(), 0u);
+    EXPECT_EQ(sys.maxLocalTime(), 0u);
+    EXPECT_FALSE(sys.allFinished());
+    EXPECT_EQ(sys.totalCommittedUops(), 0u);
+    EXPECT_EQ(sys.workload().name, "pingpong");
+}

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for the CoreComplex idle-skip machinery: an inert core (all
+ * in-flight work blocked on inbound messages) must jump its clock to
+ * the next relevant time instead of burning one host step per stall
+ * cycle, clamp at the pacing limit, and report WaitInbound when
+ * free-running with nothing to do.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/mesi.hh"
+#include "core/core_complex.hh"
+#include "workload/trace.hh"
+
+using namespace slacksim;
+
+namespace {
+
+SimConfig
+oneCoreConfig()
+{
+    SimConfig config;
+    config.target.numCores = 1;
+    config.workload.numThreads = 1;
+    return config;
+}
+
+/** Trace: a single missing load, then End. */
+TraceProgram
+singleLoadTrace()
+{
+    TraceProgram prog;
+    TraceBuilder b(prog);
+    b.load(0x100000, 0);
+    b.end();
+    return prog;
+}
+
+BusMsg
+fill(Addr line, Tick ts, CacheKind cache = CacheKind::Data)
+{
+    BusMsg m;
+    m.type = MsgType::Fill;
+    m.addr = line;
+    m.ts = ts;
+    m.grantState = static_cast<std::uint8_t>(MesiState::Exclusive);
+    m.cache = cache;
+    return m;
+}
+
+/**
+ * Single-step until the core's data GetS is outstanding and the core
+ * is inert: instruction-fetch misses are answered inline, the data
+ * miss is left pending. @return data requests seen.
+ */
+std::size_t
+runUntilInert(CoreComplex &cc, int max_steps = 100)
+{
+    std::size_t data_requests = 0;
+    BusMsg msg;
+    for (int i = 0; i < max_steps; ++i) {
+        cc.cycle(cc.localTime()); // single-step pacing
+        while (cc.outQ().pop(msg)) {
+            if (msg.cache == CacheKind::Instr)
+                cc.inQ().push(fill(msg.addr, msg.ts + 2,
+                                   CacheKind::Instr));
+            else
+                ++data_requests;
+        }
+        if (data_requests > 0 && i > 20)
+            break;
+    }
+    return data_requests;
+}
+
+} // namespace
+
+TEST(CoreComplexSkip, JumpsToInqHeadTimestamp)
+{
+    const SimConfig config = oneCoreConfig();
+    const TraceProgram prog = singleLoadTrace();
+    CoreComplex cc(config, 0, &prog, 0x10000);
+    const std::size_t requests = runUntilInert(cc);
+    ASSERT_GE(requests, 1u); // the data GetS is outstanding
+
+    const Tick before = cc.localTime();
+    ASSERT_TRUE(cc.inQ().push(fill(0x100000, 500)));
+    const auto outcome = cc.cycle(10000);
+    EXPECT_EQ(outcome, CoreComplex::CycleOutcome::Progress);
+    // The inert core must jump straight to the fill's timestamp.
+    EXPECT_EQ(cc.localTime(), 500u);
+    EXPECT_EQ(cc.stats().idleCycles, 500u - before - 1);
+
+    // The next cycle applies the fill and the load completes.
+    cc.cycle(10000);
+    cc.cycle(10000);
+    cc.cycle(10000);
+    EXPECT_TRUE(cc.finished());
+}
+
+TEST(CoreComplexSkip, ClampsToPacingLimit)
+{
+    const SimConfig config = oneCoreConfig();
+    const TraceProgram prog = singleLoadTrace();
+    CoreComplex cc(config, 0, &prog, 0x10000);
+    runUntilInert(cc);
+
+    // Empty InQ, nothing internal pending: the skip may only reach
+    // max_local + 1.
+    const auto outcome = cc.cycle(200);
+    EXPECT_EQ(outcome, CoreComplex::CycleOutcome::Progress);
+    EXPECT_EQ(cc.localTime(), 201u);
+}
+
+TEST(CoreComplexSkip, WaitInboundWhenFreeRunningAndIdle)
+{
+    const SimConfig config = oneCoreConfig();
+    const TraceProgram prog = singleLoadTrace();
+    CoreComplex cc(config, 0, &prog, 0x10000);
+    runUntilInert(cc);
+
+    const Tick before = cc.localTime();
+    const auto outcome = cc.cycle(maxTick - 1);
+    EXPECT_EQ(outcome, CoreComplex::CycleOutcome::WaitInbound);
+    EXPECT_EQ(cc.localTime(), before); // frozen, not advanced
+}
+
+TEST(CoreComplexSkip, FutureHeadDoesNotBlockEarlierJumpTarget)
+{
+    // A fill whose timestamp lies beyond the pacing limit: the core
+    // jumps to the limit, not to the head.
+    const SimConfig config = oneCoreConfig();
+    const TraceProgram prog = singleLoadTrace();
+    CoreComplex cc(config, 0, &prog, 0x10000);
+    runUntilInert(cc);
+
+    ASSERT_TRUE(cc.inQ().push(fill(0x100000, 100000)));
+    cc.cycle(300);
+    EXPECT_EQ(cc.localTime(), 301u);
+}
+
+TEST(CoreComplexSkip, BusyCoreNeverSkips)
+{
+    // A long compute burst keeps the core busy: local time advances
+    // strictly one cycle per call even with a generous pacing limit.
+    SimConfig config = oneCoreConfig();
+    TraceProgram prog;
+    prog.codeFootprint = 256;
+    TraceBuilder b(prog);
+    b.compute(400);
+    b.end();
+    CoreComplex cc(config, 0, &prog, 0x10000);
+
+    // Answer the I-fetch misses inline.
+    for (int i = 0; i < 200 && !cc.finished(); ++i) {
+        const Tick before = cc.localTime();
+        cc.cycle(maxTick - 2);
+        BusMsg msg;
+        while (cc.outQ().pop(msg))
+            cc.inQ().push(fill(msg.addr, msg.ts + 3, msg.cache));
+        if (cc.finished())
+            break;
+        EXPECT_LE(cc.localTime(), before + 4)
+            << "unexpected large jump while busy";
+    }
+}

@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Cross-cutting engine properties: host-knob invariance of the gold
+ * standard (burst size, queue capacity must not change simulated
+ * results), checkpoint edge cases, seed sensitivity of Lax-P2P, and
+ * combined stop conditions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/pacer.hh"
+#include "core/run.hh"
+#include "workload/kernels.hh"
+
+using namespace slacksim;
+
+namespace {
+
+SimConfig
+smallConfig(const std::string &kernel, SchemeKind scheme,
+            bool parallel_host)
+{
+    SimConfig config;
+    config.workload.kernel = kernel;
+    config.workload.numThreads = config.target.numCores;
+    config.workload.iters = 400;
+    config.workload.fftPoints = 1024;
+    config.workload.footprintBytes = 64 * 1024;
+    config.engine.scheme = scheme;
+    config.engine.parallelHost = parallel_host;
+    return config;
+}
+
+void
+expectSameSimulation(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.execCycles, b.execCycles);
+    EXPECT_EQ(a.committedUops, b.committedUops);
+    EXPECT_EQ(a.violations.busViolations, b.violations.busViolations);
+    EXPECT_EQ(a.violations.mapViolations, b.violations.mapViolations);
+    EXPECT_EQ(a.coreTotal.l1dHits, b.coreTotal.l1dHits);
+    EXPECT_EQ(a.coreTotal.l1dMisses, b.coreTotal.l1dMisses);
+    EXPECT_EQ(a.uncore.busRequests, b.uncore.busRequests);
+    EXPECT_EQ(a.uncore.l2Misses, b.uncore.l2Misses);
+}
+
+} // namespace
+
+/** CC results must not depend on host-side batching knobs. */
+class HostKnobInvariance
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, bool>>
+{
+};
+
+TEST_P(HostKnobInvariance, CycleByCycleIgnoresBurstSize)
+{
+    const auto [burst, parallel] = GetParam();
+    auto reference =
+        smallConfig("falseshare", SchemeKind::CycleByCycle, false);
+    reference.engine.burstCycles = 64;
+    auto variant =
+        smallConfig("falseshare", SchemeKind::CycleByCycle, parallel);
+    variant.engine.burstCycles = burst;
+    expectSameSimulation(runSimulation(reference),
+                         runSimulation(variant));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bursts, HostKnobInvariance,
+    ::testing::Combine(::testing::Values<std::uint32_t>(1, 7, 64, 1024),
+                       ::testing::Bool()));
+
+TEST(HostKnobs, CycleByCycleIgnoresQueueCapacity)
+{
+    auto small = smallConfig("uniform", SchemeKind::CycleByCycle, false);
+    small.engine.queueCapacity = 64;
+    auto large = small;
+    large.engine.queueCapacity = 8192;
+    expectSameSimulation(runSimulation(small), runSimulation(large));
+}
+
+TEST(HostKnobs, SerialCcMatchesParallelForSplashWindow)
+{
+    for (const auto &kernel : splashNames()) {
+        auto serial = smallConfig(kernel, SchemeKind::CycleByCycle,
+                                  false);
+        serial.workload.bodies = 128;
+        serial.workload.matrixN = 32;
+        serial.workload.blockB = 8;
+        serial.workload.molecules = 16;
+        serial.workload.timesteps = 1;
+        serial.engine.maxCommittedUops = 15000;
+        auto parallel = serial;
+        parallel.engine.parallelHost = true;
+        SCOPED_TRACE(kernel);
+        const auto a = runSimulation(serial);
+        const auto b = runSimulation(parallel);
+        // With a uop budget the stop points may differ by a burst, so
+        // compare accuracy-relevant *rates* rather than totals.
+        EXPECT_EQ(a.violations.total(), 0u);
+        EXPECT_EQ(b.violations.total(), 0u);
+        EXPECT_NEAR(a.cpi(), b.cpi(), a.cpi() * 0.05);
+    }
+}
+
+TEST(LaxP2PSeeds, SameSeedSameSerialResult)
+{
+    auto config = smallConfig("uniform", SchemeKind::LaxP2P, false);
+    config.engine.slackBound = 8;
+    config.engine.p2pSeed = 777;
+    expectSameSimulation(runSimulation(config), runSimulation(config));
+}
+
+TEST(LaxP2PSeeds, DifferentSeedsGiveDifferentPairings)
+{
+    // The serial engine's round-robin keeps cores so evenly paced
+    // that the pairing choice rarely changes results there, so check
+    // the pairing sequence itself at the pacer level.
+    HostStats host_a, host_b;
+    EngineConfig e;
+    e.scheme = SchemeKind::LaxP2P;
+    e.slackBound = 4;
+    e.p2pSeed = 1;
+    Pacer a(e, 8, &host_a);
+    e.p2pSeed = 2;
+    Pacer b(e, 8, &host_b);
+    std::vector<Tick> locals = {10, 20, 30, 40, 50, 60, 70, 80};
+    bool differs = false;
+    for (CoreId c = 0; c < 8; ++c) {
+        differs |= a.maxLocalForCore(c, 10, locals) !=
+                   b.maxLocalForCore(c, 10, locals);
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(CheckpointEdges, MinimumIntervalWorks)
+{
+    auto config = smallConfig("pingpong", SchemeKind::CycleByCycle,
+                              false);
+    config.workload.iters = 100;
+    config.engine.checkpoint.mode = CheckpointMode::Measure;
+    config.engine.checkpoint.interval = 100; // the configured minimum
+    const auto r = runSimulation(config);
+    EXPECT_GT(r.host.checkpointsTaken, 10u);
+    EXPECT_EQ(r.host.rollbacks, 0u);
+}
+
+TEST(CheckpointEdges, BudgetStopsDuringCheckpointedRun)
+{
+    auto config = smallConfig("uniform", SchemeKind::Adaptive, false);
+    config.workload.iters = 5000;
+    config.engine.checkpoint.mode = CheckpointMode::Measure;
+    config.engine.checkpoint.interval = 1000;
+    config.engine.maxCommittedUops = 15000;
+    const auto r = runSimulation(config);
+    EXPECT_GE(r.committedUops, 15000u);
+    EXPECT_GT(r.host.checkpointsTaken, 0u);
+}
+
+TEST(CheckpointEdges, SpeculativeWithWarmup)
+{
+    auto config = smallConfig("falseshare", SchemeKind::Adaptive, false);
+    config.workload.iters = 1500;
+    config.engine.warmupUops = 5000;
+    config.engine.checkpoint.mode = CheckpointMode::Speculative;
+    config.engine.checkpoint.interval = 2000;
+    config.engine.adaptive.initialBound = 32;
+    config.engine.adaptive.targetViolationRate = 0.05;
+    const Workload w = makeWorkload(config.workload);
+    const auto r = runSimulation(config);
+    // Completes; post-warmup committed count is below the trace total.
+    EXPECT_LT(r.committedUops, w.totalMicroOps());
+    EXPECT_GT(r.committedUops, 0u);
+}
+
+TEST(SchemeMatrix, EverySchemeOnEveryHostSmokes)
+{
+    for (const SchemeKind scheme :
+         {SchemeKind::CycleByCycle, SchemeKind::Quantum,
+          SchemeKind::Bounded, SchemeKind::Unbounded,
+          SchemeKind::Adaptive, SchemeKind::LaxP2P}) {
+        for (const bool parallel : {false, true}) {
+            auto config = smallConfig("uniform", scheme, parallel);
+            config.workload.iters = 300;
+            const Workload w = makeWorkload(config.workload);
+            SCOPED_TRACE(std::string(schemeName(scheme)) +
+                         (parallel ? "/par" : "/ser"));
+            const auto r = runSimulation(config);
+            EXPECT_EQ(r.committedUops, w.totalMicroOps());
+        }
+    }
+}
+
+TEST(Protocols, MsiGeneratesMoreUpgradeTraffic)
+{
+    // LU reads block rows before writing them back: with MESI a sole
+    // reader gets Exclusive and stores silently; MSI pays an upgrade
+    // transaction for every such line.
+    auto mesi = smallConfig("lu", SchemeKind::CycleByCycle, false);
+    mesi.workload.matrixN = 32;
+    mesi.workload.blockB = 8;
+    auto msi = mesi;
+    msi.target.protocol = CoherenceProtocol::MSI;
+    const auto r_mesi = runSimulation(mesi);
+    const auto r_msi = runSimulation(msi);
+    EXPECT_GT(r_msi.coreTotal.l1dUpgrades,
+              2 * r_mesi.coreTotal.l1dUpgrades);
+    EXPECT_GT(r_msi.uncore.busRequests, r_mesi.uncore.busRequests);
+}
+
+TEST(EngineScale, ThirtyTwoCoresSmoke)
+{
+    // The paper targets CMPs with 10s-100s of cores; make sure the
+    // engine scales structurally (masks, barriers, pacing) well past
+    // the 8-core evaluation point.
+    SimConfig config;
+    config.target.numCores = 32;
+    config.workload.kernel = "uniform";
+    config.workload.numThreads = 32;
+    config.workload.iters = 120;
+    config.engine.scheme = SchemeKind::Bounded;
+    config.engine.slackBound = 16;
+    const Workload w = makeWorkload(config.workload);
+    const auto r = runSimulation(config);
+    EXPECT_EQ(r.committedUops, w.totalMicroOps());
+    EXPECT_EQ(r.perCore.size(), 32u);
+}
+
+TEST(RunResultReport, PerCoreTablePrints)
+{
+    auto config = smallConfig("pingpong", SchemeKind::CycleByCycle,
+                              false);
+    config.workload.iters = 50;
+    const auto r = runSimulation(config);
+    std::ostringstream os;
+    r.printPerCore(os);
+    EXPECT_NE(os.str().find("per-core breakdown"), std::string::npos);
+    // Eight data rows, one per core.
+    std::size_t rows = 0;
+    for (CoreId c = 0; c < 8; ++c)
+        rows += os.str().find("\n" + std::to_string(c) + " ") !=
+                        std::string::npos
+                    ? 1
+                    : 0;
+    EXPECT_GE(rows, 7u);
+}
+
+TEST(RunResultReport, JsonIsWellFormedAndComplete)
+{
+    auto config = smallConfig("uniform", SchemeKind::Adaptive, false);
+    config.workload.iters = 200;
+    config.engine.checkpoint.mode = CheckpointMode::Measure;
+    config.engine.checkpoint.interval = 1000;
+    const auto r = runSimulation(config);
+    std::ostringstream os;
+    r.printJson(os);
+    const std::string json = os.str();
+    // Structural sanity without a JSON parser: balanced braces and
+    // every top-level section present.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    for (const char *key :
+         {"\"workload\"", "\"scheme\"", "\"execCycles\"",
+          "\"violations\"", "\"uncore\"", "\"checkpointing\"",
+          "\"adaptive\"", "\"intervals\"", "\"perCore\""}) {
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+    }
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+}
+
+TEST(HierarchicalManager, CcMatchesFlatManagerExactly)
+{
+    // The paper's scaling suggestion: relay threads consolidating
+    // clusters of OutQs must be invisible to the gold standard.
+    for (const std::string kernel : {"falseshare", "uniform"}) {
+        auto flat = smallConfig(kernel, SchemeKind::CycleByCycle, true);
+        auto tree = flat;
+        tree.engine.managerClusters = 2;
+        SCOPED_TRACE(kernel);
+        expectSameSimulation(runSimulation(flat), runSimulation(tree));
+    }
+}
+
+TEST(HierarchicalManager, SlackSchemesCompleteThroughRelays)
+{
+    for (const SchemeKind scheme :
+         {SchemeKind::Bounded, SchemeKind::Unbounded,
+          SchemeKind::Adaptive}) {
+        auto config = smallConfig("uniform", scheme, true);
+        config.engine.managerClusters = 4;
+        config.engine.slackBound = 16;
+        const Workload w = makeWorkload(config.workload);
+        SCOPED_TRACE(schemeName(scheme));
+        const auto r = runSimulation(config);
+        EXPECT_EQ(r.committedUops, w.totalMicroOps());
+    }
+}
+
+TEST(HierarchicalManager, SixteenCoresFourClusters)
+{
+    SimConfig config;
+    config.target.numCores = 16;
+    config.workload.kernel = "uniform";
+    config.workload.numThreads = 16;
+    config.workload.iters = 150;
+    config.engine.scheme = SchemeKind::Bounded;
+    config.engine.slackBound = 8;
+    config.engine.managerClusters = 4;
+    const Workload w = makeWorkload(config.workload);
+    const auto r = runSimulation(config);
+    EXPECT_EQ(r.committedUops, w.totalMicroOps());
+}
+
+TEST(HierarchicalManager, InvalidCombinationsRejected)
+{
+    SimConfig config;
+    config.workload.numThreads = config.target.numCores;
+    config.engine.managerClusters = 2;
+    config.engine.parallelHost = false;
+    EXPECT_DEATH(config.validate(), "parallel host");
+
+    config.engine.parallelHost = true;
+    config.engine.checkpoint.mode = CheckpointMode::Measure;
+    EXPECT_DEATH(config.validate(), "checkpointing");
+}

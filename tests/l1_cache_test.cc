@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Unit tests for the L1 cache: hit/miss behavior, MESI transitions,
+ * MSHR allocation and merging, eviction writebacks, snoops, LRU and
+ * snapshot round-trips. Includes a randomized property sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/l1_cache.hh"
+#include "stats/stats.hh"
+#include "util/rng.hh"
+
+using namespace slacksim;
+
+namespace {
+
+L1Params
+smallL1(std::uint32_t sets = 4, std::uint32_t ways = 2,
+        std::uint32_t mshrs = 4)
+{
+    L1Params p;
+    p.sets = sets;
+    p.ways = ways;
+    p.lineBytes = 64;
+    p.mshrs = mshrs;
+    p.hitLatency = 1;
+    p.instructionCache = false;
+    return p;
+}
+
+L1Waiter
+loadWaiter(std::uint16_t idx = 0)
+{
+    L1Waiter w;
+    w.kind = L1Waiter::Kind::LoadRob;
+    w.index = idx;
+    return w;
+}
+
+BusMsg
+fillMsg(Addr line, MesiState state)
+{
+    BusMsg m;
+    m.type = MsgType::Fill;
+    m.addr = line;
+    m.grantState = static_cast<std::uint8_t>(state);
+    m.cache = CacheKind::Data;
+    m.ts = 10;
+    return m;
+}
+
+} // namespace
+
+TEST(L1Cache, ColdLoadMissesAndEmitsGetS)
+{
+    CoreStats stats;
+    L1Cache cache(smallL1(), 0, &stats);
+    std::vector<BusMsg> out;
+    EXPECT_EQ(cache.accessLoad(0x1000, loadWaiter(), 5, out),
+              L1Result::Miss);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].type, MsgType::GetS);
+    EXPECT_EQ(out[0].addr, 0x1000u);
+    EXPECT_EQ(out[0].ts, 5u);
+    EXPECT_EQ(stats.l1dMisses, 1u);
+    EXPECT_TRUE(cache.mshrPending(0x1000));
+}
+
+TEST(L1Cache, FillThenHitAndWaiterWoken)
+{
+    CoreStats stats;
+    L1Cache cache(smallL1(), 0, &stats);
+    std::vector<BusMsg> out;
+    cache.accessLoad(0x1000, loadWaiter(7), 5, out);
+    out.clear();
+
+    std::vector<L1Waiter> waiters;
+    cache.applyFill(fillMsg(0x1000, MesiState::Exclusive), 10, out,
+                    waiters);
+    ASSERT_EQ(waiters.size(), 1u);
+    EXPECT_EQ(waiters[0].index, 7u);
+    EXPECT_FALSE(cache.mshrPending(0x1000));
+    EXPECT_EQ(cache.probe(0x1000), MesiState::Exclusive);
+
+    EXPECT_EQ(cache.accessLoad(0x1008, loadWaiter(), 11, out),
+              L1Result::Hit); // same line, different offset
+    EXPECT_EQ(stats.l1dHits, 1u);
+}
+
+TEST(L1Cache, LoadMergesIntoPendingMshr)
+{
+    CoreStats stats;
+    L1Cache cache(smallL1(), 0, &stats);
+    std::vector<BusMsg> out;
+    cache.accessLoad(0x2000, loadWaiter(1), 0, out);
+    EXPECT_EQ(cache.accessLoad(0x2010, loadWaiter(2), 1, out),
+              L1Result::Merged);
+    EXPECT_EQ(out.size(), 1u); // only one bus request
+    EXPECT_EQ(stats.l1dMshrMerges, 1u);
+
+    std::vector<L1Waiter> waiters;
+    cache.applyFill(fillMsg(0x2000, MesiState::Shared), 5, out, waiters);
+    EXPECT_EQ(waiters.size(), 2u);
+}
+
+TEST(L1Cache, MshrExhaustionBlocks)
+{
+    CoreStats stats;
+    L1Cache cache(smallL1(4, 2, 2), 0, &stats);
+    std::vector<BusMsg> out;
+    EXPECT_EQ(cache.accessLoad(0x1000, loadWaiter(), 0, out),
+              L1Result::Miss);
+    EXPECT_EQ(cache.accessLoad(0x2000, loadWaiter(), 0, out),
+              L1Result::Miss);
+    EXPECT_EQ(cache.accessLoad(0x3000, loadWaiter(), 0, out),
+              L1Result::Blocked);
+    EXPECT_EQ(stats.l1dMshrFullEvents, 1u);
+    EXPECT_EQ(cache.mshrsInUse(), 2u);
+}
+
+TEST(L1Cache, StoreHitRequiresOwnership)
+{
+    CoreStats stats;
+    L1Cache cache(smallL1(), 0, &stats);
+    std::vector<BusMsg> out;
+    std::vector<L1Waiter> waiters;
+
+    // Shared line: store must upgrade.
+    cache.accessLoad(0x1000, loadWaiter(), 0, out);
+    cache.applyFill(fillMsg(0x1000, MesiState::Shared), 2, out, waiters);
+    out.clear();
+    EXPECT_EQ(cache.accessStore(0x1000, 3, out), L1Result::Miss);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].type, MsgType::Upgrade);
+    EXPECT_EQ(stats.l1dUpgrades, 1u);
+
+    // Upgrade ack makes it writable.
+    BusMsg ack;
+    ack.type = MsgType::UpgradeAck;
+    ack.addr = 0x1000;
+    ack.cache = CacheKind::Data;
+    out.clear();
+    waiters.clear();
+    cache.applyFill(ack, 5, out, waiters);
+    EXPECT_EQ(cache.probe(0x1000), MesiState::Modified);
+    EXPECT_EQ(cache.accessStore(0x1000, 6, out), L1Result::Hit);
+}
+
+TEST(L1Cache, StoreToExclusiveSilentlyUpgrades)
+{
+    CoreStats stats;
+    L1Cache cache(smallL1(), 0, &stats);
+    std::vector<BusMsg> out;
+    std::vector<L1Waiter> waiters;
+    cache.accessLoad(0x1000, loadWaiter(), 0, out);
+    cache.applyFill(fillMsg(0x1000, MesiState::Exclusive), 2, out,
+                    waiters);
+    out.clear();
+    EXPECT_EQ(cache.accessStore(0x1000, 3, out), L1Result::Hit);
+    EXPECT_TRUE(out.empty()); // E->M is silent
+    EXPECT_EQ(cache.probe(0x1000), MesiState::Modified);
+}
+
+TEST(L1Cache, ColdStoreEmitsGetM)
+{
+    CoreStats stats;
+    L1Cache cache(smallL1(), 0, &stats);
+    std::vector<BusMsg> out;
+    EXPECT_EQ(cache.accessStore(0x4000, 0, out), L1Result::Miss);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].type, MsgType::GetM);
+}
+
+TEST(L1Cache, StoreBlockedBehindPendingLoadMshr)
+{
+    CoreStats stats;
+    L1Cache cache(smallL1(), 0, &stats);
+    std::vector<BusMsg> out;
+    cache.accessLoad(0x1000, loadWaiter(), 0, out);
+    EXPECT_EQ(cache.accessStore(0x1000, 1, out), L1Result::Blocked);
+}
+
+TEST(L1Cache, DirtyEvictionEmitsPutM)
+{
+    CoreStats stats;
+    // One set, one way: every new line evicts the previous one.
+    L1Cache cache(smallL1(1, 1, 4), 0, &stats);
+    std::vector<BusMsg> out;
+    std::vector<L1Waiter> waiters;
+    cache.applyFill(fillMsg(0x1000, MesiState::Modified), 1, out,
+                    waiters);
+    EXPECT_TRUE(out.empty());
+    cache.applyFill(fillMsg(0x2000, MesiState::Shared), 2, out, waiters);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].type, MsgType::PutM);
+    EXPECT_EQ(out[0].addr, 0x1000u);
+    EXPECT_EQ(stats.l1dWritebacks, 1u);
+    // Clean eviction is silent.
+    out.clear();
+    cache.applyFill(fillMsg(0x3000, MesiState::Shared), 3, out, waiters);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(L1Cache, LruEvictsOldest)
+{
+    CoreStats stats;
+    L1Cache cache(smallL1(1, 2, 4), 0, &stats);
+    std::vector<BusMsg> out;
+    std::vector<L1Waiter> waiters;
+    cache.applyFill(fillMsg(0x1000, MesiState::Shared), 1, out, waiters);
+    cache.applyFill(fillMsg(0x2000, MesiState::Shared), 2, out, waiters);
+    // Touch 0x1000 so 0x2000 becomes LRU.
+    cache.accessLoad(0x1000, loadWaiter(), 3, out);
+    cache.applyFill(fillMsg(0x3000, MesiState::Shared), 4, out, waiters);
+    EXPECT_EQ(cache.probe(0x1000), MesiState::Shared);
+    EXPECT_EQ(cache.probe(0x2000), MesiState::Invalid);
+    EXPECT_EQ(cache.probe(0x3000), MesiState::Shared);
+}
+
+TEST(L1Cache, SnoopInvalidateAndDowngrade)
+{
+    CoreStats stats;
+    L1Cache cache(smallL1(), 0, &stats);
+    std::vector<BusMsg> out;
+    std::vector<L1Waiter> waiters;
+    cache.applyFill(fillMsg(0x1000, MesiState::Modified), 1, out,
+                    waiters);
+    cache.applyFill(fillMsg(0x2000, MesiState::Shared), 2, out, waiters);
+
+    BusMsg inv;
+    inv.type = MsgType::SnoopInv;
+    inv.addr = 0x2000;
+    cache.applySnoop(inv);
+    EXPECT_EQ(cache.probe(0x2000), MesiState::Invalid);
+    EXPECT_EQ(stats.snoopInvalidations, 1u);
+
+    BusMsg down;
+    down.type = MsgType::SnoopDown;
+    down.addr = 0x1000;
+    cache.applySnoop(down);
+    EXPECT_EQ(cache.probe(0x1000), MesiState::Shared);
+    EXPECT_EQ(stats.snoopDowngrades, 1u);
+
+    // Stale snoop to an absent line is a harmless no-op.
+    BusMsg stale;
+    stale.type = MsgType::SnoopInv;
+    stale.addr = 0x9000;
+    cache.applySnoop(stale);
+    EXPECT_EQ(stats.snoopInvalidations, 1u);
+}
+
+TEST(L1Cache, InstructionCacheFetches)
+{
+    CoreStats stats;
+    L1Params p = smallL1();
+    p.instructionCache = true;
+    L1Cache cache(p, 0, &stats);
+    std::vector<BusMsg> out;
+    EXPECT_EQ(cache.accessFetch(0x5000, 0, out), L1Result::Miss);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].cache, CacheKind::Instr);
+    EXPECT_EQ(stats.l1iMisses, 1u);
+
+    std::vector<L1Waiter> waiters;
+    BusMsg fill = fillMsg(0x5000, MesiState::Shared);
+    fill.cache = CacheKind::Instr;
+    cache.applyFill(fill, 2, out, waiters);
+    ASSERT_EQ(waiters.size(), 1u);
+    EXPECT_EQ(waiters[0].kind, L1Waiter::Kind::Frontend);
+    EXPECT_EQ(cache.accessFetch(0x5000, 3, out), L1Result::Hit);
+    EXPECT_EQ(stats.l1iHits, 1u);
+}
+
+TEST(L1Cache, SnapshotRoundTrip)
+{
+    CoreStats stats;
+    L1Cache cache(smallL1(), 0, &stats);
+    std::vector<BusMsg> out;
+    std::vector<L1Waiter> waiters;
+    cache.applyFill(fillMsg(0x1000, MesiState::Modified), 1, out,
+                    waiters);
+    cache.accessLoad(0x2000, loadWaiter(3), 2, out);
+
+    SnapshotWriter w;
+    cache.save(w);
+
+    // Mutate.
+    BusMsg inv;
+    inv.type = MsgType::SnoopInv;
+    inv.addr = 0x1000;
+    cache.applySnoop(inv);
+    cache.applyFill(fillMsg(0x2000, MesiState::Shared), 4, out, waiters);
+    EXPECT_EQ(cache.probe(0x1000), MesiState::Invalid);
+
+    // Restore and verify the pre-mutation view.
+    SnapshotReader r(w.bytes());
+    cache.restore(r);
+    EXPECT_TRUE(r.exhausted());
+    EXPECT_EQ(cache.probe(0x1000), MesiState::Modified);
+    EXPECT_EQ(cache.probe(0x2000), MesiState::Invalid);
+    EXPECT_TRUE(cache.mshrPending(0x2000));
+}
+
+/** Property sweep: random access streams keep structural invariants. */
+class L1Property
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(L1Property, RandomStreamKeepsInvariants)
+{
+    const auto [sets, ways, seed] = GetParam();
+    CoreStats stats;
+    L1Cache cache(smallL1(sets, ways, 4), 0, &stats);
+    Rng rng(seed);
+    std::vector<BusMsg> out;
+    std::vector<L1Waiter> waiters;
+    std::vector<Addr> pendingFills;
+
+    for (int i = 0; i < 5000; ++i) {
+        const Addr addr = rng.below(64) * 64; // 64-line footprint
+        const int action = static_cast<int>(rng.below(100));
+        out.clear();
+        if (action < 40) {
+            if (cache.accessLoad(addr, loadWaiter(), i, out) ==
+                L1Result::Miss)
+                pendingFills.push_back(addr);
+        } else if (action < 70) {
+            if (cache.accessStore(addr, i, out) == L1Result::Miss)
+                pendingFills.push_back(addr);
+        } else if (action < 85 && !pendingFills.empty()) {
+            const Addr line = pendingFills.back();
+            pendingFills.pop_back();
+            waiters.clear();
+            const MesiState s = rng.chance(0.5) ? MesiState::Modified
+                                                : MesiState::Shared;
+            cache.applyFill(fillMsg(line, s), i, out, waiters);
+        } else {
+            BusMsg snoop;
+            snoop.type =
+                rng.chance(0.5) ? MsgType::SnoopInv : MsgType::SnoopDown;
+            snoop.addr = addr;
+            cache.applySnoop(snoop);
+        }
+        cache.checkInvariants();
+        EXPECT_LE(cache.mshrsInUse(), 4u);
+    }
+    // Every hit+miss accounted.
+    EXPECT_GT(stats.l1dHits + stats.l1dMisses, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, L1Property,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 2, 2),
+                      std::make_tuple(4, 2, 3), std::make_tuple(8, 4, 4),
+                      std::make_tuple(16, 1, 5),
+                      std::make_tuple(64, 4, 6)));

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the speculative-slack analytical model and the RunResult
+ * derived metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/run_result.hh"
+#include "core/spec_model.hh"
+
+using namespace slacksim;
+
+TEST(SpecModel, NoViolationsCostsOnlyCheckpointedRun)
+{
+    SpecModelInputs in;
+    in.tCc = 500;
+    in.tCpt = 300;
+    in.fraction = 0.0;
+    in.rollbackDistance = 10000;
+    in.interval = 50000;
+    EXPECT_DOUBLE_EQ(speculativeTimeEstimate(in), 300.0);
+}
+
+TEST(SpecModel, AllIntervalsViolateAddsFullReplay)
+{
+    SpecModelInputs in;
+    in.tCc = 500;
+    in.tCpt = 300;
+    in.fraction = 1.0;
+    in.rollbackDistance = 50000; // whole interval wasted
+    in.interval = 50000;
+    // Ts = 0 + 1*1*300 + 1*500 = 800.
+    EXPECT_DOUBLE_EQ(speculativeTimeEstimate(in), 800.0);
+}
+
+TEST(SpecModel, PaperLikeNumbers)
+{
+    // Barnes at 50k from the paper: Tcc=517, Tcpt=537, F=0.93, Dr=6.0k.
+    SpecModelInputs in;
+    in.tCc = 517;
+    in.tCpt = 537;
+    in.fraction = 0.93;
+    in.rollbackDistance = 6000;
+    in.interval = 50000;
+    const double ts = speculativeTimeEstimate(in);
+    // (1-.93)*537 + .93*6000*537/50000 + .93*517 = 578.6...
+    EXPECT_NEAR(ts, 578.4, 1.0);
+    EXPECT_GT(ts, in.tCc); // the paper's negative result
+}
+
+TEST(SpecModel, LinearInFraction)
+{
+    SpecModelInputs lo, hi;
+    lo.tCc = hi.tCc = 100;
+    lo.tCpt = hi.tCpt = 60;
+    lo.rollbackDistance = hi.rollbackDistance = 5000;
+    lo.interval = hi.interval = 10000;
+    lo.fraction = 0.2;
+    hi.fraction = 0.8;
+    const double mid_in = (speculativeTimeEstimate(lo) +
+                           speculativeTimeEstimate(hi)) /
+                          2.0;
+    SpecModelInputs mid = lo;
+    mid.fraction = 0.5;
+    EXPECT_NEAR(speculativeTimeEstimate(mid), mid_in, 1e-9);
+}
+
+TEST(RunResult, IntervalAggregates)
+{
+    RunResult r;
+    r.intervals.push_back({0, 100, 3});
+    r.intervals.push_back({1000, maxTick, 0});
+    r.intervals.push_back({2000, 300, 1});
+    r.intervals.push_back({3000, maxTick, 0});
+    EXPECT_DOUBLE_EQ(r.fractionIntervalsViolated(), 0.5);
+    EXPECT_DOUBLE_EQ(r.meanFirstViolationDistance(), 200.0);
+}
+
+TEST(RunResult, EmptyIntervals)
+{
+    RunResult r;
+    EXPECT_DOUBLE_EQ(r.fractionIntervalsViolated(), 0.0);
+    EXPECT_DOUBLE_EQ(r.meanFirstViolationDistance(), 0.0);
+}
+
+TEST(RunResult, DerivedRates)
+{
+    RunResult r;
+    r.execCycles = 1000;
+    r.committedUops = 4000;
+    r.perCore.resize(8);
+    r.violations.busViolations = 20;
+    r.violations.mapViolations = 5;
+    EXPECT_DOUBLE_EQ(r.ipc(), 4.0);
+    EXPECT_DOUBLE_EQ(r.cpi(), 2.0); // 1000*8/4000
+    EXPECT_DOUBLE_EQ(r.violationRate(), 0.025);
+    EXPECT_DOUBLE_EQ(r.busViolationRate(), 0.02);
+    EXPECT_DOUBLE_EQ(r.mapViolationRate(), 0.005);
+}
+
+TEST(RunResult, ZeroDivisionGuards)
+{
+    RunResult r;
+    EXPECT_DOUBLE_EQ(r.ipc(), 0.0);
+    EXPECT_DOUBLE_EQ(r.cpi(), 0.0);
+    EXPECT_DOUBLE_EQ(r.violationRate(), 0.0);
+}
+
+TEST(RunResult, SummaryMentionsKeyFields)
+{
+    RunResult r;
+    r.workloadName = "fft";
+    r.scheme = SchemeKind::Adaptive;
+    r.execCycles = 1234;
+    r.committedUops = 5678;
+    r.perCore.resize(8);
+    r.host.rollbacks = 2;
+    r.intervals.push_back({0, 10, 1});
+    std::ostringstream os;
+    r.printSummary(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("fft"), std::string::npos);
+    EXPECT_NE(s.find("adaptive"), std::string::npos);
+    EXPECT_NE(s.find("1234"), std::string::npos);
+    EXPECT_NE(s.find("rollbacks"), std::string::npos);
+    EXPECT_NE(s.find("final slack bound"), std::string::npos);
+}

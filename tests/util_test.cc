@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Unit tests for the util layer: RNG, SPSC queue, snapshots, options
+ * parsing and table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "stats/table.hh"
+#include "util/options.hh"
+#include "util/rng.hh"
+#include "util/snapshot.hh"
+#include "util/spsc_queue.hh"
+
+using namespace slacksim;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next64() == b.next64() ? 1 : 0;
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, InRangeInclusive)
+{
+    Rng r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 20000; ++i) {
+        const auto v = r.inRange(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, StateRoundTrip)
+{
+    Rng a(99);
+    a.next64();
+    const auto state = a.rawState();
+    const auto expect = a.next64();
+    Rng b(1);
+    b.setRawState(state);
+    EXPECT_EQ(b.next64(), expect);
+}
+
+TEST(SpscQueue, PushPopFifoOrder)
+{
+    SpscQueue<int> q(8);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(q.push(i));
+    int v;
+    for (int i = 0; i < 5; ++i) {
+        ASSERT_TRUE(q.pop(v));
+        EXPECT_EQ(v, i);
+    }
+    EXPECT_FALSE(q.pop(v));
+}
+
+TEST(SpscQueue, FullnessAndCapacity)
+{
+    SpscQueue<int> q(4);
+    std::size_t pushed = 0;
+    while (q.push(static_cast<int>(pushed)))
+        ++pushed;
+    EXPECT_EQ(pushed, q.capacity());
+    EXPECT_TRUE(q.full());
+    int v;
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_FALSE(q.full());
+}
+
+TEST(SpscQueue, FrontPeeksWithoutRemoving)
+{
+    SpscQueue<int> q(8);
+    EXPECT_EQ(q.front(), nullptr);
+    q.push(42);
+    ASSERT_NE(q.front(), nullptr);
+    EXPECT_EQ(*q.front(), 42);
+    EXPECT_EQ(q.size(), 1u);
+    q.popFront();
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(SpscQueue, QuiescedContentsRoundTrip)
+{
+    SpscQueue<int> q(16);
+    for (int i = 0; i < 10; ++i)
+        q.push(i);
+    int v;
+    q.pop(v);
+    q.pop(v);
+    const auto contents = q.quiescedContents();
+    ASSERT_EQ(contents.size(), 8u);
+    EXPECT_EQ(contents.front(), 2);
+    EXPECT_EQ(contents.back(), 9);
+
+    SpscQueue<int> r(16);
+    r.quiescedAssign(contents);
+    for (int i = 2; i < 10; ++i) {
+        ASSERT_TRUE(r.pop(v));
+        EXPECT_EQ(v, i);
+    }
+    EXPECT_TRUE(r.empty());
+}
+
+TEST(SpscQueue, TwoThreadStress)
+{
+    SpscQueue<std::uint64_t> q(256);
+    constexpr std::uint64_t count = 200000;
+    std::thread producer([&] {
+        for (std::uint64_t i = 0; i < count;) {
+            if (q.push(i))
+                ++i;
+        }
+    });
+    std::uint64_t expect = 0;
+    std::uint64_t v;
+    while (expect < count) {
+        if (q.pop(v)) {
+            ASSERT_EQ(v, expect);
+            ++expect;
+        }
+    }
+    producer.join();
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(Snapshot, ScalarAndVectorRoundTrip)
+{
+    SnapshotWriter w;
+    w.putMarker(1);
+    w.put<std::uint32_t>(0xdeadbeef);
+    w.put<double>(3.25);
+    std::vector<std::uint16_t> vec = {1, 2, 3, 4, 5};
+    w.putVector(vec);
+    w.putMarker(2);
+
+    SnapshotReader r(w.bytes());
+    r.checkMarker(1);
+    EXPECT_EQ(r.get<std::uint32_t>(), 0xdeadbeefu);
+    EXPECT_EQ(r.get<double>(), 3.25);
+    EXPECT_EQ(r.getVector<std::uint16_t>(), vec);
+    r.checkMarker(2);
+    EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Snapshot, EmptyVector)
+{
+    SnapshotWriter w;
+    w.putVector(std::vector<int>{});
+    SnapshotReader r(w.bytes());
+    EXPECT_TRUE(r.getVector<int>().empty());
+    EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Options, ParsesKeyValueAndFlags)
+{
+    const char *argv[] = {"prog", "--alpha=3", "--beta", "pos1",
+                          "--gamma=x,y", "pos2"};
+    Options o(6, argv);
+    EXPECT_TRUE(o.has("alpha"));
+    EXPECT_TRUE(o.has("beta"));
+    EXPECT_FALSE(o.has("delta"));
+    EXPECT_EQ(o.getUint("alpha", 0), 3u);
+    EXPECT_EQ(o.get("gamma"), "x,y");
+    ASSERT_EQ(o.positional().size(), 2u);
+    EXPECT_EQ(o.positional()[0], "pos1");
+    EXPECT_EQ(o.positional()[1], "pos2");
+}
+
+TEST(Options, TypedDefaults)
+{
+    const char *argv[] = {"prog", "--rate=0.25", "--on=true",
+                          "--off=false"};
+    Options o(4, argv);
+    EXPECT_DOUBLE_EQ(o.getDouble("rate", 1.0), 0.25);
+    EXPECT_DOUBLE_EQ(o.getDouble("missing", 1.5), 1.5);
+    EXPECT_TRUE(o.getBool("on", false));
+    EXPECT_FALSE(o.getBool("off", true));
+    EXPECT_TRUE(o.getBool("missing", true));
+}
+
+TEST(Table, PrintsAlignedColumnsAndCsv)
+{
+    Table t("demo");
+    t.setHeader({"name", "value"});
+    t.cell("alpha").cell(std::uint64_t{42}).endRow();
+    t.cell("b").cell(1.5, 1).endRow();
+    EXPECT_EQ(t.rowCount(), 2u);
+
+    std::ostringstream text;
+    t.print(text);
+    EXPECT_NE(text.str().find("demo"), std::string::npos);
+    EXPECT_NE(text.str().find("alpha"), std::string::npos);
+
+    std::ostringstream csv;
+    t.printCsv(csv);
+    EXPECT_EQ(csv.str(), "name,value\nalpha,42\nb,1.5\n");
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(formatDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(formatPercent(0.00123, 3), "0.123%");
+    EXPECT_EQ(formatCycles(50000), "50k");
+    EXPECT_EQ(formatCycles(2000000), "2M");
+    EXPECT_EQ(formatCycles(1234), "1234");
+}
