@@ -23,6 +23,7 @@ int
 main(int argc, char **argv)
 {
     Options opts(argc, argv);
+    checkFlags(opts, "ablation_protocol: MESI vs MSI coherence ablation");
     const std::uint64_t uops = uopBudget(opts, 50000);
     banner("Ablation: MESI vs MSI coherence protocol", opts, uops);
 

@@ -25,6 +25,7 @@ int
 main(int argc, char **argv)
 {
     Options opts(argc, argv);
+    checkFlags(opts, "ablation_schemes: every synchronization scheme on one window");
     const std::uint64_t uops = uopBudget(opts, 50000);
     banner("Ablation: all synchronization schemes on one window",
            opts, uops);

@@ -23,6 +23,7 @@ int
 main(int argc, char **argv)
 {
     Options opts(argc, argv);
+    checkFlags(opts, "accuracy_error: error vs cycle-by-cycle as slack grows");
     const std::uint64_t uops = uopBudget(opts, 60000);
     banner("Accuracy: execution-time / CPI error vs cycle-by-cycle as "
            "slack grows",

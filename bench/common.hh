@@ -13,15 +13,47 @@
 #ifndef SLACKSIM_BENCH_COMMON_HH
 #define SLACKSIM_BENCH_COMMON_HH
 
+#include <initializer_list>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/run.hh"
+#include "obs/obs_flags.hh"
 #include "util/logging.hh"
 #include "util/options.hh"
 
 namespace slacksim::bench {
+
+/**
+ * Flags every table/figure harness accepts: the shared run knobs,
+ * CSV export, and the observability outputs. Harness-specific flags
+ * ride in via @p extra.
+ */
+inline std::vector<OptionSpec>
+commonSpecs(std::initializer_list<OptionSpec> extra = {})
+{
+    std::vector<OptionSpec> specs = {
+        {"uops", "N", "committed micro-op budget per run"},
+        {"kernel", "NAME", "run only this workload kernel"},
+        {"cores", "N", "simulated core count (default 8)"},
+        {"serial", "", "use the serial reference engine"},
+        {"verbose", "", "keep warn/inform chatter on"},
+        {"csv", "PREFIX", "also write each table as PREFIX<table>.csv"},
+    };
+    specs.insert(specs.end(), extra.begin(), extra.end());
+    for (const auto &spec : obs::obsOptionSpecs())
+        specs.push_back(spec);
+    return specs;
+}
+
+/** --help / unknown-flag handling for a bench harness. */
+inline void
+checkFlags(const Options &opts, const std::string &tool,
+           std::initializer_list<OptionSpec> extra = {})
+{
+    opts.enforceKnown(tool, commonSpecs(extra));
+}
 
 /** Paper Table 1 input sets (LU block 16; FFT scaled, see docs). */
 inline SimConfig
@@ -72,6 +104,7 @@ applyCommonFlags(const Options &opts, SimConfig &config)
             static_cast<std::uint32_t>(opts.getUint("cores", 8));
         config.workload.numThreads = config.target.numCores;
     }
+    obs::applyObsOptions(opts, config.engine.obs);
     setQuietLogging(!opts.has("verbose"));
 }
 

@@ -26,6 +26,8 @@ int
 main(int argc, char **argv)
 {
     Options opts(argc, argv);
+    checkFlags(opts, "fig3_violations: violation rates vs slack bound",
+               {{"bounds", "LIST", "comma-separated slack bounds to sweep"}});
     const std::uint64_t uops = uopBudget(opts, 40000);
     banner("Figure 3: violation rates of bus and cache map vs slack "
            "bound",

@@ -41,6 +41,9 @@ int
 main(int argc, char **argv)
 {
     Options opts(argc, argv);
+    checkFlags(opts, "fig4_adaptive: simulation time vs violation rate",
+               {{"target-scale", "X", "scale applied to the paper target rates"},
+                {"all", "", "sweep all four kernels"}});
     const std::uint64_t uops = uopBudget(opts, 50000);
     const double scale = opts.getDouble("target-scale", 10.0);
     banner("Figure 4: simulation time vs violation rate (adaptive "

@@ -42,6 +42,7 @@ int
 main(int argc, char **argv)
 {
     Options opts(argc, argv);
+    checkFlags(opts, "speculative_e2e: real rollbacks vs the analytical model");
     const std::uint64_t uops = uopBudget(opts, 120000);
     banner("Speculative slack end-to-end: real rollbacks vs the "
            "analytical model",

@@ -48,6 +48,8 @@ int
 main(int argc, char **argv)
 {
     Options opts(argc, argv);
+    checkFlags(opts, "table2_times: simulation times of the schemes",
+               {{"forkemu-mb", "MB", "emulated fork-checkpoint copy arena size"}});
     const std::uint64_t uops = uopBudget(opts, 240000);
     const std::uint64_t forkemu_bytes =
         opts.getUint("forkemu-mb", 96) * 1024 * 1024;

@@ -30,6 +30,7 @@ int
 main(int argc, char **argv)
 {
     Options opts(argc, argv);
+    checkFlags(opts, "table3_fraction: intervals with at least one violation");
     const std::uint64_t uops = uopBudget(opts, 400000);
     banner("Table 3: fraction of checkpoint intervals with at least "
            "one violation",

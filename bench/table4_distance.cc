@@ -26,6 +26,7 @@ int
 main(int argc, char **argv)
 {
     Options opts(argc, argv);
+    checkFlags(opts, "table4_distance: first-violation distance in an interval");
     const std::uint64_t uops = uopBudget(opts, 400000);
     banner("Table 4: average distance of first violation within one "
            "interval (cycles)",

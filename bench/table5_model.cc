@@ -29,6 +29,7 @@ int
 main(int argc, char **argv)
 {
     Options opts(argc, argv);
+    checkFlags(opts, "table5_model: modeled speculative simulation time");
     const std::uint64_t uops = uopBudget(opts, 300000);
     banner("Table 5: estimated overall simulation time of speculative "
            "simulation (sec)",

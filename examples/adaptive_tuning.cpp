@@ -11,12 +11,15 @@
 #include <iostream>
 
 #include "core/run.hh"
+#include "obs/obs_flags.hh"
 #include "stats/table.hh"
 #include "util/options.hh"
 
 using namespace slacksim;
 
 namespace {
+
+const Options *gOpts = nullptr;
 
 RunResult
 runAdaptive(const std::string &kernel, std::uint64_t uops,
@@ -30,7 +33,21 @@ runAdaptive(const std::string &kernel, std::uint64_t uops,
     config.engine.adaptive.violationBand = band;
     config.engine.adaptive.epochCycles = epoch;
     config.engine.adaptive.initialBound = initial;
+    obs::applyObsOptions(*gOpts, config.engine.obs);
     return runSimulation(config);
+}
+
+std::vector<OptionSpec>
+flagSpecs()
+{
+    std::vector<OptionSpec> specs = {
+        {"kernel", "NAME", "workload kernel (default water)"},
+        {"uops", "N", "committed micro-op budget (default 80000)"},
+        {"serial", "", "use the serial reference engine"},
+    };
+    for (const auto &spec : obs::obsOptionSpecs())
+        specs.push_back(spec);
+    return specs;
 }
 
 } // namespace
@@ -39,6 +56,9 @@ int
 main(int argc, char **argv)
 {
     Options opts(argc, argv);
+    opts.enforceKnown("adaptive_tuning: feedback controller knobs",
+                      flagSpecs());
+    gOpts = &opts;
     const std::string kernel = opts.get("kernel", "water");
     const std::uint64_t uops = opts.getUint("uops", 80000);
     const bool parallel = !opts.has("serial");

@@ -23,11 +23,28 @@
 #include <string>
 
 #include "core/run.hh"
+#include "obs/obs_flags.hh"
 #include "util/options.hh"
 
 using namespace slacksim;
 
 namespace {
+
+std::vector<OptionSpec>
+flagSpecs()
+{
+    std::vector<OptionSpec> specs = {
+        {"kernel", "NAME", "workload kernel (default falseshare)"},
+        {"iters", "N", "workload iterations (default 4000)"},
+        {"uops", "N", "committed micro-op budget (default 60000)"},
+        {"target", "R", "adaptive target violation rate (default 0.01)"},
+        {"interval", "CYCLES", "checkpoint interval (default 5000)"},
+        {"measure", "", "measurement checkpoints only (no rollback)"},
+    };
+    for (const auto &spec : obs::obsOptionSpecs())
+        specs.push_back(spec);
+    return specs;
+}
 
 void
 driver(int fd, const Options &opts)
@@ -47,6 +64,7 @@ driver(int fd, const Options &opts)
                                         : CheckpointMode::Speculative;
     config.engine.checkpoint.tech = CheckpointTech::ForkProcess;
     config.engine.checkpoint.interval = opts.getUint("interval", 5000);
+    obs::applyObsOptions(opts, config.engine.obs);
 
     // Everything from here on may execute in a chain of forked
     // processes; the one that finishes writes the report.
@@ -73,6 +91,9 @@ int
 main(int argc, char **argv)
 {
     Options opts(argc, argv);
+    opts.enforceKnown("fork_checkpoint_demo: real fork() process "
+                      "checkpoints on the serial engine",
+                      flagSpecs());
     std::cout << "Running a speculative slack simulation with REAL "
                  "fork() process checkpoints...\n\n";
     std::cout.flush();

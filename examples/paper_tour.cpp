@@ -13,6 +13,7 @@
 
 #include "core/run.hh"
 #include "core/spec_model.hh"
+#include "obs/obs_flags.hh"
 #include "util/options.hh"
 
 using namespace slacksim;
@@ -27,7 +28,21 @@ base(const Options &opts)
     config.workload.numThreads = config.target.numCores;
     config.engine.maxCommittedUops = opts.getUint("uops", 50000);
     config.engine.parallelHost = !opts.has("serial");
+    obs::applyObsOptions(opts, config.engine.obs);
     return config;
+}
+
+std::vector<OptionSpec>
+flagSpecs()
+{
+    std::vector<OptionSpec> specs = {
+        {"kernel", "NAME", "workload kernel (default water)"},
+        {"uops", "N", "committed micro-op budget (default 50000)"},
+        {"serial", "", "use the serial reference engine"},
+    };
+    for (const auto &spec : obs::obsOptionSpecs())
+        specs.push_back(spec);
+    return specs;
 }
 
 void
@@ -42,6 +57,8 @@ int
 main(int argc, char **argv)
 {
     Options opts(argc, argv);
+    opts.enforceKnown("paper_tour: the paper's ideas demonstrated live",
+                      flagSpecs());
     std::cout << "SlackSim paper tour, workload '"
               << opts.get("kernel", "water") << "'\n";
 

@@ -11,14 +11,34 @@
 #include <iostream>
 
 #include "core/run.hh"
+#include "obs/obs_flags.hh"
 #include "util/options.hh"
 
 using namespace slacksim;
+
+namespace {
+
+std::vector<OptionSpec>
+flagSpecs()
+{
+    std::vector<OptionSpec> specs = {
+        {"kernel", "NAME", "workload kernel (default fft)"},
+        {"uops", "N", "committed micro-op budget (default 400000)"},
+        {"serial", "", "use the serial reference engine"},
+    };
+    for (const auto &spec : obs::obsOptionSpecs())
+        specs.push_back(spec);
+    return specs;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     Options opts(argc, argv);
+    opts.enforceKnown("quickstart: slack schemes on one kernel",
+                      flagSpecs());
     const std::string kernel = opts.get("kernel", "fft");
     const std::uint64_t uops = opts.getUint("uops", 400000);
     const bool parallel = !opts.has("serial");
@@ -32,6 +52,9 @@ main(int argc, char **argv)
     SimConfig cc = paperConfig(kernel, uops);
     cc.engine.parallelHost = parallel;
     cc.engine.scheme = SchemeKind::CycleByCycle;
+    // The later configs copy from `cc`, so every run honours the
+    // observability flags; the files end up describing the last run.
+    obs::applyObsOptions(opts, cc.engine.obs);
     const RunResult r_cc = runSimulation(cc);
     r_cc.printSummary(std::cout);
     std::cout << "\n";

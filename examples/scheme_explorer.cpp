@@ -18,42 +18,60 @@
 #include <iostream>
 
 #include "core/run.hh"
+#include "obs/obs_flags.hh"
 #include "util/options.hh"
 #include "workload/kernels.hh"
 
 using namespace slacksim;
 
+namespace {
+
+std::vector<OptionSpec>
+flagSpecs()
+{
+    std::vector<OptionSpec> specs = {
+        {"list", "", "list workload kernels and exit"},
+        {"kernel", "NAME", "workload (default fft)"},
+        {"scheme", "S", "cc|quantum|bounded|unbounded|adaptive|lax-p2p"},
+        {"slack", "N", "bounded-scheme slack bound (default 10)"},
+        {"quantum", "N", "quantum-scheme barrier period (default 8)"},
+        {"target", "R", "adaptive target violation rate (default 1e-4)"},
+        {"band", "B", "adaptive violation band (default 0.05)"},
+        {"epoch", "N", "adaptive epoch cycles (default 1000)"},
+        {"init", "N", "adaptive initial bound (default 8)"},
+        {"checkpoint", "M", "off|measure|speculative"},
+        {"checkpoint-tech", "T", "memory|fork (fork: serial only)"},
+        {"p2p-period", "N", "lax-p2p reshuffle period (default 1000)"},
+        {"clusters", "N", "hierarchical manager relay count"},
+        {"interval", "N", "checkpoint interval cycles (default 50000)"},
+        {"no-bus-rollback", "", "roll back on map violations only"},
+        {"uops", "N", "stop after N committed uops (default 100000)"},
+        {"cores", "N", "target cores (= workload threads, default 8)"},
+        {"serial", "", "single-threaded host engine"},
+        {"protocol", "P", "mesi|msi coherence protocol"},
+        {"seed", "N", "workload generation seed (default 42)"},
+        {"grain", "N", "workload compute grain (default 1)"},
+        {"iters", "N", "workload iteration override"},
+        {"fft-points", "N", "fft input size override"},
+        {"bodies", "N", "barnes body count override"},
+        {"matrix-n", "N", "lu matrix size override"},
+        {"molecules", "N", "water molecule count override"},
+    };
+    for (const auto &spec : obs::obsOptionSpecs())
+        specs.push_back(spec);
+    return specs;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     Options opts(argc, argv);
+    opts.enforceKnown("scheme_explorer: run any kernel under any "
+                      "scheme with full knob control",
+                      flagSpecs());
 
-    if (opts.has("help")) {
-        std::cout
-            << "scheme_explorer options:\n"
-               "  --list                 list workload kernels\n"
-               "  --kernel=NAME          workload (default fft)\n"
-               "  --scheme=S             cc|quantum|bounded|unbounded|"
-               "adaptive\n"
-               "  --slack=N --quantum=N  scheme parameters\n"
-               "  --target=R --band=B    adaptive controller\n"
-               "  --epoch=N --init=N     adaptive controller\n"
-               "  --checkpoint=M         off|measure|speculative\n"
-               "  --checkpoint-tech=T    memory|fork (fork: serial "
-               "only)\n"
-               "  --p2p-period=N         lax-p2p reshuffle period\n"
-               "  --clusters=N           hierarchical manager relays\n"
-               "  --interval=N           checkpoint interval (cycles)\n"
-               "  --no-bus-rollback      roll back on map violations "
-               "only\n"
-               "  --uops=N               stop after N committed uops\n"
-               "  --cores=N              target cores (= workload "
-               "threads)\n"
-               "  --serial               single-threaded host engine\n"
-               "  --protocol=P           mesi|msi coherence protocol\n"
-               "  --seed=N --grain=N     workload generation knobs\n";
-        return 0;
-    }
     if (opts.has("list")) {
         std::cout << "workload kernels:\n";
         for (const auto &name : workloadNames())
@@ -109,6 +127,7 @@ main(int argc, char **argv)
         config.target.protocol = CoherenceProtocol::MSI;
     else if (protocol != "mesi")
         SLACKSIM_FATAL("--protocol expects mesi|msi");
+    obs::applyObsOptions(opts, config.engine.obs);
 
     const RunResult result = runSimulation(config);
     result.printSummary(std::cout);

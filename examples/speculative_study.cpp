@@ -16,15 +16,37 @@
 
 #include "core/run.hh"
 #include "core/spec_model.hh"
+#include "obs/obs_flags.hh"
 #include "stats/table.hh"
 #include "util/options.hh"
 
 using namespace slacksim;
 
+namespace {
+
+std::vector<OptionSpec>
+flagSpecs()
+{
+    std::vector<OptionSpec> specs = {
+        {"kernel", "NAME", "workload kernel (default lu)"},
+        {"uops", "N", "committed micro-op budget (default 100000)"},
+        {"interval", "CYCLES", "checkpoint interval (default 20000)"},
+        {"serial", "", "use the serial reference engine"},
+    };
+    for (const auto &spec : obs::obsOptionSpecs())
+        specs.push_back(spec);
+    return specs;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     Options opts(argc, argv);
+    opts.enforceKnown("speculative_study: checkpoint/rollback/replay "
+                      "operating points",
+                      flagSpecs());
     const std::string kernel = opts.get("kernel", "lu");
     const std::uint64_t uops = opts.getUint("uops", 100000);
     const Tick interval = opts.getUint("interval", 20000);
@@ -38,6 +60,7 @@ main(int argc, char **argv)
         config.engine.adaptive.violationBand = 0.05;
         config.engine.checkpoint.mode = mode;
         config.engine.checkpoint.interval = interval;
+        obs::applyObsOptions(opts, config.engine.obs);
         return config;
     };
 

@@ -21,6 +21,11 @@ int
 main(int argc, char **argv)
 {
     Options opts(argc, argv);
+    opts.enforceKnown(
+        "workload_report: characterize the workload kernels",
+        {{"kernel", "NAME", "report only this kernel"},
+         {"threads", "N", "worker thread count (default 8)"},
+         {"paper-scale", "", "use the paper's full input sets"}});
     const unsigned threads =
         static_cast<unsigned>(opts.getUint("threads", 8));
 

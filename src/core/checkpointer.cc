@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/tracer.hh"
 #include "util/logging.hh"
 
 namespace slacksim {
@@ -57,8 +58,11 @@ Checkpointer::takeCheckpoint(Tick now)
         host_->replayCycles += now - lastCheckpointAt_;
         pacer_.setReplayMode(false);
         sys_.uncore().setViolationCounting(true);
+        obs::traceEnd(obs::TraceCategory::Checkpoint, "replay", now,
+                      static_cast<std::int64_t>(now - lastCheckpointAt_));
     }
 
+    const std::uint64_t ckpt_wall = obs::traceWallNs();
     Event event = Event::Taken;
     if (fork_) {
         // The paper's mechanism: this very process image becomes the
@@ -97,6 +101,10 @@ Checkpointer::takeCheckpoint(Tick now)
         host_->checkpointSeconds += nowSeconds() - t0;
     }
 
+    obs::traceSpanAt(ckpt_wall, obs::TraceCategory::Checkpoint,
+                     "checkpoint", now, now,
+                     static_cast<std::int64_t>(host_->checkpointBytes));
+
     lastCheckpointAt_ = now;
     nextCheckpointAt_ = now + engine_.checkpoint.interval;
     mgr_.beginInterval(now);
@@ -108,6 +116,7 @@ Checkpointer::takeCheckpoint(Tick now)
         mgr_.armRollback(false);
         pacer_.setReplayMode(true);
         sys_.uncore().setViolationCounting(false);
+        obs::traceBegin(obs::TraceCategory::Checkpoint, "replay", now);
     } else {
         mgr_.armRollback(speculative());
     }
@@ -145,6 +154,12 @@ Checkpointer::rollback(Tick current_global)
                                ? current_global - lastCheckpointAt_
                                : 0;
 
+    obs::traceInstant(obs::TraceCategory::Checkpoint,
+                      "violation-rollback", current_global,
+                      static_cast<std::int64_t>(current_global -
+                                                lastCheckpointAt_));
+    const std::uint64_t rb_wall = obs::traceWallNs();
+
     mgr_.abortInterval();
     mgr_.clearRollbackRequest();
     mgr_.armRollback(false);
@@ -156,11 +171,16 @@ Checkpointer::rollback(Tick current_global)
     SLACKSIM_ASSERT(reader.exhausted(),
                     "checkpoint not fully consumed on rollback");
 
+    obs::traceSpanAt(rb_wall, obs::TraceCategory::Checkpoint, "rollback",
+                     current_global, lastCheckpointAt_);
+
     // Forward progress: replay the interval cycle-by-cycle with
     // violation counting off; the next boundary re-checkpoints.
     pacer_.setReplayMode(true);
     sys_.uncore().setViolationCounting(false);
     mgr_.beginInterval(lastCheckpointAt_);
+    obs::traceBegin(obs::TraceCategory::Checkpoint, "replay",
+                    lastCheckpointAt_);
     return lastCheckpointAt_;
 }
 

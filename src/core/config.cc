@@ -103,6 +103,8 @@ SimConfig::validate() const
     }
     if (engine.queueCapacity < 64)
         SLACKSIM_FATAL("queueCapacity must be >= 64");
+    if (engine.obs.bufferKb < 1 || engine.obs.bufferKb > (1u << 20))
+        SLACKSIM_FATAL("obs bufferKb must be in [1, 1048576]");
     if (target.l1d.lineBytes != target.l1i.lineBytes ||
         target.l1d.lineBytes != target.l2.lineBytes) {
         SLACKSIM_FATAL("L1/L2 line sizes must match");

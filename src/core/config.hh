@@ -16,6 +16,7 @@
 
 #include "cache/l1_cache.hh"
 #include "cpu/ooo_core.hh"
+#include "obs/obs_config.hh"
 #include "uncore/uncore.hh"
 #include "util/types.hh"
 #include "workload/kernels.hh"
@@ -137,6 +138,10 @@ struct EngineConfig
 
     /** Abort if no global progress for this long (hang detection). */
     double watchdogSeconds = 120.0;
+
+    /** Observability: event tracing + epoch metrics (off by default;
+     *  see src/obs and the --trace-out/--metrics-out flags). */
+    ObsConfig obs;
 };
 
 /** Target-machine configuration. */

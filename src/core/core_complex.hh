@@ -83,6 +83,12 @@ class CoreComplex : public Snapshotable
         localTime_.store(t, std::memory_order_release);
     }
 
+    /**
+     * @return the local clock atomic itself, for observers that need
+     * a stable address to poll (e.g. the log thread context).
+     */
+    const std::atomic<Tick> &localClock() const { return localTime_; }
+
     /** @return true once the core has committed its whole trace. */
     bool finished() const { return core_.finished(); }
 

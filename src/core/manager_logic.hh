@@ -84,6 +84,9 @@ class ManagerLogic : public Snapshotable
     /** @return true when no pending events or overflow remain. */
     bool drained() const;
 
+    /** @return sorted-service heap depth (metrics sampling). */
+    std::size_t pendingDepth() const { return pending_.size(); }
+
     /** Arm/disarm violation-triggered rollback requests. */
     void armRollback(bool armed) { rollbackArmed_ = armed; }
 

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "obs/tracer.hh"
 #include "util/logging.hh"
 
 namespace slacksim {
@@ -147,8 +148,14 @@ Pacer::observe(Tick global_time, const ViolationStats &violations)
         const Tick step = std::max<Tick>(1, bound_ / 4);
         bound_ = std::min(p.maxBound, bound_ + step);
     }
-    if (bound_ != old_bound)
+    if (bound_ != old_bound) {
         ++host_->slackAdjustments;
+        obs::traceInstant(obs::TraceCategory::Adaptive, "adaptive-bound",
+                          global_time, static_cast<std::int64_t>(bound_),
+                          static_cast<std::int64_t>(old_bound));
+        obs::traceCounter(obs::TraceCategory::Adaptive, "slack-bound",
+                          global_time, static_cast<std::int64_t>(bound_));
+    }
 }
 
 void

@@ -7,7 +7,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 
+#include "obs/obs_session.hh"
+#include "obs/tracer.hh"
 #include "util/logging.hh"
 
 namespace slacksim {
@@ -21,6 +24,14 @@ secondsSince(std::chrono::steady_clock::time_point t0)
                std::chrono::steady_clock::now() - t0)
         .count();
 }
+
+// core-park span arg: why the core thread went to sleep.
+constexpr std::int64_t parkPaced = 0;   //!< at the pacing limit
+constexpr std::int64_t parkInbound = 1; //!< inert, awaiting delivery
+
+// Park spans shorter than this are dropped: an atomic wait that
+// returned immediately is scheduler noise, not a park worth a record.
+constexpr std::uint64_t parkSpanMinNs = 1000;
 
 } // namespace
 
@@ -71,6 +82,10 @@ ParallelEngine::coreThreadMain(CoreId c)
     CoreComplex &cc = sys_.core(c);
     CoreControl &ctl = *controls_[c];
     std::uint32_t acked_gen = 0;
+
+    const std::string role = "core " + std::to_string(c);
+    setLogThreadContext(role, &cc.localClock());
+    obs::Tracer::instance().registerThread(role);
 
     while (!stop_.load(std::memory_order_acquire)) {
         if (phase_.load(std::memory_order_acquire) != phaseRunning) {
@@ -124,7 +139,16 @@ ParallelEngine::coreThreadMain(CoreId c)
                     ctl.maxLocal.load(std::memory_order_acquire) &&
                 phase_.load(std::memory_order_acquire) == phaseRunning &&
                 !stop_.load(std::memory_order_acquire)) {
+                const std::uint64_t park_wall = obs::traceWallNs();
                 ctl.wakeWord.wait(w, std::memory_order_acquire);
+                // Retroactive span, skipping waits that returned at
+                // once — futex misses would otherwise flood the ring.
+                if (obs::traceWallNs() - park_wall >= parkSpanMinNs) {
+                    obs::traceSpanAt(park_wall,
+                                     obs::TraceCategory::Core,
+                                     "core-park", local, cc.localTime(),
+                                     parkPaced);
+                }
             }
             continue;
         }
@@ -132,6 +156,7 @@ ParallelEngine::coreThreadMain(CoreId c)
         bool backpressured = false;
         bool wait_inbound = false;
         Tick advanced = 0;
+        const std::uint64_t burst_wall = obs::traceWallNs();
         while (advanced < engine_.burstCycles) {
             const Tick max_local =
                 ctl.maxLocal.load(std::memory_order_acquire);
@@ -160,6 +185,11 @@ ParallelEngine::coreThreadMain(CoreId c)
         }
         ctl.committed.store(cc.committedUops(),
                             std::memory_order_release);
+        if (advanced > 0) {
+            obs::traceSpanAt(burst_wall, obs::TraceCategory::Core,
+                             "core-run", local, cc.localTime(),
+                             static_cast<std::int64_t>(advanced));
+        }
         if (advanced > 0 || backpressured || wait_inbound)
             bumpProgress();
         if (backpressured) {
@@ -175,10 +205,21 @@ ParallelEngine::coreThreadMain(CoreId c)
                 phase_.load(std::memory_order_acquire) ==
                     phaseRunning &&
                 !stop_.load(std::memory_order_acquire)) {
+                const std::uint64_t park_wall = obs::traceWallNs();
+                const Tick park_cycle = cc.localTime();
                 ctl.wakeWord.wait(w, std::memory_order_acquire);
+                if (obs::traceWallNs() - park_wall >= parkSpanMinNs) {
+                    obs::traceSpanAt(park_wall,
+                                     obs::TraceCategory::Core,
+                                     "core-park", park_cycle,
+                                     cc.localTime(), parkInbound);
+                }
             }
         }
     }
+
+    obs::Tracer::instance().unregisterThread();
+    clearLogThreadContext();
 }
 
 void
@@ -186,6 +227,9 @@ ParallelEngine::relayThreadMain(std::uint32_t cluster)
 {
     Relay &relay = *relays_[cluster];
     std::uint32_t acked_gen = 0;
+    const std::string role = "relay " + std::to_string(cluster);
+    setLogThreadContext(role);
+    obs::Tracer::instance().registerThread(role);
     while (!stop_.load(std::memory_order_acquire)) {
         if (phase_.load(std::memory_order_acquire) != phaseRunning) {
             const std::uint32_t gen =
@@ -244,6 +288,8 @@ ParallelEngine::relayThreadMain(std::uint32_t cluster)
             sleepers_.fetch_sub(1, std::memory_order_seq_cst);
         }
     }
+    obs::Tracer::instance().unregisterThread();
+    clearLogThreadContext();
 }
 
 Tick
@@ -340,6 +386,9 @@ RunResult
 ParallelEngine::run()
 {
     const auto t0 = std::chrono::steady_clock::now();
+    setLogThreadContext("manager");
+    obs::ObsSession session(engine_.obs, sys_, pacer_, mgr_, host_);
+    session.begin("manager");
     mgr_.setSorted(pacer_.sortedService());
     if (ckpt_.enabled()) {
         const auto event = ckpt_.takeCheckpoint(0);
@@ -371,6 +420,7 @@ ParallelEngine::run()
         const Tick global = computeGlobal();
         Tick safe = global;
         std::size_t activity = 0;
+        const std::uint64_t service_wall = obs::traceWallNs();
         if (relays_.empty()) {
             activity += mgr_.pumpAll();
         } else {
@@ -392,6 +442,11 @@ ParallelEngine::run()
         }
         activity += mgr_.serviceSorted(safe);
         mgr_.flushOverflow();
+        if (activity > 0) {
+            obs::traceSpanAt(service_wall, obs::TraceCategory::Manager,
+                             "manager-service", global, safe,
+                             static_cast<std::int64_t>(activity));
+        }
         // Wake any core that just received a delivery: inert
         // free-running cores sleep until their InQ gets something.
         if (std::uint64_t delivered = mgr_.takeDeliveredMask()) {
@@ -401,6 +456,7 @@ ParallelEngine::run()
         }
         pacer_.observe(global, sys_.violations());
         updatePacing(true);
+        session.maybeSample(global);
         {
             // Use a fresh minimum so the spread is not inflated by
             // cores that advanced since `global` was sampled.
@@ -425,10 +481,12 @@ ParallelEngine::run()
         if (ckpt_.enabled()) {
             if (mgr_.rollbackRequested()) {
                 pauseWorld();
-                ckpt_.rollback(computeGlobal());
+                const Tick resumed = ckpt_.rollback(computeGlobal());
                 refreshControlAfterRestore();
                 mgr_.setSorted(true);
                 updatePacing(false);
+                session.forceSample(resumed);
+                session.collectTrace();
                 resumeWorld();
                 ++activity;
                 continue;
@@ -448,6 +506,8 @@ ParallelEngine::run()
                     mgr_.flushOverflow();
                 }
                 updatePacing(true);
+                session.forceSample(boundary);
+                session.collectTrace();
                 ++activity;
                 continue;
             }
@@ -545,6 +605,8 @@ ParallelEngine::run()
         mgr_.flushOverflow();
     }
 
+    session.finish(computeGlobal());
+    clearLogThreadContext();
     return collectResult(secondsSince(t0));
 }
 

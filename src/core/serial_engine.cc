@@ -9,6 +9,8 @@
 #include <chrono>
 #include <string>
 
+#include "obs/obs_session.hh"
+#include "obs/tracer.hh"
 #include "util/logging.hh"
 
 namespace slacksim {
@@ -61,6 +63,10 @@ SerialEngine::run()
     using clock = std::chrono::steady_clock;
     const auto t0 = clock::now();
 
+    setLogThreadContext("manager");
+    obs::ObsSession session(engine_.obs, sys_, pacer_, mgr_, host_);
+    session.begin("manager");
+
     mgr_.setSorted(pacer_.sortedService());
     if (ckpt_.enabled()) {
         if (ckpt_.takeCheckpoint(0) ==
@@ -91,6 +97,8 @@ SerialEngine::run()
                 continue;
             }
             Tick advanced = 0;
+            const Tick local0 = cc.localTime();
+            const std::uint64_t burst_wall = obs::traceWallNs();
             while (cc.localTime() <= maxLocal_[c] &&
                    advanced < engine_.burstCycles) {
                 const Tick before = cc.localTime();
@@ -105,6 +113,13 @@ SerialEngine::run()
                     break;
             }
             progress |= advanced > 0;
+            if (advanced > 0) {
+                // All cores share the one host thread's track; the
+                // core id rides in the span's arg.
+                obs::traceSpanAt(burst_wall, obs::TraceCategory::Core,
+                                 "core-run", local0, cc.localTime(),
+                                 static_cast<std::int64_t>(c));
+            }
             // Arrival order in the serial engine is the deterministic
             // round-robin order of these pumps.
             mgr_.pumpCore(c);
@@ -112,9 +127,16 @@ SerialEngine::run()
         }
 
         const Tick global = sys_.globalTime();
-        mgr_.serviceSorted(global);
+        const std::uint64_t service_wall = obs::traceWallNs();
+        const std::size_t serviced = mgr_.serviceSorted(global);
         mgr_.flushOverflow();
+        if (serviced > 0) {
+            obs::traceSpanAt(service_wall, obs::TraceCategory::Manager,
+                             "manager-service", global, global,
+                             static_cast<std::int64_t>(serviced));
+        }
         pacer_.observe(global, sys_.violations());
+        session.maybeSample(global);
         {
             Tick max_unfinished = global;
             for (CoreId c = 0; c < sys_.numCores(); ++c) {
@@ -129,21 +151,25 @@ SerialEngine::run()
 
         if (ckpt_.enabled()) {
             if (mgr_.rollbackRequested()) {
-                ckpt_.rollback(global);
+                const Tick resumed = ckpt_.rollback(global);
                 mgr_.setSorted(true); // replay is cycle-by-cycle
                 updatePacing(false);  // pacing reset after restore
+                session.forceSample(resumed);
+                session.collectTrace();
                 continue;
             }
             if (quiescedAtBoundary()) {
                 const bool was_replay = pacer_.replayMode();
-                const auto event =
-                    ckpt_.takeCheckpoint(ckpt_.nextCheckpointAt());
+                const Tick boundary = ckpt_.nextCheckpointAt();
+                const auto event = ckpt_.takeCheckpoint(boundary);
                 if (event ==
                     Checkpointer::Event::ResumedFromRollback) {
                     // Fork-technology rollback: this process just
                     // woke up as the checkpoint. Replay follows.
                     mgr_.setSorted(true);
                     updatePacing(false);
+                    session.forceSample(sys_.globalTime());
+                    session.collectTrace();
                     continue;
                 }
                 if (was_replay && !pacer_.sortedService()) {
@@ -155,6 +181,8 @@ SerialEngine::run()
                     mgr_.flushOverflow();
                 }
                 updatePacing(true);
+                session.forceSample(boundary);
+                session.collectTrace();
                 continue;
             }
         }
@@ -210,6 +238,8 @@ SerialEngine::run()
     }
 
     ckpt_.finalizeHostStats();
+    session.finish(sys_.globalTime());
+    clearLogThreadContext();
     const double wall =
         std::chrono::duration<double>(clock::now() - t0).count();
     return collectResult(wall);

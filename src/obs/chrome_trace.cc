@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Chrome-trace exporter implementation.
+ */
+
+#include "obs/chrome_trace.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+namespace slacksim::obs {
+
+namespace {
+
+/** Escape a string for a JSON literal (names are ASCII literals, but
+ *  roles are caller-built and escaped defensively). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+const char *
+phaseOf(TraceType type)
+{
+    switch (type) {
+      case TraceType::Begin:
+        return "B";
+      case TraceType::End:
+        return "E";
+      case TraceType::Instant:
+        return "i";
+      case TraceType::Counter:
+        return "C";
+    }
+    return "i";
+}
+
+/** Format wall ns as microseconds with sub-us precision. */
+std::string
+tsMicros(std::uint64_t wall_ns)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03" PRIu64,
+                  wall_ns / 1000, wall_ns % 1000);
+    return buf;
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os,
+                 const std::vector<ThreadTrace> &traces)
+{
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const auto &t : traces) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n{\"ph\":\"M\",\"pid\":0,\"tid\":" << t.tid
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+           << jsonEscape(t.role) << "\"}}";
+        os << ",\n{\"ph\":\"M\",\"pid\":0,\"tid\":" << t.tid
+           << ",\"name\":\"thread_sort_index\",\"args\":{"
+              "\"sort_index\":"
+           << t.tid << "}}";
+
+        // Records are per-thread FIFO, but retroactive span begins
+        // (traceSpanAt) carry wall stamps older than records pushed
+        // before them; a stable sort restores timeline order without
+        // disturbing same-timestamp emit order.
+        std::vector<TraceRecord> recs = t.records;
+        std::stable_sort(recs.begin(), recs.end(),
+                         [](const TraceRecord &a, const TraceRecord &b) {
+                             return a.wallNs < b.wallNs;
+                         });
+        for (const auto &rec : recs) {
+            os << ",\n{\"ph\":\"" << phaseOf(rec.type)
+               << "\",\"pid\":0,\"tid\":" << t.tid
+               << ",\"ts\":" << tsMicros(rec.wallNs) << ",\"name\":\""
+               << jsonEscape(rec.name) << "\",\"cat\":\""
+               << traceCategoryName(rec.category) << "\"";
+            if (rec.type == TraceType::Instant)
+                os << ",\"s\":\"t\"";
+            if (rec.type == TraceType::Counter) {
+                os << ",\"args\":{\"value\":" << rec.arg
+                   << ",\"cycle\":" << rec.cycle << "}";
+            } else {
+                os << ",\"args\":{\"cycle\":" << rec.cycle
+                   << ",\"arg\":" << rec.arg << ",\"arg2\":"
+                   << rec.arg2 << "}";
+            }
+            os << "}";
+        }
+        if (t.dropped) {
+            os << ",\n{\"ph\":\"i\",\"pid\":0,\"tid\":" << t.tid
+               << ",\"ts\":0,\"name\":\"trace-overflow\",\"cat\":"
+                  "\"engine\",\"s\":\"t\",\"args\":{\"dropped\":"
+               << t.dropped << "}}";
+        }
+    }
+    os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+} // namespace slacksim::obs

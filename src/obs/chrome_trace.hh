@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Chrome-trace / Perfetto JSON exporter for drained trace sessions.
+ * The output loads directly in chrome://tracing and ui.perfetto.dev:
+ * one track per registered engine thread (named after its role), span
+ * begin/end pairs as "B"/"E" events, instants as "i", counters as
+ * "C". Timestamps are host wall time (microseconds since activation);
+ * the simulated target cycle of every record rides along in args.
+ */
+
+#ifndef SLACKSIM_OBS_CHROME_TRACE_HH
+#define SLACKSIM_OBS_CHROME_TRACE_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "obs/tracer.hh"
+
+namespace slacksim::obs {
+
+/** Write @p traces as one Chrome-trace JSON object to @p os. */
+void writeChromeTrace(std::ostream &os,
+                      const std::vector<ThreadTrace> &traces);
+
+} // namespace slacksim::obs
+
+#endif // SLACKSIM_OBS_CHROME_TRACE_HH

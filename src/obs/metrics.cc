@@ -1,0 +1,69 @@
+/**
+ * @file
+ * MetricsSampler implementation.
+ */
+
+#include "obs/metrics.hh"
+
+#include <ostream>
+
+namespace slacksim::obs {
+
+MetricsSampler::MetricsSampler(Tick epoch_cycles)
+    : epochCycles_(epoch_cycles < 1 ? 1 : epoch_cycles)
+{
+}
+
+void
+MetricsSampler::push(Tick global, MetricsRow row)
+{
+    // Windowed per-epoch rates from the cumulative counters; the
+    // first sample's window is the run so far.
+    const Tick dt = global > lastGlobal_ ? global - lastGlobal_
+                                         : (global > 0 ? global : 1);
+    const std::uint64_t dbus =
+        row.busViolations >= lastBusViolations_
+            ? row.busViolations - lastBusViolations_
+            : 0;
+    const std::uint64_t dmap =
+        row.mapViolations >= lastMapViolations_
+            ? row.mapViolations - lastMapViolations_
+            : 0;
+    row.busViolRate = static_cast<double>(dbus) / dt;
+    row.mapViolRate = static_cast<double>(dmap) / dt;
+    lastBusViolations_ = row.busViolations;
+    lastMapViolations_ = row.mapViolations;
+    lastGlobal_ = global;
+    nextSampleAt_ = global + epochCycles_;
+    rows_.push_back(std::move(row));
+}
+
+void
+MetricsSampler::writeCsv(std::ostream &os) const
+{
+    const std::size_t cores =
+        rows_.empty() ? 0 : rows_.front().coreLocal.size();
+    os << "wall_ns,global_cycle,min_local,max_local,slack_spread,"
+          "slack_bound,replay,bus_violations,map_violations,"
+          "bus_viol_rate,map_viol_rate,bus_requests,"
+          "bus_queueing_cycles,mgr_pending,checkpoints,rollbacks";
+    for (std::size_t c = 0; c < cores; ++c)
+        os << ",core" << c << "_local";
+    os << "\n";
+    for (const auto &r : rows_) {
+        os << r.wallNs << "," << r.global << "," << r.minLocal << ","
+           << r.maxLocal << ","
+           << (r.maxLocal >= r.minLocal ? r.maxLocal - r.minLocal : 0)
+           << "," << r.slackBound << "," << (r.replay ? 1 : 0) << ","
+           << r.busViolations << "," << r.mapViolations << ","
+           << r.busViolRate << "," << r.mapViolRate << ","
+           << r.busRequests << "," << r.busQueueingCycles << ","
+           << r.mgrPending << "," << r.checkpoints << ","
+           << r.rollbacks;
+        for (std::size_t c = 0; c < cores; ++c)
+            os << "," << (c < r.coreLocal.size() ? r.coreLocal[c] : 0);
+        os << "\n";
+    }
+}
+
+} // namespace slacksim::obs

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Epoch metrics time series: once per sampling epoch the manager
+ * thread snapshots where the run is — per-core local clocks, slack
+ * spread, the adaptive bound, violation counts and windowed rates by
+ * type, bus pressure, and the checkpoint/rollback/replay state — into
+ * an in-memory series exported as CSV for the bench harness and
+ * offline plotting. This is the instrument that makes the paper's
+ * *dynamic* behaviors (Fig. 4 convergence, rollback storms) visible.
+ */
+
+#ifndef SLACKSIM_OBS_METRICS_HH
+#define SLACKSIM_OBS_METRICS_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace slacksim::obs {
+
+/** One sampled epoch. */
+struct MetricsRow
+{
+    std::uint64_t wallNs = 0;     //!< host ns since sampler start
+    Tick global = 0;              //!< global simulated time
+    Tick minLocal = 0;            //!< slowest unfinished core clock
+    Tick maxLocal = 0;            //!< fastest core clock
+    Tick slackBound = 0;          //!< current (adaptive) slack bound
+    bool replay = false;          //!< inside a speculative replay
+    std::uint64_t busViolations = 0; //!< cumulative
+    std::uint64_t mapViolations = 0; //!< cumulative
+    double busViolRate = 0.0;     //!< this epoch's bus violations/cycle
+    double mapViolRate = 0.0;     //!< this epoch's map violations/cycle
+    std::uint64_t busRequests = 0;       //!< cumulative bus grants
+    std::uint64_t busQueueingCycles = 0; //!< cumulative bus wait
+    std::uint64_t mgrPending = 0; //!< sorted-service heap depth
+    std::uint64_t checkpoints = 0; //!< checkpoints taken so far
+    std::uint64_t rollbacks = 0;   //!< rollbacks so far
+    std::vector<Tick> coreLocal;   //!< per-core local clocks
+};
+
+/** Fixed-cadence collector of MetricsRow samples. */
+class MetricsSampler
+{
+  public:
+    /** @param epoch_cycles sampling period in simulated cycles. */
+    explicit MetricsSampler(Tick epoch_cycles);
+
+    /** @return true when @p global has crossed the next epoch. */
+    bool
+    due(Tick global) const
+    {
+        return global >= nextSampleAt_;
+    }
+
+    /** Record @p row and schedule the next epoch after @p global. */
+    void push(Tick global, MetricsRow row);
+
+    const std::vector<MetricsRow> &rows() const { return rows_; }
+
+    /** Write the whole series as CSV (header + one line per row). */
+    void writeCsv(std::ostream &os) const;
+
+  private:
+    Tick epochCycles_;
+    Tick nextSampleAt_ = 0;
+    Tick lastGlobal_ = 0;
+    std::uint64_t lastBusViolations_ = 0;
+    std::uint64_t lastMapViolations_ = 0;
+    std::vector<MetricsRow> rows_;
+};
+
+} // namespace slacksim::obs
+
+#endif // SLACKSIM_OBS_METRICS_HH

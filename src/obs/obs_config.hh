@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Observability configuration embedded in EngineConfig. Kept free of
+ * other core headers so core/config.hh can include it cheaply.
+ */
+
+#ifndef SLACKSIM_OBS_OBS_CONFIG_HH
+#define SLACKSIM_OBS_OBS_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hh"
+
+namespace slacksim {
+
+/** Per-run observability knobs (all off by default). */
+struct ObsConfig
+{
+    /** Chrome-trace / Perfetto JSON output path; "" disables the
+     *  event tracer entirely (hot-path hooks stay dormant). */
+    std::string traceOut;
+
+    /** Epoch metrics time-series CSV output path; "" disables the
+     *  sampler. */
+    std::string metricsOut;
+
+    /** Per-thread trace ring size in KiB; overflowing records are
+     *  dropped and accounted, never blocked on. */
+    std::uint32_t bufferKb = 1024;
+
+    /** Metrics sampling period in simulated cycles. 0 follows the
+     *  adaptive controller's epoch (or 1000 cycles otherwise) so each
+     *  controller decision lands in its own sample. */
+    Tick metricsEpoch = 0;
+
+    /** @return true when any output is requested. */
+    bool
+    enabled() const
+    {
+        return !traceOut.empty() || !metricsOut.empty();
+    }
+};
+
+} // namespace slacksim
+
+#endif // SLACKSIM_OBS_OBS_CONFIG_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Observability flag plumbing implementation.
+ */
+
+#include "obs/obs_flags.hh"
+
+namespace slacksim::obs {
+
+const std::vector<OptionSpec> &
+obsOptionSpecs()
+{
+    static const std::vector<OptionSpec> specs = {
+        {"trace-out", "FILE",
+         "write a Chrome-trace/Perfetto JSON of the run"},
+        {"metrics-out", "FILE",
+         "write the epoch metrics time series as CSV"},
+        {"obs-buffer-kb", "KB",
+         "per-thread trace ring size in KiB (default 1024)"},
+        {"obs-epoch", "CYCLES",
+         "metrics sampling period (default: adaptive epoch)"},
+    };
+    return specs;
+}
+
+void
+applyObsOptions(const Options &opts, ObsConfig &config)
+{
+    config.traceOut = opts.get("trace-out", config.traceOut);
+    config.metricsOut = opts.get("metrics-out", config.metricsOut);
+    config.bufferKb = static_cast<std::uint32_t>(
+        opts.getUint("obs-buffer-kb", config.bufferKb));
+    config.metricsEpoch = opts.getUint("obs-epoch", config.metricsEpoch);
+}
+
+} // namespace slacksim::obs

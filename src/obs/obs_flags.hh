@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Command-line plumbing for the observability subsystem, shared by
+ * the examples and the bench harnesses: the --trace-out /
+ * --metrics-out / --obs-buffer-kb / --obs-epoch flag specs (for
+ * --help and unknown-flag rejection) and the helper that applies them
+ * to an ObsConfig.
+ */
+
+#ifndef SLACKSIM_OBS_OBS_FLAGS_HH
+#define SLACKSIM_OBS_OBS_FLAGS_HH
+
+#include <vector>
+
+#include "obs/obs_config.hh"
+#include "util/options.hh"
+
+namespace slacksim::obs {
+
+/** @return the observability flag specs (help text included). */
+const std::vector<OptionSpec> &obsOptionSpecs();
+
+/** Apply any given observability flags to @p config. */
+void applyObsOptions(const Options &opts, ObsConfig &config);
+
+} // namespace slacksim::obs
+
+#endif // SLACKSIM_OBS_OBS_FLAGS_HH

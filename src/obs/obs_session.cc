@@ -1,0 +1,164 @@
+/**
+ * @file
+ * ObsSession implementation.
+ */
+
+#include "obs/obs_session.hh"
+
+#include <fstream>
+
+#include "core/manager_logic.hh"
+#include "core/pacer.hh"
+#include "core/sim_system.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/tracer.hh"
+#include "util/logging.hh"
+
+namespace slacksim::obs {
+
+ObsSession::ObsSession(const ObsConfig &config, SimSystem &sys,
+                       Pacer &pacer, ManagerLogic &mgr,
+                       const HostStats &host)
+    : config_(config),
+      sys_(sys),
+      pacer_(pacer),
+      mgr_(mgr),
+      host_(host)
+{
+}
+
+ObsSession::~ObsSession()
+{
+    // Normal exit goes through finish(); this only releases the
+    // tracer when an engine dies mid-run (panic unwinding in tests).
+    if (tracing_ && !finished_)
+        Tracer::instance().deactivate();
+}
+
+void
+ObsSession::begin(const char *role)
+{
+    t0_ = std::chrono::steady_clock::now();
+    if (!config_.traceOut.empty()) {
+        tracing_ = Tracer::instance().activate(config_.bufferKb);
+        if (tracing_) {
+            Tracer::instance().registerThread(role);
+            traceBegin(TraceCategory::Engine, "engine-run", 0);
+        } else {
+            SLACKSIM_WARN("trace session already active; --trace-out=",
+                          config_.traceOut, " ignored for this run");
+        }
+    }
+    if (!config_.metricsOut.empty()) {
+        Tick epoch = config_.metricsEpoch;
+        if (epoch == 0) {
+            const EngineConfig &engine = sys_.config().engine;
+            epoch = engine.scheme == SchemeKind::Adaptive
+                        ? engine.adaptive.epochCycles
+                        : 1000;
+        }
+        sampler_ = std::make_unique<MetricsSampler>(epoch);
+    }
+}
+
+std::uint64_t
+ObsSession::wallNowNs() const
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0_)
+            .count());
+}
+
+void
+ObsSession::maybeSample(Tick global)
+{
+    if (sampler_ && sampler_->due(global))
+        sample(global);
+}
+
+void
+ObsSession::forceSample(Tick global)
+{
+    if (sampler_)
+        sample(global);
+}
+
+void
+ObsSession::sample(Tick global)
+{
+    MetricsRow row;
+    row.wallNs = wallNowNs();
+    row.global = global;
+    row.minLocal = sys_.globalTime();
+    row.maxLocal = sys_.maxLocalTime();
+    row.slackBound = pacer_.currentBound();
+    row.replay = pacer_.replayMode();
+    row.busViolations = sys_.violations().busViolations;
+    row.mapViolations = sys_.violations().mapViolations;
+    row.busRequests = sys_.uncoreStats().busRequests;
+    row.busQueueingCycles = sys_.uncoreStats().busQueueingCycles;
+    row.mgrPending = mgr_.pendingDepth();
+    row.checkpoints = host_.checkpointsTaken;
+    row.rollbacks = host_.rollbacks;
+    row.coreLocal.reserve(sys_.numCores());
+    for (CoreId c = 0; c < sys_.numCores(); ++c)
+        row.coreLocal.push_back(sys_.core(c).localTime());
+    sampler_->push(global, std::move(row));
+}
+
+void
+ObsSession::collectTrace()
+{
+    if (tracing_)
+        Tracer::instance().collect();
+}
+
+void
+ObsSession::finish(Tick global)
+{
+    if (finished_)
+        return;
+    finished_ = true;
+
+    if (sampler_) {
+        sample(global);
+        std::ofstream os(config_.metricsOut);
+        if (!os) {
+            SLACKSIM_WARN("cannot write metrics CSV to ",
+                          config_.metricsOut);
+        } else {
+            sampler_->writeCsv(os);
+            SLACKSIM_INFORM("metrics: ", sampler_->rows().size(),
+                            " epoch samples -> ", config_.metricsOut);
+        }
+    }
+
+    if (tracing_) {
+        traceEnd(TraceCategory::Engine, "engine-run", global);
+        auto traces = Tracer::instance().takeTraces();
+        Tracer::instance().deactivate();
+        std::uint64_t records = 0;
+        std::uint64_t dropped = 0;
+        for (const auto &t : traces) {
+            records += t.records.size();
+            dropped += t.dropped;
+        }
+        std::ofstream os(config_.traceOut);
+        if (!os) {
+            SLACKSIM_WARN("cannot write Chrome trace to ",
+                          config_.traceOut);
+        } else {
+            writeChromeTrace(os, traces);
+            SLACKSIM_INFORM("trace: ", records, " events on ",
+                            traces.size(), " tracks -> ",
+                            config_.traceOut,
+                            dropped ? " (ring overflow dropped " : "",
+                            dropped ? std::to_string(dropped) : "",
+                            dropped ? " records; raise --obs-buffer-kb)"
+                                    : "");
+        }
+    }
+}
+
+} // namespace slacksim::obs

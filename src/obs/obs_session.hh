@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Per-run observability session: the glue both engines drive from
+ * the manager thread. Owns the trace activation lifecycle (activate
+ * before worker threads spawn, drain at checkpoint boundaries,
+ * export + deactivate after the run) and the epoch metrics sampler
+ * (snapshot the run state every sampling epoch, plus forced samples
+ * at checkpoint/rollback edges so speculative transitions are never
+ * missed between epochs).
+ */
+
+#ifndef SLACKSIM_OBS_OBS_SESSION_HH
+#define SLACKSIM_OBS_OBS_SESSION_HH
+
+#include <chrono>
+#include <memory>
+
+#include "obs/metrics.hh"
+#include "obs/obs_config.hh"
+
+namespace slacksim {
+
+class SimSystem;
+class Pacer;
+class ManagerLogic;
+struct HostStats;
+
+namespace obs {
+
+/** One run's observability state; all calls on the manager thread. */
+class ObsSession
+{
+  public:
+    /** References must outlive the session (engine members). */
+    ObsSession(const ObsConfig &config, SimSystem &sys, Pacer &pacer,
+               ManagerLogic &mgr, const HostStats &host);
+    ~ObsSession();
+
+    ObsSession(const ObsSession &) = delete;
+    ObsSession &operator=(const ObsSession &) = delete;
+
+    /**
+     * Start the session: activates the tracer (when --trace-out is
+     * configured), registers the calling thread under @p role, and
+     * opens the engine-run span. Call before spawning core threads.
+     */
+    void begin(const char *role);
+
+    /** @return true while the event tracer is recording this run. */
+    bool tracing() const { return tracing_; }
+
+    /** @return true when the metrics sampler is on. */
+    bool metricsOn() const { return sampler_ != nullptr; }
+
+    /** Sample the run state if the sampling epoch has elapsed. */
+    void maybeSample(Tick global);
+
+    /** Sample unconditionally (checkpoint / rollback edges). */
+    void forceSample(Tick global);
+
+    /** Drain the per-thread rings into the session accumulator
+     *  (checkpoint boundaries; frees ring space mid-run). */
+    void collectTrace();
+
+    /**
+     * Finish the run: final sample, close the engine-run span, write
+     * the Chrome-trace JSON and metrics CSV files, release the
+     * tracer. Idempotent.
+     */
+    void finish(Tick global);
+
+  private:
+    void sample(Tick global);
+    std::uint64_t wallNowNs() const;
+
+    ObsConfig config_;
+    SimSystem &sys_;
+    Pacer &pacer_;
+    ManagerLogic &mgr_;
+    const HostStats &host_;
+
+    bool tracing_ = false;
+    bool finished_ = false;
+    std::unique_ptr<MetricsSampler> sampler_;
+    std::chrono::steady_clock::time_point t0_{};
+};
+
+} // namespace obs
+} // namespace slacksim
+
+#endif // SLACKSIM_OBS_OBS_SESSION_HH

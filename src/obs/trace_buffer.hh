@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Fixed-capacity lock-free ring of trace records, one per registered
+ * engine thread. Same Lamport SPSC discipline as util/spsc_queue.hh:
+ * the owning thread is the only producer; the manager (or the
+ * post-run exporter) is the only consumer, so records can be drained
+ * at checkpoint boundaries while the producer keeps running. A full
+ * ring drops the new record and counts it instead of blocking or
+ * overwriting — the hot path never waits.
+ */
+
+#ifndef SLACKSIM_OBS_TRACE_BUFFER_HH
+#define SLACKSIM_OBS_TRACE_BUFFER_HH
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "obs/trace_event.hh"
+
+namespace slacksim::obs {
+
+/** Single-producer/single-consumer trace-record ring. */
+class TraceRing
+{
+  public:
+    /** @param capacity minimum number of storable records. */
+    explicit TraceRing(std::size_t capacity)
+        : mask_(roundUpPow2(capacity + 1) - 1),
+          slots_(mask_ + 1)
+    {
+    }
+
+    TraceRing(const TraceRing &) = delete;
+    TraceRing &operator=(const TraceRing &) = delete;
+
+    /** Producer: append a record; full rings drop and account. */
+    void
+    push(const TraceRecord &rec)
+    {
+        const std::size_t tail = tail_.load(std::memory_order_relaxed);
+        const std::size_t next = (tail + 1) & mask_;
+        if (next == head_.load(std::memory_order_acquire)) {
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        slots_[tail] = rec;
+        tail_.store(next, std::memory_order_release);
+    }
+
+    /** Consumer: move every visible record into @p out.
+     *  @return records drained. */
+    std::size_t
+    drain(std::vector<TraceRecord> &out)
+    {
+        std::size_t head = head_.load(std::memory_order_relaxed);
+        const std::size_t tail = tail_.load(std::memory_order_acquire);
+        std::size_t n = 0;
+        while (head != tail) {
+            out.push_back(slots_[head]);
+            head = (head + 1) & mask_;
+            ++n;
+        }
+        head_.store(head, std::memory_order_release);
+        return n;
+    }
+
+    /** @return records dropped because the ring was full. */
+    std::uint64_t
+    dropped() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+    /** Maximum number of storable records. */
+    std::size_t capacity() const { return mask_; }
+
+  private:
+    static std::size_t
+    roundUpPow2(std::size_t v)
+    {
+        std::size_t p = 1;
+        while (p < v)
+            p <<= 1;
+        return p;
+    }
+
+    const std::size_t mask_;
+    std::vector<TraceRecord> slots_;
+    alignas(64) std::atomic<std::size_t> head_{0};
+    alignas(64) std::atomic<std::size_t> tail_{0};
+    alignas(64) std::atomic<std::uint64_t> dropped_{0};
+};
+
+} // namespace slacksim::obs
+
+#endif // SLACKSIM_OBS_TRACE_BUFFER_HH

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tracer implementation.
+ */
+
+#include "obs/tracer.hh"
+
+#include <algorithm>
+
+namespace slacksim::obs {
+
+namespace {
+
+/** The calling thread's binding to the current trace session. */
+struct ThreadBinding
+{
+    TraceRing *ring = nullptr;
+    std::uint64_t epoch = 0; //!< session the binding belongs to
+};
+
+thread_local ThreadBinding tlsBinding;
+
+} // namespace
+
+const char *
+traceCategoryName(TraceCategory cat)
+{
+    switch (cat) {
+      case TraceCategory::Engine:
+        return "engine";
+      case TraceCategory::Core:
+        return "core";
+      case TraceCategory::Manager:
+        return "manager";
+      case TraceCategory::Bus:
+        return "bus";
+      case TraceCategory::Map:
+        return "map";
+      case TraceCategory::Adaptive:
+        return "adaptive";
+      case TraceCategory::Checkpoint:
+        return "checkpoint";
+    }
+    return "unknown";
+}
+
+bool
+Tracer::activate(std::uint32_t ring_kb)
+{
+    std::lock_guard<std::mutex> lock(registryMutex_);
+    if (active())
+        return false; // one trace session per process
+    slots_.clear();
+    ringKb_ = ring_kb < 1 ? 1 : ring_kb;
+    t0_ = std::chrono::steady_clock::now();
+    epoch_.store(++nextEpoch_, std::memory_order_release);
+    return true;
+}
+
+void
+Tracer::deactivate()
+{
+    epoch_.store(0, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(registryMutex_);
+    slots_.clear();
+}
+
+TraceRing *
+Tracer::boundRing() const
+{
+    const std::uint64_t e = epoch_.load(std::memory_order_relaxed);
+    if (e == 0 || tlsBinding.epoch != e)
+        return nullptr;
+    return tlsBinding.ring;
+}
+
+void
+Tracer::registerThread(const std::string &role)
+{
+    const std::uint64_t e = epoch_.load(std::memory_order_acquire);
+    if (e == 0)
+        return;
+    std::lock_guard<std::mutex> lock(registryMutex_);
+    auto slot = std::make_unique<Slot>();
+    slot->role = role;
+    slot->tid = static_cast<std::uint32_t>(slots_.size());
+    const std::size_t capacity =
+        std::max<std::size_t>(64, std::size_t{ringKb_} * 1024 /
+                                      sizeof(TraceRecord));
+    slot->ring = std::make_unique<TraceRing>(capacity);
+    tlsBinding.ring = slot->ring.get();
+    tlsBinding.epoch = e;
+    slots_.push_back(std::move(slot));
+}
+
+void
+Tracer::unregisterThread()
+{
+    tlsBinding.ring = nullptr;
+    tlsBinding.epoch = 0;
+}
+
+std::size_t
+Tracer::collect()
+{
+    std::lock_guard<std::mutex> lock(registryMutex_);
+    std::size_t moved = 0;
+    for (auto &slot : slots_)
+        moved += slot->ring->drain(slot->collected);
+    return moved;
+}
+
+std::vector<ThreadTrace>
+Tracer::takeTraces()
+{
+    collect();
+    std::lock_guard<std::mutex> lock(registryMutex_);
+    std::vector<ThreadTrace> out;
+    out.reserve(slots_.size());
+    for (auto &slot : slots_) {
+        ThreadTrace t;
+        t.role = slot->role;
+        t.tid = slot->tid;
+        t.dropped = slot->ring->dropped();
+        t.records = std::move(slot->collected);
+        slot->collected.clear();
+        out.push_back(std::move(t));
+    }
+    return out;
+}
+
+std::uint64_t
+Tracer::droppedTotal() const
+{
+    std::lock_guard<std::mutex> lock(registryMutex_);
+    std::uint64_t dropped = 0;
+    for (const auto &slot : slots_)
+        dropped += slot->ring->dropped();
+    return dropped;
+}
+
+std::vector<std::pair<std::uint32_t, TraceRecord>>
+mergeByCycle(const std::vector<ThreadTrace> &traces)
+{
+    std::vector<std::pair<std::uint32_t, TraceRecord>> merged;
+    for (const auto &t : traces)
+        for (const auto &rec : t.records)
+            merged.emplace_back(t.tid, rec);
+    // Per-thread order is already FIFO; a stable sort on (cycle, tid)
+    // therefore keeps each thread's same-cycle records in emit order.
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const auto &a, const auto &b) {
+                         if (a.second.cycle != b.second.cycle)
+                             return a.second.cycle < b.second.cycle;
+                         return a.first < b.first;
+                     });
+    return merged;
+}
+
+} // namespace slacksim::obs

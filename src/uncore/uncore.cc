@@ -9,6 +9,7 @@
 
 #include <algorithm>
 
+#include "obs/tracer.hh"
 #include "util/logging.hh"
 
 namespace slacksim {
@@ -131,6 +132,9 @@ Uncore::serviceBusRequest(const BusMsg &msg, std::vector<Outbound> &out)
         result.busViolation = true;
         if (countViolations_)
             ++violations_->busViolations;
+        obs::traceInstant(obs::TraceCategory::Bus, "bus-violation",
+                          msg.ts, static_cast<std::int64_t>(msg.src),
+                          static_cast<std::int64_t>(busMonitorTs_));
     } else {
         busMonitorTs_ = msg.ts;
     }
@@ -141,6 +145,9 @@ Uncore::serviceBusRequest(const BusMsg &msg, std::vector<Outbound> &out)
     busQueueHist_.add(grant - (msg.ts + 1));
     reqBusFreeAt_ = grant + params_.busRequestCycles;
     ++stats_->busRequests;
+    obs::traceInstant(obs::TraceCategory::Bus, "bus-grant", grant,
+                      static_cast<std::int64_t>(msg.src),
+                      static_cast<std::int64_t>(grant - (msg.ts + 1)));
     const Tick snoop_ts = grant + 1;
 
     // Map violation detection on the line's monitoring variable.
@@ -149,6 +156,9 @@ Uncore::serviceBusRequest(const BusMsg &msg, std::vector<Outbound> &out)
         result.mapViolation = true;
         if (countViolations_)
             ++violations_->mapViolations;
+        obs::traceInstant(obs::TraceCategory::Map, "map-violation",
+                          msg.ts, static_cast<std::int64_t>(msg.src),
+                          static_cast<std::int64_t>(line));
     }
 
     switch (msg.type) {

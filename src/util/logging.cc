@@ -15,6 +15,15 @@ namespace {
 
 std::atomic<bool> quietFlag{false};
 
+/** Per-thread log attribution (see setLogThreadContext). */
+struct LogThreadContext
+{
+    std::string role;
+    const std::atomic<std::uint64_t> *cycle = nullptr;
+};
+
+thread_local LogThreadContext logContext;
+
 } // namespace
 
 void
@@ -29,12 +38,42 @@ quietLogging()
     return quietFlag.load(std::memory_order_relaxed);
 }
 
+void
+setLogThreadContext(const std::string &role,
+                    const std::atomic<std::uint64_t> *cycle)
+{
+    logContext.role = role;
+    logContext.cycle = cycle;
+}
+
+void
+clearLogThreadContext()
+{
+    logContext.role.clear();
+    logContext.cycle = nullptr;
+}
+
+std::string
+logThreadPrefix()
+{
+    if (logContext.role.empty())
+        return "";
+    std::string prefix = "[" + logContext.role;
+    if (logContext.cycle) {
+        prefix += " @" + std::to_string(logContext.cycle->load(
+                             std::memory_order_relaxed));
+    }
+    prefix += "] ";
+    return prefix;
+}
+
 namespace detail {
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fprintf(stderr, "panic: %s%s (%s:%d)\n",
+                 logThreadPrefix().c_str(), msg.c_str(), file, line);
     std::fflush(stderr);
     std::abort();
 }
@@ -42,7 +81,8 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fprintf(stderr, "fatal: %s%s (%s:%d)\n",
+                 logThreadPrefix().c_str(), msg.c_str(), file, line);
     std::fflush(stderr);
     std::exit(1);
 }
@@ -52,7 +92,8 @@ warnImpl(const std::string &msg)
 {
     if (quietLogging())
         return;
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    std::fprintf(stderr, "warn: %s%s\n", logThreadPrefix().c_str(),
+                 msg.c_str());
 }
 
 void
@@ -60,7 +101,8 @@ informImpl(const std::string &msg)
 {
     if (quietLogging())
         return;
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    std::fprintf(stderr, "info: %s%s\n", logThreadPrefix().c_str(),
+                 msg.c_str());
 }
 
 } // namespace detail

@@ -12,6 +12,8 @@
 #ifndef SLACKSIM_UTIL_LOGGING_HH
 #define SLACKSIM_UTIL_LOGGING_HH
 
+#include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -74,6 +76,24 @@ void setQuietLogging(bool quiet);
 
 /** @return true when inform()/warn() output is suppressed. */
 bool quietLogging();
+
+/**
+ * Attribute this thread's warn()/inform() lines: engine threads
+ * register their role ("core 3", "manager", "relay 0") and optionally
+ * a live target-clock source, so interleaved multi-threaded log lines
+ * read "warn: [core 3 @12345] ..." instead of being anonymous.
+ * @param cycle the thread's local clock, or nullptr when it has none;
+ *   must stay valid until the context is cleared.
+ */
+void setLogThreadContext(const std::string &role,
+                         const std::atomic<std::uint64_t> *cycle =
+                             nullptr);
+
+/** Drop this thread's log attribution (thread exit / end of run). */
+void clearLogThreadContext();
+
+/** @return this thread's "[role @cycle] " prefix, or "" if none. */
+std::string logThreadPrefix();
 
 } // namespace slacksim
 

@@ -5,6 +5,8 @@
 
 #include "util/options.hh"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 #include "util/logging.hh"
@@ -25,6 +27,52 @@ Options::Options(int argc, const char *const *argv)
                 values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
         } else {
             positional_.push_back(arg);
+        }
+    }
+}
+
+void
+Options::printUsage(const std::string &tool,
+                    const std::vector<OptionSpec> &known) const
+{
+    std::printf("%s\n\nusage: %s [--flag[=value] ...]\n\noptions:\n",
+                tool.c_str(), program_.c_str());
+    std::size_t width = 0;
+    for (const auto &spec : known) {
+        std::size_t w = std::string(spec.key).size();
+        if (spec.valueHint[0])
+            w += 1 + std::string(spec.valueHint).size();
+        width = std::max(width, w);
+    }
+    for (const auto &spec : known) {
+        std::string lhs = spec.key;
+        if (spec.valueHint[0])
+            lhs += std::string("=") + spec.valueHint;
+        std::printf("  --%-*s  %s\n", static_cast<int>(width),
+                    lhs.c_str(), spec.help);
+    }
+    std::printf("  --%-*s  %s\n", static_cast<int>(width), "help",
+                "show this message and exit");
+}
+
+void
+Options::enforceKnown(const std::string &tool,
+                      const std::vector<OptionSpec> &known) const
+{
+    if (has("help")) {
+        printUsage(tool, known);
+        std::exit(0);
+    }
+    for (const auto &[key, value] : values_) {
+        (void)value;
+        if (key == "help")
+            continue;
+        const bool ok = std::any_of(
+            known.begin(), known.end(),
+            [&key](const OptionSpec &spec) { return key == spec.key; });
+        if (!ok) {
+            SLACKSIM_FATAL("unknown option --", key,
+                           " (run with --help for the flag list)");
         }
     }
 }

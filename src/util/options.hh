@@ -14,12 +14,33 @@
 
 namespace slacksim {
 
+/** One documented command-line flag (for --help and validation). */
+struct OptionSpec
+{
+    const char *key;       //!< flag name without the leading "--"
+    const char *valueHint; //!< "" for boolean flags, else e.g. "N"
+    const char *help;      //!< one-line description
+};
+
 /** Parsed command line. */
 class Options
 {
   public:
     /** Parse argv; unknown positional arguments are collected. */
     Options(int argc, const char *const *argv);
+
+    /**
+     * Validate against a flag registry: prints usage and exits 0 when
+     * --help was given; rejects any --flag not in @p known (or
+     * "help") with a fatal() instead of silently ignoring it.
+     * @param tool one-line tool description shown atop --help
+     */
+    void enforceKnown(const std::string &tool,
+                      const std::vector<OptionSpec> &known) const;
+
+    /** Print a usage summary built from @p known. */
+    void printUsage(const std::string &tool,
+                    const std::vector<OptionSpec> &known) const;
 
     /** @return true when --key was given (with or without a value). */
     bool has(const std::string &key) const;

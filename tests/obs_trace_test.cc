@@ -1,0 +1,420 @@
+/**
+ * @file
+ * Event tracer tests: ring wraparound and overflow accounting, span
+ * begin/end pairing through the registry, deterministic multi-thread
+ * merge order, and a golden test that a traced engine run emits a
+ * parseable Chrome-trace JSON containing the expected span names.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/run.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/trace_buffer.hh"
+#include "obs/tracer.hh"
+#include "util/logging.hh"
+
+using namespace slacksim;
+using namespace slacksim::obs;
+
+namespace {
+
+TraceRecord
+record(Tick cycle, const char *name = "ev",
+       TraceType type = TraceType::Instant)
+{
+    TraceRecord r;
+    r.wallNs = cycle;
+    r.cycle = cycle;
+    r.name = name;
+    r.arg = 0;
+    r.arg2 = 0;
+    r.type = type;
+    r.category = TraceCategory::Core;
+    return r;
+}
+
+/**
+ * Minimal JSON validity checker, enough for the golden test: parses
+ * the full value grammar (objects, arrays, strings with escapes,
+ * numbers, literals) and requires every byte to be consumed.
+ */
+class MiniJson
+{
+  public:
+    explicit MiniJson(const std::string &text) : s_(text) {}
+
+    bool
+    valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (pos_ >= s_.size())
+            return false;
+        switch (s_[pos_]) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            if (s_[pos_] == '\\') {
+                ++pos_;
+                if (pos_ >= s_.size())
+                    return false;
+            }
+            ++pos_;
+        }
+        if (pos_ >= s_.size())
+            return false;
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                s_[pos_] == '+' || s_[pos_] == '-')) {
+            ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool
+    literal(const char *lit)
+    {
+        const std::string l(lit);
+        if (s_.compare(pos_, l.size(), l) != 0)
+            return false;
+        pos_ += l.size();
+        return true;
+    }
+
+    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+TEST(TraceRing, FifoDrainAndCapacity)
+{
+    TraceRing ring(8);
+    EXPECT_GE(ring.capacity(), 8u);
+    for (Tick t = 0; t < 5; ++t)
+        ring.push(record(t));
+    std::vector<TraceRecord> out;
+    EXPECT_EQ(ring.drain(out), 5u);
+    ASSERT_EQ(out.size(), 5u);
+    for (Tick t = 0; t < 5; ++t)
+        EXPECT_EQ(out[t].cycle, t);
+    EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(TraceRing, WraparoundAcrossManyDrains)
+{
+    TraceRing ring(4);
+    std::vector<TraceRecord> out;
+    Tick next = 0;
+    // Push/drain far past the physical size: indices must wrap
+    // without losing order or records.
+    for (int round = 0; round < 100; ++round) {
+        ring.push(record(next));
+        ring.push(record(next + 1));
+        out.clear();
+        ASSERT_EQ(ring.drain(out), 2u);
+        EXPECT_EQ(out[0].cycle, next);
+        EXPECT_EQ(out[1].cycle, next + 1);
+        next += 2;
+    }
+    EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(TraceRing, OverflowDropsNewestAndCounts)
+{
+    TraceRing ring(4);
+    const std::size_t cap = ring.capacity();
+    for (Tick t = 0; t < static_cast<Tick>(cap) + 10; ++t)
+        ring.push(record(t));
+    EXPECT_EQ(ring.dropped(), 10u);
+    std::vector<TraceRecord> out;
+    EXPECT_EQ(ring.drain(out), cap);
+    // Drop-new policy: the oldest records survive, the overflow is
+    // the tail that never entered.
+    for (std::size_t i = 0; i < cap; ++i)
+        EXPECT_EQ(out[i].cycle, static_cast<Tick>(i));
+    // After draining there is room again.
+    ring.push(record(999));
+    out.clear();
+    EXPECT_EQ(ring.drain(out), 1u);
+    EXPECT_EQ(out[0].cycle, 999u);
+}
+
+TEST(Tracer, SpanBeginEndPairing)
+{
+    Tracer &tracer = Tracer::instance();
+    ASSERT_TRUE(tracer.activate(64));
+    tracer.registerThread("pairing");
+    traceBegin(TraceCategory::Engine, "outer", 10);
+    traceBegin(TraceCategory::Core, "inner", 11);
+    traceEnd(TraceCategory::Core, "inner", 12);
+    traceEnd(TraceCategory::Engine, "outer", 13);
+    auto traces = tracer.takeTraces();
+    tracer.unregisterThread();
+    tracer.deactivate();
+
+    ASSERT_EQ(traces.size(), 1u);
+    const auto &records = traces[0].records;
+    ASSERT_EQ(records.size(), 4u);
+    // Properly nested begin/end pairs in emission order.
+    EXPECT_EQ(records[0].type, TraceType::Begin);
+    EXPECT_STREQ(records[0].name, "outer");
+    EXPECT_EQ(records[1].type, TraceType::Begin);
+    EXPECT_STREQ(records[1].name, "inner");
+    EXPECT_EQ(records[2].type, TraceType::End);
+    EXPECT_STREQ(records[2].name, "inner");
+    EXPECT_EQ(records[3].type, TraceType::End);
+    EXPECT_STREQ(records[3].name, "outer");
+    EXPECT_EQ(traces[0].dropped, 0u);
+}
+
+TEST(Tracer, EmitWithoutSessionIsNoOp)
+{
+    Tracer &tracer = Tracer::instance();
+    ASSERT_FALSE(tracer.active());
+    traceInstant(TraceCategory::Bus, "ignored", 1);
+    ASSERT_TRUE(tracer.activate(64));
+    // Emission before registration is also dropped silently.
+    traceInstant(TraceCategory::Bus, "ignored", 2);
+    auto traces = tracer.takeTraces();
+    tracer.deactivate();
+    EXPECT_TRUE(traces.empty());
+}
+
+TEST(Tracer, OnlyOneSessionAtATime)
+{
+    Tracer &tracer = Tracer::instance();
+    ASSERT_TRUE(tracer.activate(64));
+    EXPECT_FALSE(tracer.activate(64));
+    tracer.deactivate();
+    EXPECT_TRUE(tracer.activate(64));
+    tracer.deactivate();
+}
+
+TEST(Tracer, MergeByCycleOrdersAcrossThreads)
+{
+    Tracer &tracer = Tracer::instance();
+    ASSERT_TRUE(tracer.activate(256));
+
+    // Three producer threads, interleaved simulated cycles.
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 3; ++t) {
+        workers.emplace_back([t, &tracer] {
+            tracer.registerThread("worker " + std::to_string(t));
+            for (Tick c = 0; c < 50; ++c) {
+                traceInstant(TraceCategory::Core, "tick",
+                             c * 3 + static_cast<Tick>(t),
+                             static_cast<std::int64_t>(t));
+            }
+            tracer.unregisterThread();
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+
+    auto traces = tracer.takeTraces();
+    tracer.deactivate();
+    ASSERT_EQ(traces.size(), 3u);
+
+    const auto merged = mergeByCycle(traces);
+    ASSERT_EQ(merged.size(), 150u);
+    for (std::size_t i = 1; i < merged.size(); ++i) {
+        const auto &prev = merged[i - 1];
+        const auto &cur = merged[i];
+        const bool ordered =
+            prev.second.cycle < cur.second.cycle ||
+            (prev.second.cycle == cur.second.cycle &&
+             prev.first <= cur.first);
+        EXPECT_TRUE(ordered) << "disorder at " << i;
+    }
+    // With cycle = 3*c + tid the merged stream is exactly 0,1,2,3...
+    for (std::size_t i = 0; i < merged.size(); ++i)
+        EXPECT_EQ(merged[i].second.cycle, static_cast<Tick>(i));
+}
+
+TEST(ChromeTrace, GoldenSpansFromTinyEngineRun)
+{
+    setQuietLogging(true);
+    const std::string path =
+        testing::TempDir() + "obs_trace_golden.json";
+
+    SimConfig config;
+    config.workload.kernel = "uniform";
+    config.target.numCores = 4;
+    config.workload.numThreads = 4;
+    config.workload.iters = 800;
+    config.workload.footprintBytes = 32 * 1024;
+    config.engine.scheme = SchemeKind::Bounded;
+    config.engine.slackBound = 8;
+    config.engine.maxCommittedUops = 6000;
+    config.engine.parallelHost = true;
+    config.engine.checkpoint.mode = CheckpointMode::Measure;
+    config.engine.checkpoint.interval = 1000;
+    config.engine.obs.traceOut = path;
+    runSimulation(config);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "trace file missing: " << path;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string json = buffer.str();
+    ASSERT_FALSE(json.empty());
+
+    MiniJson parser(json);
+    EXPECT_TRUE(parser.valid()) << "trace JSON does not parse";
+
+    for (const char *needle :
+         {"\"traceEvents\"", "\"core-run\"", "\"manager-service\"",
+          "\"checkpoint\"", "\"engine-run\"", "\"thread_name\"",
+          "\"manager\"", "\"core 0\""}) {
+        EXPECT_NE(json.find(needle), std::string::npos)
+            << "missing " << needle;
+    }
+    // The rings were sized by the default 1 MiB budget; a tiny run
+    // must never overflow them.
+    EXPECT_EQ(json.find("trace-overflow"), std::string::npos);
+
+    std::remove(path.c_str());
+}
+
+TEST(ChromeTrace, WriterEscapesAndOrdersRecords)
+{
+    std::vector<ThreadTrace> traces(1);
+    traces[0].role = "core \"0\"\\";
+    traces[0].tid = 0;
+    // Deliberately out of wall order: the writer sorts by wallNs.
+    TraceRecord late = record(7, "late", TraceType::Instant);
+    late.wallNs = 2000;
+    TraceRecord early = record(3, "early", TraceType::Instant);
+    early.wallNs = 1000;
+    traces[0].records = {late, early};
+
+    std::ostringstream os;
+    writeChromeTrace(os, traces);
+    const std::string json = os.str();
+
+    MiniJson parser(json);
+    EXPECT_TRUE(parser.valid()) << json;
+    EXPECT_NE(json.find("core \\\"0\\\"\\\\"), std::string::npos);
+    EXPECT_LT(json.find("\"early\""), json.find("\"late\""));
+}

@@ -226,6 +226,27 @@ TEST(Options, TypedDefaults)
     EXPECT_TRUE(o.getBool("missing", true));
 }
 
+TEST(OptionsDeathTest, RejectsUnknownFlag)
+{
+    const std::vector<OptionSpec> known = {
+        {"alpha", "N", "a known flag"},
+    };
+    const char *argv[] = {"prog", "--alpha=3", "--tpyo=1"};
+    Options o(3, argv);
+    EXPECT_EXIT(o.enforceKnown("prog", known),
+                testing::ExitedWithCode(1), "unknown option --tpyo");
+
+    const char *good[] = {"prog", "--alpha=3"};
+    Options ok(2, good);
+    ok.enforceKnown("prog", known); // must not exit
+
+    const char *help[] = {"prog", "--help"};
+    Options h(2, help);
+    // Usage text goes to stdout (EXPECT_EXIT only matches stderr).
+    EXPECT_EXIT(h.enforceKnown("prog", known),
+                testing::ExitedWithCode(0), "");
+}
+
 TEST(Table, PrintsAlignedColumnsAndCsv)
 {
     Table t("demo");
