@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Perf-smoke harness: a fixed set of short engine runs whose
+ * throughput is recorded as machine-readable JSON (BENCH_perf.json)
+ * so every PR leaves a comparable perf trajectory behind.
+ *
+ * Unlike the table/figure harnesses this binary is not about the
+ * paper's numbers: it exists to catch host-side regressions in the
+ * engine hot paths (queue plumbing, manager service, pacing,
+ * checkpoint serialization). Runs are repeated --repeat times and the
+ * best wall time is kept, which filters scheduler noise on small
+ * hosts.
+ *
+ * JSON schema (see EXPERIMENTS.md "Perf methodology"):
+ *   {
+ *     "schema": "slacksim.perf_smoke.v1",
+ *     "kernel": "...", "uops": N, "repeat": R, "host_threads": H,
+ *     "runs": [ { "name", "scheme", "parallel_host",
+ *                 "wall_seconds", "committed_uops", "bus_requests",
+ *                 "events", "events_per_sec", "uops_per_sec",
+ *                 "checkpoints", "checkpoint_bytes",
+ *                 "checkpoint_seconds", "checkpoint_bytes_per_sec" },
+ *               ... ]
+ *   }
+ *
+ * "events" counts the simulated work the engine processed: committed
+ * micro-ops plus serviced bus requests. events_per_sec is the
+ * headline trend metric; the "bounded-micro" run is the canonical
+ * bounded-slack micro-workload number quoted in PR descriptions.
+ *
+ * Flags: --kernel=NAME --uops=N --repeat=N --out=PATH --serial
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hh"
+#include "util/logging.hh"
+
+using namespace slacksim;
+using namespace slacksim::bench;
+
+namespace {
+
+/** One measured configuration. */
+struct SmokeRun
+{
+    std::string name;
+    SimConfig config;
+};
+
+/** Best-of-N measurement of one configuration. */
+struct Measurement
+{
+    std::string name;
+    const char *scheme = "";
+    bool parallelHost = false;
+    double wallSeconds = 0.0;
+    std::uint64_t committedUops = 0;
+    std::uint64_t busRequests = 0;
+    std::uint64_t checkpoints = 0;
+    std::uint64_t checkpointBytes = 0;
+    double checkpointSeconds = 0.0;
+
+    std::uint64_t events() const { return committedUops + busRequests; }
+
+    double
+    eventsPerSec() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(events()) / wallSeconds
+                   : 0.0;
+    }
+
+    double
+    uopsPerSec() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(committedUops) / wallSeconds
+                   : 0.0;
+    }
+
+    double
+    checkpointBytesPerSec() const
+    {
+        // checkpointBytes is the size of one (the latest) snapshot;
+        // total serialized volume is bytes * count.
+        return checkpointSeconds > 0.0
+                   ? static_cast<double>(checkpointBytes) *
+                         static_cast<double>(checkpoints) /
+                         checkpointSeconds
+                   : 0.0;
+    }
+};
+
+SimConfig
+microConfig(const Options &opts, const std::string &kernel,
+            std::uint64_t uops)
+{
+    SimConfig config = paperSetup(kernel, uops);
+    applyCommonFlags(opts, config);
+    config.workload.footprintBytes = 256 * 1024;
+    return config;
+}
+
+Measurement
+measure(const SmokeRun &run, std::uint64_t repeat)
+{
+    Measurement m;
+    m.name = run.name;
+    m.scheme = schemeName(run.config.engine.scheme);
+    m.parallelHost = run.config.engine.parallelHost;
+    for (std::uint64_t i = 0; i < repeat; ++i) {
+        const RunResult r = runSimulation(run.config);
+        if (i == 0 || r.host.wallSeconds < m.wallSeconds) {
+            m.wallSeconds = r.host.wallSeconds;
+            m.committedUops = r.committedUops;
+            m.busRequests = r.uncore.busRequests;
+            m.checkpoints = r.host.checkpointsTaken;
+            m.checkpointBytes = r.host.checkpointBytes;
+            m.checkpointSeconds = r.host.checkpointSeconds;
+        }
+    }
+    return m;
+}
+
+void
+writeJson(std::ostream &os, const Options &opts,
+          const std::string &kernel, std::uint64_t uops,
+          std::uint64_t repeat, const std::vector<Measurement> &all)
+{
+    (void)opts;
+    os << "{\n";
+    os << "  \"schema\": \"slacksim.perf_smoke.v1\",\n";
+    os << "  \"kernel\": \"" << kernel << "\",\n";
+    os << "  \"uops\": " << uops << ",\n";
+    os << "  \"repeat\": " << repeat << ",\n";
+    os << "  \"host_threads\": "
+       << std::thread::hardware_concurrency() << ",\n";
+    os << "  \"runs\": [\n";
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        const Measurement &m = all[i];
+        os << "    {\n";
+        os << "      \"name\": \"" << m.name << "\",\n";
+        os << "      \"scheme\": \"" << m.scheme << "\",\n";
+        os << "      \"parallel_host\": "
+           << (m.parallelHost ? "true" : "false") << ",\n";
+        os << "      \"wall_seconds\": " << m.wallSeconds << ",\n";
+        os << "      \"committed_uops\": " << m.committedUops << ",\n";
+        os << "      \"bus_requests\": " << m.busRequests << ",\n";
+        os << "      \"events\": " << m.events() << ",\n";
+        os << "      \"events_per_sec\": " << m.eventsPerSec() << ",\n";
+        os << "      \"uops_per_sec\": " << m.uopsPerSec() << ",\n";
+        os << "      \"checkpoints\": " << m.checkpoints << ",\n";
+        os << "      \"checkpoint_bytes\": " << m.checkpointBytes
+           << ",\n";
+        os << "      \"checkpoint_seconds\": " << m.checkpointSeconds
+           << ",\n";
+        os << "      \"checkpoint_bytes_per_sec\": "
+           << m.checkpointBytesPerSec() << "\n";
+        os << "    }" << (i + 1 < all.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n";
+    os << "}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    checkFlags(opts, "perf_smoke: engine hot-path throughput recorder",
+               {{"repeat", "N", "runs per config; best wall time kept"},
+                {"out", "PATH", "JSON output path (BENCH_perf.json)"}});
+    const std::string kernel = opts.get("kernel", "uniform");
+    const std::uint64_t uops = uopBudget(opts, 200000);
+    const std::uint64_t repeat = opts.getUint("repeat", 3);
+    const std::string out = opts.get("out", "BENCH_perf.json");
+    banner("perf_smoke: hot-path throughput (best of " +
+               std::to_string(repeat) + ")",
+           opts, uops);
+
+    std::vector<SmokeRun> runs;
+    {
+        // The canonical bounded-slack micro workload: the manager
+        // services events eagerly in arrival order while the queue /
+        // pacing plumbing carries the full event volume. Bounded runs
+        // are cheap per uop, so they get a bigger budget for stable
+        // wall times.
+        SimConfig c = microConfig(opts, kernel, uops * 5);
+        c.engine.scheme = SchemeKind::Bounded;
+        c.engine.slackBound = 64;
+        runs.push_back({"bounded-micro", c});
+    }
+    {
+        // Sorted-service stress: cycle-by-cycle keeps every event in
+        // the manager's merge structure before release.
+        SimConfig c = microConfig(opts, kernel, uops);
+        c.engine.scheme = SchemeKind::CycleByCycle;
+        runs.push_back({"cc-sorted", c});
+    }
+    {
+        // Serial reference engine on the same bounded workload: the
+        // no-threads control group for the two runs above.
+        SimConfig c = microConfig(opts, kernel, uops * 5);
+        c.engine.scheme = SchemeKind::Bounded;
+        c.engine.slackBound = 64;
+        c.engine.parallelHost = false;
+        runs.push_back({"bounded-serial", c});
+    }
+    {
+        // Checkpoint turnover: adaptive + speculative checkpoints at
+        // a short interval so serialization cost dominates; tracks
+        // the paper's Tcpt term (checkpoint bytes/s).
+        SimConfig c = microConfig(opts, kernel, uops);
+        c.engine.scheme = SchemeKind::Adaptive;
+        c.engine.checkpoint.mode = CheckpointMode::Speculative;
+        c.engine.checkpoint.interval = 2000;
+        runs.push_back({"spec-ckpt", c});
+    }
+
+    std::vector<Measurement> all;
+    for (const SmokeRun &run : runs) {
+        all.push_back(measure(run, repeat));
+        const Measurement &m = all.back();
+        std::cout << m.name << ": " << m.wallSeconds << " s, "
+                  << static_cast<std::uint64_t>(m.eventsPerSec())
+                  << " events/s, "
+                  << static_cast<std::uint64_t>(m.uopsPerSec())
+                  << " uops/s";
+        if (m.checkpoints) {
+            std::cout << ", "
+                      << static_cast<std::uint64_t>(
+                             m.checkpointBytesPerSec())
+                      << " ckpt-B/s";
+        }
+        std::cout << "\n";
+    }
+
+    std::ofstream os(out);
+    if (!os)
+        SLACKSIM_FATAL("perf_smoke: cannot write ", out);
+    writeJson(os, opts, kernel, uops, repeat, all);
+    std::cout << "wrote " << out << "\n";
+    return 0;
+}

@@ -79,25 +79,33 @@ Checkpointer::takeCheckpoint(Tick now)
             event = Event::ResumedFromRollback;
     } else {
         const double t0 = nowSeconds();
-        SnapshotWriter writer;
+        // Serialize into the spare buffer (reusing its capacity) and
+        // only then promote it: buffers_[active_] stays a valid
+        // rollback image even if save() throws halfway through.
+        const std::uint32_t spare = active_ ^ 1;
+        SnapshotWriter writer(std::move(buffers_[spare]));
         sys_.save(writer);
         pacer_.save(writer);
         mgr_.save(writer);
-        buffer_ = writer.release();
+        buffers_[spare] = writer.release();
+        active_ = spare;
         haveCheckpoint_ = true;
 
         // Optionally emulate a heavier checkpoint technology (fork()
         // pays copy-on-write page faults across the whole virtual
-        // space) by actually copying an arena of configured size.
+        // space) by actually copying an arena of configured size. The
+        // scratch destination is persistent so the emulated Tcpt term
+        // measures copy bandwidth, not allocator churn.
         if (!extraCopyArena_.empty()) {
-            std::vector<std::uint8_t> copy(extraCopyArena_.size());
-            std::memcpy(copy.data(), extraCopyArena_.data(),
-                        copy.size());
-            extraCopyArena_[0] =
-                static_cast<std::uint8_t>(copy[copy.size() / 2] + 1);
+            extraCopyScratch_.resize(extraCopyArena_.size());
+            std::memcpy(extraCopyScratch_.data(),
+                        extraCopyArena_.data(),
+                        extraCopyScratch_.size());
+            extraCopyArena_[0] = static_cast<std::uint8_t>(
+                extraCopyScratch_[extraCopyScratch_.size() / 2] + 1);
         }
         ++host_->checkpointsTaken;
-        host_->checkpointBytes = buffer_.size();
+        host_->checkpointBytes = buffers_[active_].size();
         host_->checkpointSeconds += nowSeconds() - t0;
     }
 
@@ -164,7 +172,7 @@ Checkpointer::rollback(Tick current_global)
     mgr_.clearRollbackRequest();
     mgr_.armRollback(false);
 
-    SnapshotReader reader(buffer_);
+    SnapshotReader reader(buffers_[active_]);
     sys_.restore(reader);
     pacer_.restore(reader);
     mgr_.restore(reader);

@@ -88,7 +88,11 @@ class Checkpointer
     Tick rollback(Tick current_global);
 
     /** @return bytes of the most recent checkpoint. */
-    std::uint64_t lastCheckpointBytes() const { return buffer_.size(); }
+    std::uint64_t
+    lastCheckpointBytes() const
+    {
+        return buffers_[active_].size();
+    }
 
   private:
     SimSystem &sys_;
@@ -97,8 +101,17 @@ class Checkpointer
     EngineConfig engine_;
     HostStats *host_;
 
-    std::vector<std::uint8_t> buffer_;
+    /**
+     * Double-buffered retained snapshot storage: buffers_[active_]
+     * always holds the last *complete* checkpoint; a new one is
+     * serialized into the spare (reusing its capacity) and the roles
+     * swap only once the write finished. A failure mid-serialization
+     * therefore never corrupts the rollback image.
+     */
+    std::vector<std::uint8_t> buffers_[2];
+    std::uint32_t active_ = 0;
     std::vector<std::uint8_t> extraCopyArena_;
+    std::vector<std::uint8_t> extraCopyScratch_;
     std::unique_ptr<ForkCheckpointer> fork_;
     Tick lastCheckpointAt_ = 0;
     Tick nextCheckpointAt_ = 0;

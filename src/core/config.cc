@@ -51,8 +51,14 @@ parseScheme(const std::string &name)
 void
 SimConfig::validate() const
 {
+    // Hard width limit: the uncore's directory/sync sharer vectors
+    // (GlobalMap presence masks, dSharers, barrier arrivedMask) are
+    // single 64-bit words indexed by core id, and shifting by >= 64
+    // is silent wraparound. Enforce the limit here, at config load,
+    // so no mask arithmetic anywhere downstream can overflow.
     if (target.numCores < 1 || target.numCores > 64)
-        SLACKSIM_FATAL("numCores must be in [1, 64]");
+        SLACKSIM_FATAL("numCores must be in [1, 64] (uncore sharer ",
+                       "masks are 64-bit words)");
     if (workload.numThreads != target.numCores)
         SLACKSIM_FATAL("workload threads (", workload.numThreads,
                        ") must match target cores (", target.numCores,

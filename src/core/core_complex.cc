@@ -33,7 +33,7 @@ CoreComplex::cycle(Tick max_local, std::uint32_t skip_budget)
         return CycleOutcome::Progress;
     // Reserve space for the worst-case message volume of one cycle so
     // the cycle never has to abort halfway through.
-    if (outQ_.capacity() - outQ_.size() < outboundHeadroom)
+    if (!outQ_.hasFreeSpace(outboundHeadroom))
         return CycleOutcome::Backpressure;
 
     const Tick now = localTime_.load(std::memory_order_relaxed);
@@ -54,14 +54,19 @@ CoreComplex::cycle(Tick max_local, std::uint32_t skip_budget)
 
     const bool progressed = core_.cycle(now, scratch_) || applied > 0;
 
-    for (BusMsg &msg : scratch_) {
-        msg.src = id_;
-        msg.ts = now;
-        msg.seq = nextSeq_++;
-        const bool ok = outQ_.push(msg);
-        SLACKSIM_ASSERT(ok, "OutQ overflow despite headroom check");
+    if (!scratch_.empty()) {
+        for (BusMsg &msg : scratch_) {
+            msg.src = id_;
+            msg.ts = now;
+            msg.seq = nextSeq_++;
+        }
+        // One batched publication for the whole cycle's messages.
+        const std::size_t pushed =
+            outQ_.pushN(scratch_.data(), scratch_.size());
+        SLACKSIM_ASSERT(pushed == scratch_.size(),
+                        "OutQ overflow despite headroom check");
+        scratch_.clear();
     }
-    scratch_.clear();
 
     Tick next = now + 1;
     if (!progressed && !finished()) {

@@ -5,8 +5,6 @@
 
 #include "core/manager_logic.hh"
 
-#include <algorithm>
-
 #include "util/logging.hh"
 
 namespace slacksim {
@@ -16,30 +14,28 @@ ManagerLogic::ManagerLogic(SimSystem &sys, const EngineConfig &engine,
     : sys_(sys),
       engine_(engine),
       host_(host),
+      staging_(sys.numCores()),
+      merge_(sys.numCores(), HeadLess{&staging_}),
+      delivered_(sys.numCores()),
       overflow_(sys.numCores())
 {
     SLACKSIM_ASSERT(host_ != nullptr, "ManagerLogic needs host stats");
-    pending_.reserve(1024);
     outboundScratch_.reserve(64);
 }
 
 std::size_t
 ManagerLogic::pumpCore(CoreId c)
 {
-    std::size_t pulled = 0;
-    BusMsg msg;
     auto &q = sys_.core(c).outQ();
-    while (q.pop(msg)) {
-        ++pulled;
-        if (sorted_) {
-            pending_.push_back(msg);
-            std::push_heap(pending_.begin(), pending_.end(),
-                           PendingOrder{});
-        } else {
-            serviceOne(msg);
-        }
+    if (sorted_) {
+        // The drain callback only touches the staging runs and the
+        // merge tree, never the OutQ being drained.
+        return q.consumeAll([this](const BusMsg &msg) { stash(msg); });
     }
-    return pulled;
+    // serviceOne() delivers responses into InQs (possibly overflowing
+    // to the side deques), never into any OutQ, so draining in one
+    // batch is safe here too.
+    return q.consumeAll([this](const BusMsg &msg) { serviceOne(msg); });
 }
 
 std::size_t
@@ -51,14 +47,38 @@ ManagerLogic::pumpAll()
     return pulled;
 }
 
+void
+ManagerLogic::stash(const BusMsg &msg)
+{
+    SLACKSIM_ASSERT(msg.src < staging_.size(), "stash: bad source");
+    auto &run = staging_[msg.src];
+    // The whole merge rests on per-source runs being sorted: cores
+    // stamp ts from their nondecreasing local clock, so arrival order
+    // within one source *is* (ts, seq) order.
+    SLACKSIM_ASSERT(run.empty() || run.back().ts <= msg.ts,
+                    "per-source timestamp order violated");
+    const bool wasEmpty = run.empty();
+    run.push_back(msg);
+    ++stagedCount_;
+    // A push onto a non-empty run leaves its head — and therefore
+    // every tournament match — unchanged: O(1).
+    if (wasEmpty)
+        merge_.update(msg.src);
+}
+
 std::size_t
 ManagerLogic::serviceSorted(Tick safe_time)
 {
     std::size_t serviced = 0;
-    while (!pending_.empty() && pending_.front().ts < safe_time) {
-        std::pop_heap(pending_.begin(), pending_.end(), PendingOrder{});
-        const BusMsg msg = pending_.back();
-        pending_.pop_back();
+    while (stagedCount_ != 0) {
+        const std::uint32_t src = merge_.winner();
+        auto &run = staging_[src];
+        if (run.front().ts >= safe_time)
+            break;
+        const BusMsg msg = run.front();
+        run.pop_front();
+        --stagedCount_;
+        merge_.update(src);
         serviceOne(msg);
         ++serviced;
     }
@@ -93,6 +113,12 @@ ManagerLogic::serviceOne(const BusMsg &msg)
 }
 
 void
+ManagerLogic::markDelivered(CoreId c)
+{
+    delivered_.set(c);
+}
+
+void
 ManagerLogic::deliver(const Outbound &o)
 {
     SLACKSIM_ASSERT(o.dst < sys_.numCores(), "bad delivery target");
@@ -100,7 +126,7 @@ ManagerLogic::deliver(const Outbound &o)
     if (!ov.empty() || !sys_.core(o.dst).inQ().push(o.msg))
         ov.push_back(o.msg);
     else
-        deliveredMask_ |= 1ull << o.dst;
+        markDelivered(o.dst);
 }
 
 void
@@ -111,7 +137,7 @@ ManagerLogic::flushOverflow()
         auto &q = sys_.core(c).inQ();
         while (!ov.empty() && q.push(ov.front())) {
             ov.pop_front();
-            deliveredMask_ |= 1ull << c;
+            markDelivered(c);
         }
     }
 }
@@ -119,7 +145,7 @@ ManagerLogic::flushOverflow()
 bool
 ManagerLogic::drained() const
 {
-    if (!pending_.empty())
+    if (stagedCount_ != 0)
         return false;
     for (const auto &ov : overflow_)
         if (!ov.empty())
@@ -149,7 +175,12 @@ void
 ManagerLogic::save(SnapshotWriter &writer) const
 {
     writer.putMarker(0x3147);
-    writer.putVector(pending_);
+    writer.put<std::uint64_t>(staging_.size());
+    for (const auto &run : staging_) {
+        writer.put<std::uint64_t>(run.size());
+        for (const auto &msg : run)
+            writer.put(msg);
+    }
     writer.put<std::uint64_t>(overflow_.size());
     for (const auto &ov : overflow_) {
         writer.put<std::uint64_t>(ov.size());
@@ -162,7 +193,18 @@ void
 ManagerLogic::restore(SnapshotReader &reader)
 {
     reader.checkMarker(0x3147);
-    pending_ = reader.getVector<BusMsg>();
+    const auto runs = reader.get<std::uint64_t>();
+    SLACKSIM_ASSERT(runs == staging_.size(),
+                    "manager snapshot geometry mismatch");
+    stagedCount_ = 0;
+    for (auto &run : staging_) {
+        run.clear();
+        const auto n = reader.get<std::uint64_t>();
+        for (std::uint64_t i = 0; i < n; ++i)
+            run.push_back(reader.get<BusMsg>());
+        stagedCount_ += n;
+    }
+    merge_.rebuild();
     const auto cores = reader.get<std::uint64_t>();
     SLACKSIM_ASSERT(cores == overflow_.size(),
                     "manager snapshot geometry mismatch");

@@ -6,19 +6,31 @@
  * responses with overflow handling, tracking per-checkpoint-interval
  * violation data, and raising rollback requests in speculative mode.
  *
+ * Sorted (CC-accurate) service is a k-way merge: every source's
+ * events arrive timestamp-monotone (cores stamp ts with their
+ * nondecreasing local clock and seq with a per-core counter), so the
+ * manager keeps one staging run per source and a tournament tree over
+ * the run heads. Pumping an event into a non-empty run is O(1);
+ * servicing the global minimum replays one O(log C) tree path. The
+ * service order is exactly the (ts, src, seq) order of the old global
+ * heap: within a run (fixed src) events are already (ts, seq)-sorted,
+ * and across runs the tree picks the least (ts, src) head.
+ *
  * All methods run on the manager's thread.
  */
 
 #ifndef SLACKSIM_CORE_MANAGER_LOGIC_HH
 #define SLACKSIM_CORE_MANAGER_LOGIC_HH
 
-#include <algorithm>
+#include <cstdint>
 #include <deque>
 #include <vector>
 
 #include "core/config.hh"
 #include "core/run_result.hh"
 #include "core/sim_system.hh"
+#include "util/core_bitset.hh"
+#include "util/merge_tree.hh"
 #include "util/snapshot.hh"
 
 namespace slacksim {
@@ -35,8 +47,8 @@ class ManagerLogic : public Snapshotable
 
     /**
      * Pull every visible OutQ entry of core @p c. Arrival order:
-     * service immediately. Sorted: stash into the pending heap until
-     * serviceSorted() releases it. @return events pulled.
+     * service immediately. Sorted: stash into the per-source staging
+     * run until serviceSorted() releases it. @return events pulled.
      */
     std::size_t pumpCore(CoreId c);
 
@@ -51,17 +63,14 @@ class ManagerLogic : public Snapshotable
     void
     ingest(const BusMsg &msg)
     {
-        if (sorted_) {
-            pending_.push_back(msg);
-            std::push_heap(pending_.begin(), pending_.end(),
-                           PendingOrder{});
-        } else {
+        if (sorted_)
+            stash(msg);
+        else
             serviceOne(msg);
-        }
     }
 
     /**
-     * Sorted mode: service pending events with ts < @p safe_time in
+     * Sorted mode: service staged events with ts < @p safe_time in
      * (ts, src, seq) order. @return events serviced.
      */
     std::size_t serviceSorted(Tick safe_time);
@@ -70,22 +79,23 @@ class ManagerLogic : public Snapshotable
     void flushOverflow();
 
     /**
-     * Bitmask of cores that received an InQ delivery since the last
-     * call (cleared on read). The parallel engine wakes these cores:
-     * an inert free-running core parks until a delivery arrives.
+     * Invoke @p fn(CoreId) for every core that received an InQ
+     * delivery since the last drain, then clear the set. The parallel
+     * engine wakes these cores: an inert free-running core parks
+     * until a delivery arrives.
      */
-    std::uint64_t takeDeliveredMask()
+    template <typename Fn>
+    void
+    drainDelivered(Fn &&fn)
     {
-        const std::uint64_t mask = deliveredMask_;
-        deliveredMask_ = 0;
-        return mask;
+        delivered_.drain(static_cast<Fn &&>(fn));
     }
 
-    /** @return true when no pending events or overflow remain. */
+    /** @return true when no staged events or overflow remain. */
     bool drained() const;
 
-    /** @return sorted-service heap depth (metrics sampling). */
-    std::size_t pendingDepth() const { return pending_.size(); }
+    /** @return sorted-service staging depth (metrics sampling). */
+    std::size_t pendingDepth() const { return stagedCount_; }
 
     /** Arm/disarm violation-triggered rollback requests. */
     void armRollback(bool armed) { rollbackArmed_ = armed; }
@@ -111,37 +121,52 @@ class ManagerLogic : public Snapshotable
         return intervals_;
     }
 
-    /** Sorted-mode pending events + delivery overflow are simulated
+    /** Sorted-mode staged events + delivery overflow are simulated
      *  state and participate in checkpoints. */
     void save(SnapshotWriter &writer) const override;
     void restore(SnapshotReader &reader) override;
 
   private:
-    struct PendingOrder
+    /**
+     * Orders staging runs by their head event's (ts, src) key; the
+     * per-run seq order supplies the final tie-break for free. Empty
+     * runs sort last (exhausted stream = infinite key).
+     */
+    struct HeadLess
     {
+        const std::vector<std::deque<BusMsg>> *runs;
+
         bool
-        operator()(const BusMsg &a, const BusMsg &b) const
+        operator()(std::uint32_t a, std::uint32_t b) const
         {
-            // Max-heap adapter: "greater" means lower priority, so
-            // invert to pop the smallest (ts, src, seq) first.
-            if (a.ts != b.ts)
-                return a.ts > b.ts;
-            if (a.src != b.src)
-                return a.src > b.src;
-            return a.seq > b.seq;
+            const auto &ra = (*runs)[a];
+            const auto &rb = (*runs)[b];
+            if (ra.empty())
+                return false;
+            if (rb.empty())
+                return true;
+            if (ra.front().ts != rb.front().ts)
+                return ra.front().ts < rb.front().ts;
+            return a < b;
         }
     };
 
+    void stash(const BusMsg &msg);
     void serviceOne(const BusMsg &msg);
     void deliver(const Outbound &o);
+    void markDelivered(CoreId c);
 
     SimSystem &sys_;
     EngineConfig engine_;
     HostStats *host_;
     bool sorted_ = false;
 
-    std::vector<BusMsg> pending_; //!< heap (PendingOrder)
-    std::uint64_t deliveredMask_ = 0;
+    /** Per-source timestamp-monotone staging runs (sorted mode). */
+    std::vector<std::deque<BusMsg>> staging_;
+    std::size_t stagedCount_ = 0;
+    MergeTree<HeadLess> merge_;
+
+    CoreBitset delivered_;
     std::vector<std::deque<BusMsg>> overflow_;
     std::vector<Outbound> outboundScratch_;
 

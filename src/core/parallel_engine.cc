@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <iterator>
 #include <string>
 
 #include "obs/obs_session.hh"
@@ -59,14 +60,8 @@ ParallelEngine::ParallelEngine(SimSystem &sys)
                 relays_.push_back(std::move(relay));
         }
     }
-}
-
-void
-ParallelEngine::bumpProgress()
-{
-    progress_.fetch_add(1, std::memory_order_seq_cst);
-    if (sleepers_.load(std::memory_order_seq_cst) > 0)
-        progress_.notify_all();
+    board_ = std::make_unique<ProgressBoard>(
+        sys_.numCores() + static_cast<std::uint32_t>(relays_.size()));
 }
 
 void
@@ -114,7 +109,7 @@ ParallelEngine::coreThreadMain(CoreId c)
                 ctl.finished.store(true, std::memory_order_release);
                 ctl.committed.store(cc.committedUops(),
                                     std::memory_order_release);
-                bumpProgress();
+                board_->bump(c);
             }
             // Dormant until something changes (stop, pause, restore).
             const std::uint32_t w =
@@ -132,7 +127,7 @@ ParallelEngine::coreThreadMain(CoreId c)
         const std::uint32_t w =
             ctl.wakeWord.load(std::memory_order_acquire);
         if (local > ctl.maxLocal.load(std::memory_order_acquire)) {
-            bumpProgress();
+            board_->bump(c);
             // Re-check after loading the wake word (the manager bumps
             // it after every pacing change, so no wakeup can be lost).
             if (cc.localTime() >
@@ -191,7 +186,7 @@ ParallelEngine::coreThreadMain(CoreId c)
                              static_cast<std::int64_t>(advanced));
         }
         if (advanced > 0 || backpressured || wait_inbound)
-            bumpProgress();
+            board_->bump(c);
         if (backpressured) {
             // Give the manager a chance to drain our OutQ.
             std::this_thread::yield();
@@ -249,25 +244,41 @@ ParallelEngine::relayThreadMain(std::uint32_t cluster)
             continue;
         }
 
-        const std::uint64_t p0 =
-            progress_.load(std::memory_order_seq_cst);
+        const std::uint64_t p0 = board_->sum();
         bool moved = false;
         Tick watermark = maxTick;
+        BusMsg buf[64];
         for (CoreId c = relay.first; c < relay.last; ++c) {
             // Read the clock *before* pumping: every event this core
             // produced up to that clock is then guaranteed to be in
             // the relay queue once the pump completes — the basis of
             // the root manager's sorted-service safe time.
             const Tick local = sys_.core(c).localTime();
-            BusMsg msg;
-            while (sys_.core(c).outQ().pop(msg)) {
-                while (!relay.queue.push(msg)) {
-                    // Root manager backpressure: let it drain.
-                    std::this_thread::yield();
-                    if (stop_.load(std::memory_order_acquire))
-                        return;
-                }
+            auto &outQ = sys_.core(c).outQ();
+            for (;;) {
+                const std::size_t n =
+                    outQ.popN(buf, std::size(buf));
+                if (n == 0)
+                    break;
                 moved = true;
+                std::size_t pushed = 0;
+                while (pushed < n) {
+                    pushed += relay.queue.pushN(buf + pushed,
+                                                n - pushed);
+                    if (pushed < n) {
+                        // Root manager backpressure: let it drain.
+                        std::this_thread::yield();
+                        if (stop_.load(std::memory_order_acquire)) {
+                            // Park the popped-but-unpushed tail for
+                            // the post-join drain so no event is lost.
+                            relay.carry.insert(relay.carry.end(),
+                                               buf + pushed, buf + n);
+                            return;
+                        }
+                    }
+                }
+                if (n < std::size(buf))
+                    break;
             }
             if (!controls_[c]->finished.load(std::memory_order_acquire))
                 watermark = std::min(watermark, local);
@@ -275,17 +286,14 @@ ParallelEngine::relayThreadMain(std::uint32_t cluster)
         relay.watermark.store(watermark, std::memory_order_release);
 
         if (moved) {
-            bumpProgress();
+            board_->bump(sys_.numCores() + cluster);
         } else {
             // Nothing to move: sleep until some core makes progress.
-            sleepers_.fetch_add(1, std::memory_order_seq_cst);
-            if (progress_.load(std::memory_order_seq_cst) == p0 &&
-                phase_.load(std::memory_order_acquire) ==
-                    phaseRunning &&
-                !stop_.load(std::memory_order_acquire)) {
-                progress_.wait(p0, std::memory_order_seq_cst);
-            }
-            sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+            board_->sleep(p0, [this] {
+                return phase_.load(std::memory_order_acquire) ==
+                           phaseRunning &&
+                       !stop_.load(std::memory_order_acquire);
+            });
         }
     }
     obs::Tracer::instance().unregisterThread();
@@ -306,15 +314,31 @@ ParallelEngine::computeGlobal() const
     return min_unfinished == maxTick ? max_any : min_unfinished;
 }
 
-void
-ParallelEngine::updatePacing(bool monotone)
+ParallelEngine::ClockSample
+ParallelEngine::sampleClocks()
 {
-    const Tick global = computeGlobal();
+    ClockSample s;
+    Tick max_any = 0;
     localsScratch_.resize(sys_.numCores());
-    for (CoreId c = 0; c < sys_.numCores(); ++c)
-        localsScratch_[c] = sys_.core(c).localTime();
     for (CoreId c = 0; c < sys_.numCores(); ++c) {
-        Tick target = pacer_.maxLocalForCore(c, global, localsScratch_);
+        const Tick t = sys_.core(c).localTime();
+        localsScratch_[c] = t;
+        max_any = std::max(max_any, t);
+        if (!controls_[c]->finished.load(std::memory_order_acquire)) {
+            s.minUnfinished = std::min(s.minUnfinished, t);
+            s.maxUnfinished = std::max(s.maxUnfinished, t);
+        }
+    }
+    s.global = s.minUnfinished == maxTick ? max_any : s.minUnfinished;
+    return s;
+}
+
+void
+ParallelEngine::updatePacing(bool monotone, const ClockSample &sample)
+{
+    for (CoreId c = 0; c < sys_.numCores(); ++c) {
+        Tick target =
+            pacer_.maxLocalForCore(c, sample.global, localsScratch_);
         if (ckpt_.enabled())
             target = std::min(target, ckpt_.nextCheckpointAt() - 1);
         CoreControl &ctl = *controls_[c];
@@ -324,6 +348,12 @@ ParallelEngine::updatePacing(bool monotone)
             wakeCore(c);
         }
     }
+}
+
+void
+ParallelEngine::updatePacing(bool monotone)
+{
+    updatePacing(monotone, sampleClocks());
 }
 
 bool
@@ -347,10 +377,9 @@ ParallelEngine::pauseWorld()
     phase_.store(phasePaused, std::memory_order_seq_cst);
     for (CoreId c = 0; c < sys_.numCores(); ++c)
         wakeCore(c);
-    // Wake any relay sleeping on the progress counter so it sees the
+    // Wake any relay sleeping on the progress board so it sees the
     // pause promptly.
-    progress_.fetch_add(1, std::memory_order_seq_cst);
-    progress_.notify_all();
+    board_->wakeAll();
     // Wait until every core thread and relay acknowledged the pause.
     const std::uint32_t expected =
         sys_.numCores() + static_cast<std::uint32_t>(relays_.size());
@@ -408,16 +437,17 @@ ParallelEngine::run()
     bool warmup_pending = engine_.warmupUops > 0;
 
     for (;;) {
-        const std::uint64_t p0 =
-            progress_.load(std::memory_order_seq_cst);
+        const std::uint64_t p0 = board_->sum();
 
         // Read local clocks *before* pumping: every event with a
         // timestamp below the resulting safe time is then guaranteed
         // to already be in its OutQ, which makes sorted service
         // deterministic and identical to the serial reference. With
         // a hierarchical manager the relays publish the equivalent
-        // per-cluster watermark.
-        const Tick global = computeGlobal();
+        // per-cluster watermark. One scan serves the safe time, the
+        // pacing targets, and the slack-spread stat below.
+        const ClockSample clocks = sampleClocks();
+        const Tick global = clocks.global;
         Tick safe = global;
         std::size_t activity = 0;
         const std::uint64_t service_wall = obs::traceWallNs();
@@ -432,12 +462,9 @@ ParallelEngine::run()
             }
             if (safe == maxTick)
                 safe = global; // all cores finished
-            BusMsg msg;
             for (const auto &relay : relays_) {
-                while (relay->queue.pop(msg)) {
-                    mgr_.ingest(msg);
-                    ++activity;
-                }
+                activity += relay->queue.consumeAll(
+                    [this](const BusMsg &msg) { mgr_.ingest(msg); });
             }
         }
         activity += mgr_.serviceSorted(safe);
@@ -449,33 +476,15 @@ ParallelEngine::run()
         }
         // Wake any core that just received a delivery: inert
         // free-running cores sleep until their InQ gets something.
-        if (std::uint64_t delivered = mgr_.takeDeliveredMask()) {
-            for (CoreId c = 0; c < sys_.numCores(); ++c)
-                if (delivered & (1ull << c))
-                    wakeCore(c);
-        }
+        mgr_.drainDelivered([this](CoreId c) { wakeCore(c); });
         pacer_.observe(global, sys_.violations());
-        updatePacing(true);
+        updatePacing(true, clocks);
         session.maybeSample(global);
-        {
-            // Use a fresh minimum so the spread is not inflated by
-            // cores that advanced since `global` was sampled.
-            Tick min_unfinished = maxTick;
-            Tick max_unfinished = 0;
-            for (CoreId c = 0; c < sys_.numCores(); ++c) {
-                if (!controls_[c]->finished.load(
-                        std::memory_order_acquire)) {
-                    const Tick t = sys_.core(c).localTime();
-                    min_unfinished = std::min(min_unfinished, t);
-                    max_unfinished = std::max(max_unfinished, t);
-                }
-            }
-            if (min_unfinished != maxTick &&
-                max_unfinished > min_unfinished) {
-                host_.maxObservedSlack =
-                    std::max(host_.maxObservedSlack,
-                             max_unfinished - min_unfinished);
-            }
+        if (clocks.minUnfinished != maxTick &&
+            clocks.maxUnfinished > clocks.minUnfinished) {
+            host_.maxObservedSlack =
+                std::max(host_.maxObservedSlack,
+                         clocks.maxUnfinished - clocks.minUnfinished);
         }
 
         if (ckpt_.enabled()) {
@@ -568,12 +577,8 @@ ParallelEngine::run()
                            " scheme=", schemeName(engine_.scheme));
         }
 
-        if (activity == 0 &&
-            progress_.load(std::memory_order_seq_cst) == p0) {
-            sleepers_.fetch_add(1, std::memory_order_seq_cst);
-            if (progress_.load(std::memory_order_seq_cst) == p0)
-                progress_.wait(p0, std::memory_order_seq_cst);
-            sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+        if (activity == 0 && board_->sum() == p0) {
+            board_->sleep(p0, [] { return true; });
             ++host_.managerWakeups;
         }
     }
@@ -582,8 +587,7 @@ ParallelEngine::run()
     stop_.store(true, std::memory_order_seq_cst);
     resumeEpoch_.fetch_add(1, std::memory_order_seq_cst);
     resumeEpoch_.notify_all();
-    progress_.fetch_add(1, std::memory_order_seq_cst);
-    progress_.notify_all();
+    board_->wakeAll();
     for (CoreId c = 0; c < sys_.numCores(); ++c)
         wakeCore(c);
     for (auto &t : threads_)
@@ -592,14 +596,18 @@ ParallelEngine::run()
     for (auto &t : relayThreads_)
         t.join();
     relayThreads_.clear();
-    // Drain any events still in transit (relay queues and OutQs the
-    // relays had not pumped when they stopped) so final statistics
-    // match the flat manager's.
+    // Drain any events still in transit (relay queues, popped-but-
+    // unpushed carry tails, and OutQs the relays had not pumped when
+    // they stopped) so final statistics match the flat manager's.
+    // Queue before carry before OutQ preserves per-source FIFO order.
     if (!relays_.empty()) {
-        BusMsg msg;
-        for (const auto &relay : relays_)
-            while (relay->queue.pop(msg))
+        for (const auto &relay : relays_) {
+            relay->queue.consumeAll(
+                [this](const BusMsg &msg) { mgr_.ingest(msg); });
+            for (const BusMsg &msg : relay->carry)
                 mgr_.ingest(msg);
+            relay->carry.clear();
+        }
         mgr_.pumpAll();
         mgr_.serviceSorted(maxTick);
         mgr_.flushOverflow();

@@ -28,6 +28,7 @@
 #include "core/pacer.hh"
 #include "core/run_result.hh"
 #include "core/sim_system.hh"
+#include "util/progress_board.hh"
 #include "util/spsc_queue.hh"
 
 namespace slacksim {
@@ -53,12 +54,28 @@ class ParallelEngine
 
     enum Phase : std::uint32_t { phaseRunning = 0, phasePaused = 1 };
 
+    /** One consistent pass over every core clock (see sampleClocks). */
+    struct ClockSample
+    {
+        Tick global = 0;          //!< min unfinished (max when done)
+        Tick minUnfinished = maxTick;
+        Tick maxUnfinished = 0;
+    };
+
     void coreThreadMain(CoreId c);
     void relayThreadMain(std::uint32_t cluster);
-    void bumpProgress();
     void wakeCore(CoreId c);
-    /** Publish new pacing limits; @p monotone false only while the
-     *  cores are paused (rollback). */
+    /**
+     * Scan every core clock exactly once: fills localsScratch_ and
+     * returns the global time plus the unfinished min/max (slack
+     * spread). Replaces the separate computeGlobal / pacing / spread
+     * rescans the manager loop used to do per iteration.
+     */
+    ClockSample sampleClocks();
+    /** Publish new pacing limits from an existing clock sample. */
+    void updatePacing(bool monotone, const ClockSample &sample);
+    /** Publish new pacing limits from a fresh scan; @p monotone false
+     *  only while the cores are paused (rollback). */
     void updatePacing(bool monotone);
     Tick computeGlobal() const;
     bool quiescedAtBoundary(Tick boundary) const;
@@ -86,6 +103,9 @@ class ParallelEngine
         alignas(64) std::atomic<Tick> watermark{0};
         CoreId first = 0;
         CoreId last = 0; //!< exclusive
+        /** Events popped from an OutQ but not yet pushed when the
+         *  relay was stopped; drained post-join by the manager. */
+        std::vector<BusMsg> carry;
     };
 
     std::vector<std::unique_ptr<CoreControl>> controls_;
@@ -98,9 +118,9 @@ class ParallelEngine
     std::atomic<std::uint32_t> pauseGen_{0};
     std::atomic<std::uint32_t> resumeEpoch_{0};
     std::atomic<std::uint32_t> ackCount_{0};
-    std::atomic<std::uint64_t> progress_{0};
-    std::atomic<int> sleepers_{0}; //!< threads parked on progress_
-    std::atomic<bool> managerWaiting_{false};
+    /** Sharded progress: slot c per core, slot numCores+r per relay.
+     *  Constructed once the relay count is known. */
+    std::unique_ptr<ProgressBoard> board_;
     std::atomic<bool> stop_{false};
 };
 

@@ -6,6 +6,9 @@
 
 #include "cpu/ooo_core.hh"
 
+#include <algorithm>
+#include <functional>
+
 #include "util/logging.hh"
 
 namespace slacksim {
@@ -28,6 +31,7 @@ OooCore::OooCore(const CoreParams &params, CoreId id,
     SLACKSIM_ASSERT(params_.robSize >= 4 && params_.sbSize >= 1,
                     "degenerate core geometry");
     SLACKSIM_ASSERT(!trace_->instrs.empty(), "empty trace program");
+    pending_.reserve(params_.robSize);
 }
 
 bool
@@ -69,24 +73,49 @@ OooCore::fingerprint() const
 Tick
 OooCore::earliestSelfWake() const
 {
-    Tick wake = maxTick;
+    // pending_ holds exactly the timer-completed uops still in
+    // flight; every ripe entry was popped by this cycle's writeback,
+    // so the top is the earliest strictly-future completion.
+    return pending_.empty() ? maxTick : pending_.front().first;
+}
+
+void
+OooCore::pushPending(Tick done_at, SeqNum seq)
+{
+    pending_.emplace_back(done_at, seq);
+    std::push_heap(pending_.begin(), pending_.end(),
+                   std::greater<>{});
+}
+
+void
+OooCore::rebuildPending()
+{
+    pending_.clear();
     for (SeqNum s = headSeq_; s != tailSeq_; ++s) {
         const RobEntry &e = slot(s);
-        if (e.issued && !e.done && !e.waitingFill && e.doneAt < wake)
-            wake = e.doneAt;
+        if (e.issued && !e.done && !e.waitingFill &&
+            e.doneAt != maxTick) {
+            pending_.emplace_back(e.doneAt, e.seq);
+        }
     }
-    return wake;
+    std::make_heap(pending_.begin(), pending_.end(),
+                   std::greater<>{});
 }
 
 void
 OooCore::writeback(Tick now)
 {
-    for (SeqNum s = headSeq_; s != tailSeq_; ++s) {
-        RobEntry &e = slot(s);
-        if (e.issued && !e.done && !e.waitingFill && e.doneAt <= now) {
-            e.done = 1;
-            ++doneCount_;
-        }
+    while (!pending_.empty() && pending_.front().first <= now) {
+        const SeqNum seq = pending_.front().second;
+        std::pop_heap(pending_.begin(), pending_.end(),
+                      std::greater<>{});
+        pending_.pop_back();
+        RobEntry &e = slot(seq);
+        SLACKSIM_ASSERT(e.seq == seq && e.issued && !e.done &&
+                            !e.waitingFill,
+                        "stale completion-heap entry");
+        e.done = 1;
+        ++doneCount_;
     }
 }
 
@@ -191,7 +220,13 @@ OooCore::issue(Tick now, std::vector<BusMsg> &out)
 {
     std::uint32_t issued = 0;
     std::uint32_t load_ports = params_.loadPorts;
-    for (SeqNum s = headSeq_; s != tailSeq_; ++s) {
+    // Everything older than the cursor is already issued and would be
+    // skipped by the scan below; resume from it instead of the head.
+    if (firstUnissued_ < headSeq_)
+        firstUnissued_ = headSeq_;
+    while (firstUnissued_ != tailSeq_ && slot(firstUnissued_).issued)
+        ++firstUnissued_;
+    for (SeqNum s = firstUnissued_; s != tailSeq_; ++s) {
         if (issued >= params_.issueWidth)
             return;
         RobEntry &e = slot(s);
@@ -206,6 +241,7 @@ OooCore::issue(Tick now, std::vector<BusMsg> &out)
             }
             e.issued = 1;
             e.doneAt = now + params_.aluLatency;
+            pushPending(e.doneAt, e.seq);
             ++issuedCount_;
             ++issued;
             break;
@@ -221,12 +257,15 @@ OooCore::issue(Tick now, std::vector<BusMsg> &out)
               case L1Result::Hit:
                 e.issued = 1;
                 e.doneAt = now + l1d_->hitLatency();
+                pushPending(e.doneAt, e.seq);
                 ++issuedCount_;
                 ++issued;
                 --load_ports;
                 break;
               case L1Result::Miss:
               case L1Result::Merged:
+                // Completed by the fill path, not a timer: stays out
+                // of the completion heap.
                 e.issued = 1;
                 e.waitingFill = 1;
                 ++issuedCount_;
@@ -243,6 +282,7 @@ OooCore::issue(Tick now, std::vector<BusMsg> &out)
             // the store drains from the store buffer after commit.
             e.issued = 1;
             e.doneAt = now + 1;
+            pushPending(e.doneAt, e.seq);
             ++issuedCount_;
             ++issued;
             break;
@@ -252,7 +292,8 @@ OooCore::issue(Tick now, std::vector<BusMsg> &out)
             // Handled at the head of the ROB; mark issued so the
             // scheduler skips them, and park doneAt at infinity so
             // writeback() never completes them — only the sync grant
-            // path may.
+            // path may. Infinite doneAt also keeps them out of the
+            // completion heap.
             e.issued = 1;
             e.doneAt = maxTick;
             ++issuedCount_;
@@ -501,6 +542,9 @@ OooCore::restore(SnapshotReader &reader)
     SLACKSIM_ASSERT(rob_.size() == params_.robSize &&
                         sb_.size() == params_.sbSize,
                     "core snapshot geometry mismatch");
+    // Derived accelerator state: rebuild rather than serialize.
+    rebuildPending();
+    firstUnissued_ = headSeq_;
 }
 
 } // namespace slacksim

@@ -12,6 +12,7 @@
 #define SLACKSIM_CPU_OOO_CORE_HH
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "cache/l1_cache.hh"
@@ -152,6 +153,8 @@ class OooCore : public Snapshotable
     bool sbEmpty() const { return sbTail_ == sbHead_; }
 
     void writeback(Tick now);
+    void pushPending(Tick done_at, SeqNum seq);
+    void rebuildPending();
     void commit(Tick now);
     void drainStoreBuffer(Tick now, std::vector<BusMsg> &out);
     void handleHeadSync(Tick now, std::vector<BusMsg> &out);
@@ -172,6 +175,24 @@ class OooCore : public Snapshotable
     std::vector<RobEntry> rob_;
     SeqNum headSeq_ = 1;
     SeqNum tailSeq_ = 1;
+
+    /**
+     * Min-heap of (doneAt, seq) for every issued-but-incomplete uop
+     * whose completion is a pure timer (Alu, Store address-gen, Load
+     * hits). Load misses (completed by fills) and sync ops (completed
+     * by grants) are never pushed, so a popped entry is always live:
+     * writeback() pops ripe entries instead of scanning the ROB, and
+     * earliestSelfWake() reads the top in O(1). Rebuilt on restore.
+     */
+    std::vector<std::pair<Tick, SeqNum>> pending_;
+
+    /**
+     * Issue-scan cursor: every ROB entry older than this is issued.
+     * issue() resumes here instead of rescanning from the head (the
+     * skipped prefix would be `continue`d anyway). Derived state:
+     * reset to headSeq_ on restore.
+     */
+    SeqNum firstUnissued_ = 1;
 
     std::vector<SbEntry> sb_;
     std::uint64_t sbHead_ = 0;

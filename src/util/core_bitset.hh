@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Width-agnostic core-id set used for the manager's delivery-wake
+ * tracking. The previous implementation was a single `std::uint64_t`
+ * updated with `1ull << core`, which silently wraps for core >= 64;
+ * this multi-word bitset is correct for any core count, so the only
+ * remaining core-count ceiling is the uncore's 64-bit sharer masks
+ * (enforced once, at config validation).
+ */
+
+#ifndef SLACKSIM_UTIL_CORE_BITSET_HH
+#define SLACKSIM_UTIL_CORE_BITSET_HH
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace slacksim {
+
+/** Dynamic bitset over [0, bits) with a drain-and-clear visitor. */
+class CoreBitset
+{
+  public:
+    explicit CoreBitset(std::uint32_t bits)
+        : bits_(bits),
+          words_((bits + 63) / 64, 0)
+    {
+    }
+
+    void
+    set(std::uint32_t i)
+    {
+        SLACKSIM_ASSERT(i < bits_, "CoreBitset index out of range");
+        words_[i / 64] |= 1ull << (i % 64);
+        any_ = true;
+    }
+
+    /** @return true when at least one bit may be set (O(1)). */
+    bool any() const { return any_; }
+
+    /**
+     * Invoke @p fn(index) for every set bit in ascending order, then
+     * clear the whole set. O(words) when empty-ish, O(set bits) work
+     * otherwise.
+     */
+    template <typename Fn>
+    void
+    drain(Fn &&fn)
+    {
+        if (!any_)
+            return;
+        for (std::size_t w = 0; w < words_.size(); ++w) {
+            std::uint64_t bits = words_[w];
+            words_[w] = 0;
+            while (bits) {
+                const int b = std::countr_zero(bits);
+                bits &= bits - 1;
+                fn(static_cast<std::uint32_t>(w * 64 + b));
+            }
+        }
+        any_ = false;
+    }
+
+  private:
+    std::uint32_t bits_;
+    std::vector<std::uint64_t> words_;
+    bool any_ = false;
+};
+
+} // namespace slacksim
+
+#endif // SLACKSIM_UTIL_CORE_BITSET_HH

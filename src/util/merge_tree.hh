@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tournament (winner) tree for k-way merging of sorted streams.
+ *
+ * The manager's sorted event service merges per-core runs that are
+ * already timestamp-monotone, so a global binary heap over *elements*
+ * does log(N) work per pushed element for nothing. This tree plays
+ * matches between *streams* instead: appending to a non-empty stream
+ * is O(1) (the stream's head, and therefore every match, is
+ * unchanged) and only consuming the winner or filling an empty stream
+ * replays one leaf-to-root path of log2(K) matches.
+ *
+ * A winner tree is used rather than the classic loser tree because it
+ * supports updating an arbitrary leaf (a drained stream refilling
+ * out of turn), which the loser tree's replay only allows for the
+ * current winner.
+ *
+ * The tree stores stream indices only; the caller owns the streams
+ * and supplies a comparator over indices. The comparator must treat
+ * an exhausted stream as an infinite key (it never precedes
+ * anything).
+ */
+
+#ifndef SLACKSIM_UTIL_MERGE_TREE_HH
+#define SLACKSIM_UTIL_MERGE_TREE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace slacksim {
+
+/**
+ * K-way merge tournament tree over stream indices [0, streams).
+ *
+ * @tparam Less callable: less(a, b) is true when stream a's current
+ * head strictly precedes stream b's. An exhausted stream must never
+ * precede anything (infinite key), so less() over two exhausted
+ * streams is false both ways.
+ */
+template <typename Less>
+class MergeTree
+{
+  public:
+    /** Leaf marker for padding slots (no stream). */
+    static constexpr std::uint32_t none = 0xffffffffu;
+
+    MergeTree(std::uint32_t streams, Less less)
+        : less_(less)
+    {
+        reset(streams);
+    }
+
+    /** Rebuild for @p streams streams (all initially exhausted). */
+    void
+    reset(std::uint32_t streams)
+    {
+        streams_ = streams;
+        k_ = 1;
+        while (k_ < streams_)
+            k_ <<= 1;
+        nodes_.assign(2 * k_, none);
+        for (std::uint32_t s = 0; s < streams_; ++s)
+            nodes_[k_ + s] = s;
+        rebuild();
+    }
+
+    /**
+     * @return the stream whose head precedes all others, or an
+     * arbitrary exhausted stream (possibly none) when every stream is
+     * exhausted. The caller tracks whether anything is staged at all.
+     */
+    std::uint32_t winner() const { return nodes_[1]; }
+
+    /**
+     * Replay the matches on stream @p s's path after its head changed
+     * (consumed, refilled from empty, or drained). O(log K).
+     */
+    void
+    update(std::uint32_t s)
+    {
+        SLACKSIM_ASSERT(s < streams_, "MergeTree update out of range");
+        for (std::uint32_t n = (k_ + s) >> 1; n >= 1; n >>= 1)
+            nodes_[n] = play(nodes_[2 * n], nodes_[2 * n + 1]);
+    }
+
+    /** Replay every match (bulk restore). O(K). */
+    void
+    rebuild()
+    {
+        for (std::uint32_t n = k_ - 1; n >= 1; --n)
+            nodes_[n] = play(nodes_[2 * n], nodes_[2 * n + 1]);
+    }
+
+  private:
+    std::uint32_t
+    play(std::uint32_t a, std::uint32_t b) const
+    {
+        if (a == none)
+            return b;
+        if (b == none)
+            return a;
+        return less_(b, a) ? b : a;
+    }
+
+    std::uint32_t k_ = 0;       //!< leaf count (streams_ padded to 2^n)
+    std::uint32_t streams_ = 0;
+    /** nodes_[1] is the root; leaf for stream s is nodes_[k_ + s];
+     *  each internal node holds the winning stream of its subtree. */
+    std::vector<std::uint32_t> nodes_;
+    Less less_;
+};
+
+} // namespace slacksim
+
+#endif // SLACKSIM_UTIL_MERGE_TREE_HH

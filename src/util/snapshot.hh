@@ -28,6 +28,21 @@ namespace slacksim {
 class SnapshotWriter
 {
   public:
+    SnapshotWriter() = default;
+
+    /**
+     * Arena-reuse mode: adopt a retained buffer and serialize into
+     * it, keeping its capacity. A checkpointer that round-trips its
+     * buffer through release() and back here allocates only while a
+     * snapshot is still growing past its high-water mark, instead of
+     * re-growing the whole world's serialization every interval.
+     */
+    explicit SnapshotWriter(std::vector<std::uint8_t> &&arena)
+        : buf_(std::move(arena))
+    {
+        buf_.clear();
+    }
+
     /** Serialize one trivially-copyable value. */
     template <typename T>
     void

@@ -6,6 +6,21 @@
  * (manager thread -> core thread). The design matches the classic
  * Lamport queue with C++11 acquire/release pairs; capacity is rounded
  * up to a power of two so index wrapping is a mask.
+ *
+ * Two refinements over the textbook queue keep the hot paths cheap:
+ *
+ *  - **Cached index mirrors.** The producer keeps a non-atomic copy
+ *    of the consumer's head (and vice versa) and only reloads the
+ *    remote atomic when the cached value makes the queue look
+ *    full/empty. A producer therefore pays one remote acquire load
+ *    per *wraparound's worth* of elements instead of one per push —
+ *    the cache line holding the remote index stops ping-ponging
+ *    between the two cores.
+ *
+ *  - **Batch operations.** pushN()/popN()/consumeAll() move a whole
+ *    run of elements under a single acquire/release index pair, so
+ *    the fence and index-publication cost is amortized across the
+ *    batch (the manager pumps bursts of events, not single ones).
  */
 
 #ifndef SLACKSIM_UTIL_SPSC_QUEUE_HH
@@ -20,8 +35,10 @@
 namespace slacksim {
 
 /**
- * Bounded SPSC FIFO. Exactly one thread may call push()/full(); exactly
- * one (possibly different) thread may call pop()/front()/empty().
+ * Bounded SPSC FIFO. Exactly one thread may call the producer
+ * operations push()/pushN()/full(); exactly one (possibly different)
+ * thread may call the consumer operations
+ * pop()/popN()/consumeAll()/front()/popFront()/empty().
  * The quiesced*() helpers may only be used while both sides are parked
  * (e.g. during checkpoint/rollback).
  */
@@ -34,6 +51,13 @@ class SpscQueue
         : mask_(roundUpPow2(capacity + 1) - 1),
           slots_(mask_ + 1)
     {
+        // The index arithmetic below relies on the slot count being a
+        // power of two (wrapping is a mask, and head/tail distances
+        // stay exact modulo the ring size).
+        SLACKSIM_ASSERT((slots_.size() & (slots_.size() - 1)) == 0,
+                        "SpscQueue slot count must be a power of two");
+        SLACKSIM_ASSERT(mask_ + 1 == slots_.size(),
+                        "SpscQueue mask/slot mismatch");
     }
 
     SpscQueue(const SpscQueue &) = delete;
@@ -45,11 +69,38 @@ class SpscQueue
     {
         const std::size_t tail = tail_.load(std::memory_order_relaxed);
         const std::size_t next = (tail + 1) & mask_;
-        if (next == head_.load(std::memory_order_acquire))
-            return false;
+        if (next == headCache_) {
+            headCache_ = head_.load(std::memory_order_acquire);
+            if (next == headCache_)
+                return false;
+        }
         slots_[tail] = value;
         tail_.store(next, std::memory_order_release);
         return true;
+    }
+
+    /**
+     * Producer: append up to @p n elements from @p items under one
+     * index publication. @return the number actually appended (less
+     * than @p n only when the queue filled up).
+     */
+    std::size_t
+    pushN(const T *items, std::size_t n)
+    {
+        const std::size_t tail = tail_.load(std::memory_order_relaxed);
+        std::size_t free = (headCache_ - tail - 1) & mask_;
+        if (free < n) {
+            headCache_ = head_.load(std::memory_order_acquire);
+            free = (headCache_ - tail - 1) & mask_;
+        }
+        const std::size_t count = n < free ? n : free;
+        for (std::size_t i = 0; i < count; ++i)
+            slots_[(tail + i) & mask_] = items[i];
+        if (count) {
+            tail_.store((tail + count) & mask_,
+                        std::memory_order_release);
+        }
+        return count;
     }
 
     /** Consumer: @return pointer to the oldest element, or nullptr. */
@@ -57,8 +108,11 @@ class SpscQueue
     front() const
     {
         const std::size_t head = head_.load(std::memory_order_relaxed);
-        if (head == tail_.load(std::memory_order_acquire))
-            return nullptr;
+        if (head == tailCache_) {
+            tailCache_ = tail_.load(std::memory_order_acquire);
+            if (head == tailCache_)
+                return nullptr;
+        }
         return &slots_[head];
     }
 
@@ -67,11 +121,63 @@ class SpscQueue
     pop(T &out)
     {
         const std::size_t head = head_.load(std::memory_order_relaxed);
-        if (head == tail_.load(std::memory_order_acquire))
-            return false;
+        if (head == tailCache_) {
+            tailCache_ = tail_.load(std::memory_order_acquire);
+            if (head == tailCache_)
+                return false;
+        }
         out = slots_[head];
         head_.store((head + 1) & mask_, std::memory_order_release);
         return true;
+    }
+
+    /**
+     * Consumer: remove up to @p max elements into @p out under one
+     * index publication. @return the number removed.
+     */
+    std::size_t
+    popN(T *out, std::size_t max)
+    {
+        const std::size_t head = head_.load(std::memory_order_relaxed);
+        std::size_t avail = (tailCache_ - head) & mask_;
+        if (avail < max) {
+            tailCache_ = tail_.load(std::memory_order_acquire);
+            avail = (tailCache_ - head) & mask_;
+        }
+        const std::size_t count = max < avail ? max : avail;
+        for (std::size_t i = 0; i < count; ++i)
+            out[i] = slots_[(head + i) & mask_];
+        if (count) {
+            head_.store((head + count) & mask_,
+                        std::memory_order_release);
+        }
+        return count;
+    }
+
+    /**
+     * Consumer: invoke @p fn on every currently visible element in
+     * FIFO order, then free all their slots with one index
+     * publication. Elements pushed while the drain runs are picked up
+     * by the next call. @return the number consumed.
+     *
+     * @p fn must not touch this queue (the slots are still occupied
+     * while it runs).
+     */
+    template <typename Fn>
+    std::size_t
+    consumeAll(Fn &&fn)
+    {
+        const std::size_t head = head_.load(std::memory_order_relaxed);
+        const std::size_t tail = tail_.load(std::memory_order_acquire);
+        tailCache_ = tail;
+        std::size_t count = 0;
+        for (std::size_t i = head; i != tail; i = (i + 1) & mask_) {
+            fn(static_cast<const T &>(slots_[i]));
+            ++count;
+        }
+        if (count)
+            head_.store(tail, std::memory_order_release);
+        return count;
     }
 
     /** Consumer: drop the oldest element (must exist). */
@@ -88,8 +194,24 @@ class SpscQueue
     bool
     empty() const
     {
-        return head_.load(std::memory_order_relaxed) ==
-               tail_.load(std::memory_order_acquire);
+        const std::size_t head = head_.load(std::memory_order_relaxed);
+        if (head != tailCache_)
+            return false;
+        tailCache_ = tail_.load(std::memory_order_acquire);
+        return head == tailCache_;
+    }
+
+    /** Producer: @return true when at least @p n more elements fit. */
+    bool
+    hasFreeSpace(std::size_t n) const
+    {
+        const std::size_t tail = tail_.load(std::memory_order_relaxed);
+        std::size_t free = (headCache_ - tail - 1) & mask_;
+        if (free < n) {
+            headCache_ = head_.load(std::memory_order_acquire);
+            free = (headCache_ - tail - 1) & mask_;
+        }
+        return free >= n;
     }
 
     /** Producer-side fullness check. */
@@ -97,11 +219,21 @@ class SpscQueue
     full() const
     {
         const std::size_t tail = tail_.load(std::memory_order_relaxed);
-        return ((tail + 1) & mask_) ==
-               head_.load(std::memory_order_acquire);
+        const std::size_t next = (tail + 1) & mask_;
+        if (next != headCache_)
+            return false;
+        headCache_ = head_.load(std::memory_order_acquire);
+        return next == headCache_;
     }
 
-    /** Approximate element count (exact when quiesced). */
+    /**
+     * Element count. Both indices are loaded with acquire order, but
+     * they cannot be read atomically *together*, so while the other
+     * endpoint is live the result is a snapshot that may already be
+     * stale by one in-flight element in either direction. It is exact
+     * only when both endpoints are quiesced (checkpoint paths) or
+     * when called by the sole endpoint that mutates the queue.
+     */
     std::size_t
     size() const
     {
@@ -141,6 +273,11 @@ class SpscQueue
                         "quiescedAssign overflow");
         head_.store(0, std::memory_order_relaxed);
         tail_.store(0, std::memory_order_relaxed);
+        // The mirrors are conservative (they make the queue look
+        // *more* full/empty than it is), so resetting them here while
+        // everything is parked is safe for both endpoints.
+        headCache_ = 0;
+        tailCache_ = 0;
         std::size_t tail = 0;
         for (const T &item : items) {
             slots_[tail] = item;
@@ -161,8 +298,14 @@ class SpscQueue
 
     const std::size_t mask_;
     std::vector<T> slots_;
+    /** Consumer-owned line: real head plus the consumer's cached view
+     *  of the producer's tail. */
     alignas(64) std::atomic<std::size_t> head_{0};
+    mutable std::size_t tailCache_ = 0;
+    /** Producer-owned line: real tail plus the producer's cached view
+     *  of the consumer's head. */
     alignas(64) std::atomic<std::size_t> tail_{0};
+    mutable std::size_t headCache_ = 0;
 };
 
 } // namespace slacksim
