@@ -19,7 +19,8 @@
  *                 "wall_seconds", "committed_uops", "bus_requests",
  *                 "events", "events_per_sec", "uops_per_sec",
  *                 "checkpoints", "checkpoint_bytes",
- *                 "checkpoint_seconds", "checkpoint_bytes_per_sec" },
+ *                 "checkpoint_seconds", "checkpoint_bytes_per_sec",
+ *                 "bus_violations", "map_violations" },
  *               ... ]
  *   }
  *
@@ -38,6 +39,7 @@
 #include <vector>
 
 #include "common.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 
 using namespace slacksim;
@@ -64,6 +66,8 @@ struct Measurement
     std::uint64_t checkpoints = 0;
     std::uint64_t checkpointBytes = 0;
     double checkpointSeconds = 0.0;
+    std::uint64_t busViolations = 0;
+    std::uint64_t mapViolations = 0;
 
     std::uint64_t events() const { return committedUops + busRequests; }
 
@@ -122,49 +126,50 @@ measure(const SmokeRun &run, std::uint64_t repeat)
             m.checkpoints = r.host.checkpointsTaken;
             m.checkpointBytes = r.host.checkpointBytes;
             m.checkpointSeconds = r.host.checkpointSeconds;
+            m.busViolations = r.violations.busViolations;
+            m.mapViolations = r.violations.mapViolations;
         }
     }
     return m;
 }
 
 void
-writeJson(std::ostream &os, const Options &opts,
-          const std::string &kernel, std::uint64_t uops,
-          std::uint64_t repeat, const std::vector<Measurement> &all)
+writeJson(std::ostream &os, const std::string &kernel,
+          std::uint64_t uops, std::uint64_t repeat,
+          const std::vector<Measurement> &all)
 {
-    (void)opts;
-    os << "{\n";
-    os << "  \"schema\": \"slacksim.perf_smoke.v1\",\n";
-    os << "  \"kernel\": \"" << kernel << "\",\n";
-    os << "  \"uops\": " << uops << ",\n";
-    os << "  \"repeat\": " << repeat << ",\n";
-    os << "  \"host_threads\": "
-       << std::thread::hardware_concurrency() << ",\n";
-    os << "  \"runs\": [\n";
-    for (std::size_t i = 0; i < all.size(); ++i) {
-        const Measurement &m = all[i];
-        os << "    {\n";
-        os << "      \"name\": \"" << m.name << "\",\n";
-        os << "      \"scheme\": \"" << m.scheme << "\",\n";
-        os << "      \"parallel_host\": "
-           << (m.parallelHost ? "true" : "false") << ",\n";
-        os << "      \"wall_seconds\": " << m.wallSeconds << ",\n";
-        os << "      \"committed_uops\": " << m.committedUops << ",\n";
-        os << "      \"bus_requests\": " << m.busRequests << ",\n";
-        os << "      \"events\": " << m.events() << ",\n";
-        os << "      \"events_per_sec\": " << m.eventsPerSec() << ",\n";
-        os << "      \"uops_per_sec\": " << m.uopsPerSec() << ",\n";
-        os << "      \"checkpoints\": " << m.checkpoints << ",\n";
-        os << "      \"checkpoint_bytes\": " << m.checkpointBytes
-           << ",\n";
-        os << "      \"checkpoint_seconds\": " << m.checkpointSeconds
-           << ",\n";
-        os << "      \"checkpoint_bytes_per_sec\": "
-           << m.checkpointBytesPerSec() << "\n";
-        os << "    }" << (i + 1 < all.size() ? "," : "") << "\n";
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "slacksim.perf_smoke.v1");
+    w.field("kernel", kernel);
+    w.field("uops", uops);
+    w.field("repeat", repeat);
+    w.field("host_threads",
+            static_cast<std::uint64_t>(
+                std::thread::hardware_concurrency()));
+    w.beginArray("runs");
+    for (const Measurement &m : all) {
+        w.beginObject();
+        w.field("name", m.name);
+        w.field("scheme", m.scheme);
+        w.field("parallel_host", m.parallelHost);
+        w.field("wall_seconds", m.wallSeconds);
+        w.field("committed_uops", m.committedUops);
+        w.field("bus_requests", m.busRequests);
+        w.field("events", m.events());
+        w.field("events_per_sec", m.eventsPerSec());
+        w.field("uops_per_sec", m.uopsPerSec());
+        w.field("checkpoints", m.checkpoints);
+        w.field("checkpoint_bytes", m.checkpointBytes);
+        w.field("checkpoint_seconds", m.checkpointSeconds);
+        w.field("checkpoint_bytes_per_sec", m.checkpointBytesPerSec());
+        w.field("bus_violations", m.busViolations);
+        w.field("map_violations", m.mapViolations);
+        w.endObject();
     }
-    os << "  ]\n";
-    os << "}\n";
+    w.endArray();
+    w.endObject();
+    w.finish();
 }
 
 } // namespace
@@ -244,7 +249,7 @@ main(int argc, char **argv)
     std::ofstream os(out);
     if (!os)
         SLACKSIM_FATAL("perf_smoke: cannot write ", out);
-    writeJson(os, opts, kernel, uops, repeat, all);
+    writeJson(os, kernel, uops, repeat, all);
     std::cout << "wrote " << out << "\n";
     return 0;
 }

@@ -7,10 +7,14 @@
  *                        chrome://tracing or https://ui.perfetto.dev)
  *   --metrics-out=m.csv  per-epoch metrics time series (plot the
  *                        slack_bound column to watch the controller)
+ *   --report-out=r.json  unified slacksim.run_report.v1 document
+ *                        (config + results + violation forensics +
+ *                        adaptive decision log)
  *
  * Usage:
- *   observe --trace-out=t.json --metrics-out=m.csv [--kernel=uniform]
- *           [--uops=60000] [--serial] [--speculative]
+ *   observe --trace-out=t.json --metrics-out=m.csv
+ *           --report-out=r.json [--kernel=uniform] [--uops=60000]
+ *           [--serial] [--speculative] [--watchdog-ms=MS]
  */
 
 #include <iostream>
@@ -75,12 +79,29 @@ main(int argc, char **argv)
     obs::applyObsOptions(opts, config.engine.obs);
 
     if (!config.engine.obs.enabled()) {
-        std::cout << "note: neither --trace-out nor --metrics-out "
-                     "given; running uninstrumented.\n";
+        std::cout << "note: none of --trace-out / --metrics-out / "
+                     "--report-out given; running without artifact "
+                     "output.\n";
     }
 
     const RunResult r = runSimulation(config);
     r.printSummary(std::cout);
+
+    // Forensics digest: where did the violations actually land?
+    const obs::ViolationLedger &ledger = r.forensics.ledger;
+    if (ledger.total() > 0) {
+        std::cout << "\nviolation forensics (" << ledger.busTotal()
+                  << " bus, " << ledger.mapTotal() << " map):\n";
+        std::cout << "  top offender address buckets (64B-line "
+                     "groups of 64):\n";
+        for (const auto &o : ledger.topOffenders(5)) {
+            std::cout << "    bucket 0x" << std::hex << o.bucket
+                      << std::dec << ": " << o.bus << " bus + "
+                      << o.map << " map\n";
+        }
+        std::cout << "  adaptive decisions recorded: "
+                  << r.forensics.decisions.decisions().size() << "\n";
+    }
 
     if (!config.engine.obs.traceOut.empty()) {
         std::cout << "\ntrace timeline : "
@@ -90,6 +111,11 @@ main(int argc, char **argv)
     if (!config.engine.obs.metricsOut.empty()) {
         std::cout << "metrics series : " << config.engine.obs.metricsOut
                   << "  (CSV; plot global_cycle vs slack_bound)\n";
+    }
+    if (!config.engine.obs.reportOut.empty()) {
+        std::cout << "run report     : " << config.engine.obs.reportOut
+                  << "  (JSON; jq .forensics.violations for the "
+                     "attribution tables)\n";
     }
     return 0;
 }

@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/forensics.hh"
 #include "obs/tracer.hh"
 #include "util/logging.hh"
 
@@ -22,6 +23,16 @@ nowSeconds()
     return std::chrono::duration<double>(
                clock::now().time_since_epoch())
         .count();
+}
+
+std::uint64_t
+nowNs()
+{
+    using clock = std::chrono::steady_clock;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            clock::now().time_since_epoch())
+            .count());
 }
 
 } // namespace
@@ -60,6 +71,15 @@ Checkpointer::takeCheckpoint(Tick now)
         sys_.uncore().setViolationCounting(true);
         obs::traceEnd(obs::TraceCategory::Checkpoint, "replay", now,
                       static_cast<std::int64_t>(now - lastCheckpointAt_));
+        if (decisionLog_) {
+            const std::uint64_t end = nowNs();
+            obs::EpisodeRecord ep;
+            ep.kind = obs::EpisodeKind::Replay;
+            ep.cycle = now;
+            ep.detail = now - lastCheckpointAt_;
+            ep.hostNs = end > replayStartNs_ ? end - replayStartNs_ : 0;
+            decisionLog_->recordEpisode(ep);
+        }
     }
 
     const std::uint64_t ckpt_wall = obs::traceWallNs();
@@ -106,7 +126,16 @@ Checkpointer::takeCheckpoint(Tick now)
         }
         ++host_->checkpointsTaken;
         host_->checkpointBytes = buffers_[active_].size();
-        host_->checkpointSeconds += nowSeconds() - t0;
+        const double dt = nowSeconds() - t0;
+        host_->checkpointSeconds += dt;
+        if (decisionLog_) {
+            obs::EpisodeRecord ep;
+            ep.kind = obs::EpisodeKind::Checkpoint;
+            ep.cycle = now;
+            ep.detail = host_->checkpointBytes;
+            ep.hostNs = static_cast<std::uint64_t>(dt * 1e9);
+            decisionLog_->recordEpisode(ep);
+        }
     }
 
     obs::traceSpanAt(ckpt_wall, obs::TraceCategory::Checkpoint,
@@ -124,6 +153,18 @@ Checkpointer::takeCheckpoint(Tick now)
         mgr_.armRollback(false);
         pacer_.setReplayMode(true);
         sys_.uncore().setViolationCounting(false);
+        replayStartNs_ = nowNs();
+        if (decisionLog_) {
+            // The in-memory rollback path records its episode in
+            // rollback(); with fork() the rolled-back process is gone,
+            // so the resumed parent marks the rollback here instead.
+            obs::EpisodeRecord ep;
+            ep.kind = obs::EpisodeKind::Rollback;
+            ep.cycle = now;
+            ep.detail = host_->wastedCycles;
+            ep.hostNs = 0;
+            decisionLog_->recordEpisode(ep);
+        }
         obs::traceBegin(obs::TraceCategory::Checkpoint, "replay", now);
     } else {
         mgr_.armRollback(speculative());
@@ -167,6 +208,7 @@ Checkpointer::rollback(Tick current_global)
                       static_cast<std::int64_t>(current_global -
                                                 lastCheckpointAt_));
     const std::uint64_t rb_wall = obs::traceWallNs();
+    const std::uint64_t rb_t0 = nowNs();
 
     mgr_.abortInterval();
     mgr_.clearRollbackRequest();
@@ -181,11 +223,22 @@ Checkpointer::rollback(Tick current_global)
 
     obs::traceSpanAt(rb_wall, obs::TraceCategory::Checkpoint, "rollback",
                      current_global, lastCheckpointAt_);
+    if (decisionLog_) {
+        obs::EpisodeRecord ep;
+        ep.kind = obs::EpisodeKind::Rollback;
+        ep.cycle = current_global;
+        ep.detail = current_global >= lastCheckpointAt_
+                        ? current_global - lastCheckpointAt_
+                        : 0;
+        ep.hostNs = nowNs() - rb_t0;
+        decisionLog_->recordEpisode(ep);
+    }
 
     // Forward progress: replay the interval cycle-by-cycle with
     // violation counting off; the next boundary re-checkpoints.
     pacer_.setReplayMode(true);
     sys_.uncore().setViolationCounting(false);
+    replayStartNs_ = nowNs();
     mgr_.beginInterval(lastCheckpointAt_);
     obs::traceBegin(obs::TraceCategory::Checkpoint, "replay",
                     lastCheckpointAt_);

@@ -28,6 +28,10 @@
 
 namespace slacksim {
 
+namespace obs {
+class AdaptiveDecisionLog;
+} // namespace obs
+
 /** Checkpoint/rollback controller; all calls on the manager thread
  *  while the simulation is quiesced. */
 class Checkpointer
@@ -94,6 +98,14 @@ class Checkpointer
         return buffers_[active_].size();
     }
 
+    /** Wire (or unwire, with nullptr) the forensics episode log:
+     *  each checkpoint/rollback/replay episode is recorded with its
+     *  host-ns cost. */
+    void setDecisionLog(obs::AdaptiveDecisionLog *log)
+    {
+        decisionLog_ = log;
+    }
+
   private:
     SimSystem &sys_;
     Pacer &pacer_;
@@ -116,6 +128,8 @@ class Checkpointer
     Tick lastCheckpointAt_ = 0;
     Tick nextCheckpointAt_ = 0;
     bool haveCheckpoint_ = false;
+    obs::AdaptiveDecisionLog *decisionLog_ = nullptr;
+    std::uint64_t replayStartNs_ = 0; //!< wall ns when replay began
 };
 
 } // namespace slacksim

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "obs/forensics.hh"
 #include "obs/tracer.hh"
 #include "util/logging.hh"
 
@@ -141,12 +142,24 @@ Pacer::observe(Tick global_time, const ViolationStats &violations)
     // Dead zone: leave the bound alone while the running rate stays
     // within the violation band around the target.
     const Tick old_bound = bound_;
+    obs::BandVerdict verdict = obs::BandVerdict::Hold;
     if (rate > p.targetViolationRate * (1.0 + p.violationBand)) {
         const Tick step = std::max<Tick>(1, bound_ / 4);
         bound_ = bound_ > p.minBound + step ? bound_ - step : p.minBound;
+        verdict = obs::BandVerdict::Shrink;
     } else if (rate < p.targetViolationRate * (1.0 - p.violationBand)) {
         const Tick step = std::max<Tick>(1, bound_ / 4);
         bound_ = std::min(p.maxBound, bound_ + step);
+        verdict = obs::BandVerdict::Grow;
+    }
+    if (decisionLog_) {
+        obs::DecisionRecord d;
+        d.cycle = global_time;
+        d.rate = rate;
+        d.verdict = verdict;
+        d.oldBound = old_bound;
+        d.newBound = bound_;
+        decisionLog_->recordDecision(d);
     }
     if (bound_ != old_bound) {
         ++host_->slackAdjustments;
@@ -176,6 +189,7 @@ void
 Pacer::restore(SnapshotReader &reader)
 {
     reader.checkMarker(0x9ace);
+    const Tick before = bound_;
     bound_ = reader.get<Tick>();
     nextEpoch_ = reader.get<Tick>();
     replayMode_ = reader.get<bool>();
@@ -185,6 +199,20 @@ Pacer::restore(SnapshotReader &reader)
         reader.get<std::array<std::uint64_t, 4>>());
     lastCounted_ = reader.get<std::uint64_t>();
     lastGlobal_ = reader.get<Tick>();
+    // A rollback rewinds the bound without an observe() decision; log
+    // it so the old->new chain in the report stays contiguous. The
+    // cycle recorded is the next evaluation time restored with the
+    // snapshot — the closest notion of "when" the rewound bound takes
+    // effect.
+    if (decisionLog_ && bound_ != before) {
+        obs::DecisionRecord d;
+        d.cycle = nextEpoch_;
+        d.rate = 0.0;
+        d.verdict = obs::BandVerdict::Restored;
+        d.oldBound = before;
+        d.newBound = bound_;
+        decisionLog_->recordDecision(d);
+    }
 }
 
 } // namespace slacksim

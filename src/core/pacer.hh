@@ -18,6 +18,10 @@
 
 namespace slacksim {
 
+namespace obs {
+class AdaptiveDecisionLog;
+} // namespace obs
+
 /**
  * Scheme pacing + adaptive controller. maxLocalFor() returns the
  * highest cycle index a core may *execute* given the current global
@@ -66,6 +70,17 @@ class Pacer : public Snapshotable
     /** @return true while in forced cycle-by-cycle replay. */
     bool replayMode() const { return replayMode_; }
 
+    /**
+     * Wire (or unwire, with nullptr) the forensics decision log.
+     * Every adaptive epoch evaluation is recorded, and a restore()
+     * that rewinds the bound logs a "restored" entry so the
+     * old→new chain stays contiguous across rollbacks.
+     */
+    void setDecisionLog(obs::AdaptiveDecisionLog *log)
+    {
+        decisionLog_ = log;
+    }
+
     void save(SnapshotWriter &writer) const override;
     void restore(SnapshotReader &reader) override;
 
@@ -75,6 +90,7 @@ class Pacer : public Snapshotable
     EngineConfig engine_;
     std::uint32_t numCores_;
     HostStats *host_;
+    obs::AdaptiveDecisionLog *decisionLog_ = nullptr;
     Tick bound_ = 0;      //!< live slack bound (adaptive/bounded/p2p)
     Tick nextEpoch_ = 0;  //!< next adaptive evaluation time
     bool replayMode_ = false;

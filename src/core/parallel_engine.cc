@@ -93,6 +93,8 @@ ParallelEngine::coreThreadMain(CoreId c)
                 acked_gen = gen;
                 ackCount_.fetch_add(1, std::memory_order_seq_cst);
                 ackCount_.notify_one();
+                if (watchdog_)
+                    watchdog_->note(c, "pause-ack", cc.localTime());
             }
             const std::uint32_t e =
                 resumeEpoch_.load(std::memory_order_acquire);
@@ -110,6 +112,8 @@ ParallelEngine::coreThreadMain(CoreId c)
                 ctl.committed.store(cc.committedUops(),
                                     std::memory_order_release);
                 board_->bump(c);
+                if (watchdog_)
+                    watchdog_->note(c, "finished", cc.localTime());
             }
             // Dormant until something changes (stop, pause, restore).
             const std::uint32_t w =
@@ -134,8 +138,12 @@ ParallelEngine::coreThreadMain(CoreId c)
                     ctl.maxLocal.load(std::memory_order_acquire) &&
                 phase_.load(std::memory_order_acquire) == phaseRunning &&
                 !stop_.load(std::memory_order_acquire)) {
+                if (watchdog_)
+                    watchdog_->note(c, "park-paced", local);
                 const std::uint64_t park_wall = obs::traceWallNs();
                 ctl.wakeWord.wait(w, std::memory_order_acquire);
+                if (watchdog_)
+                    watchdog_->note(c, "resume", cc.localTime());
                 // Retroactive span, skipping waits that returned at
                 // once — futex misses would otherwise flood the ring.
                 if (obs::traceWallNs() - park_wall >= parkSpanMinNs) {
@@ -200,9 +208,13 @@ ParallelEngine::coreThreadMain(CoreId c)
                 phase_.load(std::memory_order_acquire) ==
                     phaseRunning &&
                 !stop_.load(std::memory_order_acquire)) {
+                if (watchdog_)
+                    watchdog_->note(c, "park-inbound", cc.localTime());
                 const std::uint64_t park_wall = obs::traceWallNs();
                 const Tick park_cycle = cc.localTime();
                 ctl.wakeWord.wait(w, std::memory_order_acquire);
+                if (watchdog_)
+                    watchdog_->note(c, "resume", cc.localTime());
                 if (obs::traceWallNs() - park_wall >= parkSpanMinNs) {
                     obs::traceSpanAt(park_wall,
                                      obs::TraceCategory::Core,
@@ -233,6 +245,10 @@ ParallelEngine::relayThreadMain(std::uint32_t cluster)
                 acked_gen = gen;
                 ackCount_.fetch_add(1, std::memory_order_seq_cst);
                 ackCount_.notify_one();
+                if (watchdog_) {
+                    watchdog_->note(sys_.numCores() + cluster,
+                                    "pause-ack", 0);
+                }
             }
             const std::uint32_t e =
                 resumeEpoch_.load(std::memory_order_acquire);
@@ -289,6 +305,13 @@ ParallelEngine::relayThreadMain(std::uint32_t cluster)
             board_->bump(sys_.numCores() + cluster);
         } else {
             // Nothing to move: sleep until some core makes progress.
+            // The note keeps an idle-but-live relay off the stall
+            // watchdog's radar (its watermark may legitimately stop
+            // moving once its whole cluster finished).
+            if (watchdog_) {
+                watchdog_->note(sys_.numCores() + cluster,
+                                "relay-idle", watermark);
+            }
             board_->sleep(p0, [this] {
                 return phase_.load(std::memory_order_acquire) ==
                            phaseRunning &&
@@ -416,8 +439,35 @@ ParallelEngine::run()
 {
     const auto t0 = std::chrono::steady_clock::now();
     setLogThreadContext("manager");
-    obs::ObsSession session(engine_.obs, sys_, pacer_, mgr_, host_);
+    obs::ObsSession session(engine_.obs, sys_, pacer_, mgr_, ckpt_,
+                            host_);
     session.begin("manager");
+    if (obs::StallWatchdog *wd = session.watchdog()) {
+        // Registration order fixes the worker indices the hot-path
+        // note() calls use: cores first, then relays, manager last.
+        for (CoreId c = 0; c < sys_.numCores(); ++c) {
+            wd->addWorker("core " + std::to_string(c),
+                          &sys_.core(c).localClock(),
+                          &controls_[c]->finished,
+                          /*stall_eligible=*/true);
+        }
+        for (std::uint32_t r = 0; r < relays_.size(); ++r) {
+            wd->addWorker("relay " + std::to_string(r),
+                          &relays_[r]->watermark, nullptr,
+                          /*stall_eligible=*/true);
+        }
+        // The manager blocks legitimately (all cores finished, uop
+        // budget races); keep it informational only.
+        wd->addWorker("manager", nullptr, nullptr,
+                      /*stall_eligible=*/false);
+        wd->setProgressProbe([this] {
+            return "progress-sum=" + std::to_string(board_->sum()) +
+                   " generation=" +
+                   std::to_string(board_->generation());
+        });
+        wd->start();
+        watchdog_ = wd;
+    }
     mgr_.setSorted(pacer_.sortedService());
     if (ckpt_.enabled()) {
         const auto event = ckpt_.takeCheckpoint(0);
@@ -614,8 +664,11 @@ ParallelEngine::run()
     }
 
     session.finish(computeGlobal());
+    watchdog_ = nullptr; // owned by the session; run is over
     clearLogThreadContext();
-    return collectResult(secondsSince(t0));
+    RunResult r = collectResult(secondsSince(t0));
+    r.forensics = session.takeForensics();
+    return r;
 }
 
 RunResult

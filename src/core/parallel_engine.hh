@@ -33,6 +33,10 @@
 
 namespace slacksim {
 
+namespace obs {
+class StallWatchdog;
+} // namespace obs
+
 /** The multi-threaded engine. */
 class ParallelEngine
 {
@@ -122,6 +126,11 @@ class ParallelEngine
      *  Constructed once the relay count is known. */
     std::unique_ptr<ProgressBoard> board_;
     std::atomic<bool> stop_{false};
+
+    /** Stall watchdog for this run, or nullptr (--watchdog-ms=0).
+     *  Owned by the ObsSession; set for the duration of run().
+     *  Worker indices: core c -> c, relay r -> numCores + r. */
+    obs::StallWatchdog *watchdog_ = nullptr;
 };
 
 } // namespace slacksim

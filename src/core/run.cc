@@ -5,22 +5,53 @@
 
 #include "core/run.hh"
 
+#include <fstream>
+
 #include "core/parallel_engine.hh"
 #include "core/serial_engine.hh"
 #include "core/sim_system.hh"
+#include "obs/run_report.hh"
+#include "util/logging.hh"
 
 namespace slacksim {
+
+namespace {
+
+/** Emit the unified run report when --report-out is configured.
+ *  Centralized here so every engine, bench and example that goes
+ *  through runSimulation() gets the flag for free. */
+void
+maybeWriteReport(const SimConfig &config, const RunResult &result)
+{
+    const std::string &path = config.engine.obs.reportOut;
+    if (path.empty())
+        return;
+    std::ofstream os(path);
+    if (!os) {
+        SLACKSIM_WARN("cannot write run report to ", path);
+        return;
+    }
+    obs::writeRunReport(os, config, result);
+    SLACKSIM_INFORM("run report (", obs::runReportSchema, ") -> ",
+                    path);
+}
+
+} // namespace
 
 RunResult
 runSimulation(const SimConfig &config)
 {
     SimSystem sys(config);
+    RunResult result;
     if (config.engine.parallelHost) {
         ParallelEngine engine(sys);
-        return engine.run();
+        result = engine.run();
+    } else {
+        SerialEngine engine(sys);
+        result = engine.run();
     }
-    SerialEngine engine(sys);
-    return engine.run();
+    maybeWriteReport(config, result);
+    return result;
 }
 
 SimConfig

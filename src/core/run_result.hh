@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/config.hh"
+#include "obs/forensics.hh"
 #include "stats/stats.hh"
 #include "util/histogram.hh"
 #include "util/types.hh"
@@ -49,6 +50,11 @@ struct RunResult
 
     std::vector<IntervalRecord> intervals;
     Tick finalSlackBound = 0; //!< adaptive: bound at end of run
+
+    /** Violation attribution, decision log and obs overhead collected
+     *  by the run's ObsSession (see obs/forensics.hh and the
+     *  slacksim.run_report.v1 document). */
+    obs::ForensicsData forensics;
 
     /** Committed micro-ops per cycle across the whole CMP. */
     double

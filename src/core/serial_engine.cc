@@ -64,8 +64,25 @@ SerialEngine::run()
     const auto t0 = clock::now();
 
     setLogThreadContext("manager");
-    obs::ObsSession session(engine_.obs, sys_, pacer_, mgr_, host_);
+    obs::ObsSession session(engine_.obs, sys_, pacer_, mgr_, ckpt_,
+                            host_);
     session.begin("manager");
+    if (obs::StallWatchdog *wd = session.watchdog()) {
+        // Single host thread: every simulated core is informational
+        // only (the engine's own livelock panics cover real stalls,
+        // and a paused core clock is normal round-robin scheduling).
+        for (CoreId c = 0; c < sys_.numCores(); ++c) {
+            wd->addWorker("core " + std::to_string(c),
+                          &sys_.core(c).localClock(), nullptr,
+                          /*stall_eligible=*/false);
+        }
+        wd->setProgressProbe([this] {
+            return "global=" + std::to_string(sys_.globalTime()) +
+                   " committed=" +
+                   std::to_string(sys_.totalCommittedUops());
+        });
+        wd->start();
+    }
 
     mgr_.setSorted(pacer_.sortedService());
     if (ckpt_.enabled()) {
@@ -242,7 +259,9 @@ SerialEngine::run()
     clearLogThreadContext();
     const double wall =
         std::chrono::duration<double>(clock::now() - t0).count();
-    return collectResult(wall);
+    RunResult r = collectResult(wall);
+    r.forensics = session.takeForensics();
+    return r;
 }
 
 RunResult

@@ -34,11 +34,21 @@ struct ObsConfig
      *  controller decision lands in its own sample. */
     Tick metricsEpoch = 0;
 
+    /** Unified run-report JSON output path; "" disables it. The
+     *  forensics ledgers themselves are always collected (their cost
+     *  is confined to actual violations). */
+    std::string reportOut;
+
+    /** Stall watchdog threshold in wall-clock ms; 0 (default) keeps
+     *  the watchdog thread off entirely. */
+    std::uint64_t watchdogMs = 0;
+
     /** @return true when any output is requested. */
     bool
     enabled() const
     {
-        return !traceOut.empty() || !metricsOut.empty();
+        return !traceOut.empty() || !metricsOut.empty() ||
+               !reportOut.empty();
     }
 };
 

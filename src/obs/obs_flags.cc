@@ -19,6 +19,10 @@ obsOptionSpecs()
          "per-thread trace ring size in KiB (default 1024)"},
         {"obs-epoch", "CYCLES",
          "metrics sampling period (default: adaptive epoch)"},
+        {"report-out", "FILE",
+         "write the unified slacksim.run_report.v1 JSON"},
+        {"watchdog-ms", "MS",
+         "stall watchdog threshold in wall ms (0 = off)"},
     };
     return specs;
 }
@@ -31,6 +35,8 @@ applyObsOptions(const Options &opts, ObsConfig &config)
     config.bufferKb = static_cast<std::uint32_t>(
         opts.getUint("obs-buffer-kb", config.bufferKb));
     config.metricsEpoch = opts.getUint("obs-epoch", config.metricsEpoch);
+    config.reportOut = opts.get("report-out", config.reportOut);
+    config.watchdogMs = opts.getUint("watchdog-ms", config.watchdogMs);
 }
 
 } // namespace slacksim::obs

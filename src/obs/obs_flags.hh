@@ -2,9 +2,9 @@
  * @file
  * Command-line plumbing for the observability subsystem, shared by
  * the examples and the bench harnesses: the --trace-out /
- * --metrics-out / --obs-buffer-kb / --obs-epoch flag specs (for
- * --help and unknown-flag rejection) and the helper that applies them
- * to an ObsConfig.
+ * --metrics-out / --obs-buffer-kb / --obs-epoch / --report-out /
+ * --watchdog-ms flag specs (for --help and unknown-flag rejection)
+ * and the helper that applies them to an ObsConfig.
  */
 
 #ifndef SLACKSIM_OBS_OBS_FLAGS_HH

@@ -7,6 +7,7 @@
 
 #include <fstream>
 
+#include "core/checkpointer.hh"
 #include "core/manager_logic.hh"
 #include "core/pacer.hh"
 #include "core/sim_system.hh"
@@ -18,11 +19,12 @@ namespace slacksim::obs {
 
 ObsSession::ObsSession(const ObsConfig &config, SimSystem &sys,
                        Pacer &pacer, ManagerLogic &mgr,
-                       const HostStats &host)
+                       Checkpointer &ckpt, const HostStats &host)
     : config_(config),
       sys_(sys),
       pacer_(pacer),
       mgr_(mgr),
+      ckpt_(ckpt),
       host_(host)
 {
 }
@@ -30,7 +32,13 @@ ObsSession::ObsSession(const ObsConfig &config, SimSystem &sys,
 ObsSession::~ObsSession()
 {
     // Normal exit goes through finish(); this only releases the
-    // tracer when an engine dies mid-run (panic unwinding in tests).
+    // tracer and the forensics wiring when an engine dies mid-run
+    // (panic unwinding in tests). The wired components hold raw
+    // pointers into this session, so unwiring before destruction is
+    // load-bearing, not cosmetic.
+    unwire();
+    if (watchdog_)
+        watchdog_->stop();
     if (tracing_ && !finished_)
         Tracer::instance().deactivate();
 }
@@ -39,6 +47,23 @@ void
 ObsSession::begin(const char *role)
 {
     t0_ = std::chrono::steady_clock::now();
+
+    // Forensics is always on: its hot-path cost is one pointer test
+    // plus table updates on actual violations, and an always-wired
+    // ledger is what makes "ledger totals == ViolationStats"
+    // unconditional. Wiring must precede the engine's initial
+    // checkpoint so the ledger is serialized into every snapshot and
+    // rewinds with the violation counters on rollback.
+    ledger_.reset(sys_.numCores());
+    decisions_.clear();
+    sys_.uncore().setLedger(&ledger_);
+    pacer_.setDecisionLog(&decisions_);
+    ckpt_.setDecisionLog(&decisions_);
+    wired_ = true;
+
+    if (config_.watchdogMs > 0)
+        watchdog_ = std::make_unique<StallWatchdog>(config_.watchdogMs);
+
     if (!config_.traceOut.empty()) {
         tracing_ = Tracer::instance().activate(config_.bufferKb);
         if (tracing_) {
@@ -59,6 +84,17 @@ ObsSession::begin(const char *role)
         }
         sampler_ = std::make_unique<MetricsSampler>(epoch);
     }
+}
+
+void
+ObsSession::unwire()
+{
+    if (!wired_)
+        return;
+    sys_.uncore().setLedger(nullptr);
+    pacer_.setDecisionLog(nullptr);
+    ckpt_.setDecisionLog(nullptr);
+    wired_ = false;
 }
 
 std::uint64_t
@@ -87,8 +123,9 @@ ObsSession::forceSample(Tick global)
 void
 ObsSession::sample(Tick global)
 {
+    const std::uint64_t t0 = wallNowNs();
     MetricsRow row;
-    row.wallNs = wallNowNs();
+    row.wallNs = t0;
     row.global = global;
     row.minLocal = sys_.globalTime();
     row.maxLocal = sys_.maxLocalTime();
@@ -105,13 +142,28 @@ ObsSession::sample(Tick global)
     for (CoreId c = 0; c < sys_.numCores(); ++c)
         row.coreLocal.push_back(sys_.core(c).localTime());
     sampler_->push(global, std::move(row));
+    samplerHostNs_ += wallNowNs() - t0;
+}
+
+void
+ObsSession::warnOnFirstDrop()
+{
+    if (dropWarned_)
+        return;
+    dropWarned_ = true;
+    SLACKSIM_WARN("trace ring overflow: events are being dropped; "
+                  "raise --obs-buffer-kb (drops are accounted in the "
+                  "run report)");
 }
 
 void
 ObsSession::collectTrace()
 {
-    if (tracing_)
-        Tracer::instance().collect();
+    if (!tracing_)
+        return;
+    Tracer::instance().collect();
+    if (Tracer::instance().droppedTotal() != 0)
+        warnOnFirstDrop();
 }
 
 void
@@ -121,6 +173,11 @@ ObsSession::finish(Tick global)
         return;
     finished_ = true;
 
+    if (watchdog_)
+        watchdog_->stop();
+
+    ObsSelfStats self;
+
     if (sampler_) {
         sample(global);
         std::ofstream os(config_.metricsOut);
@@ -129,10 +186,15 @@ ObsSession::finish(Tick global)
                           config_.metricsOut);
         } else {
             sampler_->writeCsv(os);
+            self.metricsBytes = os.tellp() >= 0
+                                    ? static_cast<std::uint64_t>(os.tellp())
+                                    : 0;
             SLACKSIM_INFORM("metrics: ", sampler_->rows().size(),
                             " epoch samples -> ", config_.metricsOut);
         }
+        self.metricsRows = sampler_->rows().size();
     }
+    self.samplerHostNs = samplerHostNs_;
 
     if (tracing_) {
         traceEnd(TraceCategory::Engine, "engine-run", global);
@@ -144,12 +206,19 @@ ObsSession::finish(Tick global)
             records += t.records.size();
             dropped += t.dropped;
         }
+        if (dropped)
+            warnOnFirstDrop();
+        self.traceRecords = records;
+        self.traceDropped = dropped;
         std::ofstream os(config_.traceOut);
         if (!os) {
             SLACKSIM_WARN("cannot write Chrome trace to ",
                           config_.traceOut);
         } else {
             writeChromeTrace(os, traces);
+            self.traceBytes = os.tellp() >= 0
+                                  ? static_cast<std::uint64_t>(os.tellp())
+                                  : 0;
             SLACKSIM_INFORM("trace: ", records, " events on ",
                             traces.size(), " tracks -> ",
                             config_.traceOut,
@@ -159,6 +228,18 @@ ObsSession::finish(Tick global)
                                     : "");
         }
     }
+
+    // Unwire before moving the ledgers out: the uncore/pacer pointers
+    // must never outlive the data they point into.
+    unwire();
+    forensics_.ledger = ledger_;
+    forensics_.decisions = decisions_;
+    forensics_.obs = self;
+    forensics_.watchdogEnabled = watchdog_ != nullptr;
+    forensics_.stallMs = watchdog_ ? watchdog_->stallMs() : 0;
+    forensics_.stallDumps = watchdog_ ? watchdog_->stallDumps() : 0;
+    forensics_.lastStallDump =
+        watchdog_ ? watchdog_->lastDump() : std::string();
 }
 
 } // namespace slacksim::obs

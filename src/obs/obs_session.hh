@@ -7,6 +7,13 @@
  * (snapshot the run state every sampling epoch, plus forced samples
  * at checkpoint/rollback edges so speculative transitions are never
  * missed between epochs).
+ *
+ * Since the forensics layer landed, the session also owns the
+ * ViolationLedger / AdaptiveDecisionLog (wired into the uncore, the
+ * pacer and the checkpointer for the duration of the run) and the
+ * optional stall watchdog; finish() folds all of it — plus the obs
+ * layer's own overhead accounting — into a ForensicsData block that
+ * collectResult() copies into the RunResult for the run report.
  */
 
 #ifndef SLACKSIM_OBS_OBS_SESSION_HH
@@ -15,6 +22,8 @@
 #include <chrono>
 #include <memory>
 
+#include "obs/flight_recorder.hh"
+#include "obs/forensics.hh"
 #include "obs/metrics.hh"
 #include "obs/obs_config.hh"
 
@@ -23,6 +32,7 @@ namespace slacksim {
 class SimSystem;
 class Pacer;
 class ManagerLogic;
+class Checkpointer;
 struct HostStats;
 
 namespace obs {
@@ -33,7 +43,8 @@ class ObsSession
   public:
     /** References must outlive the session (engine members). */
     ObsSession(const ObsConfig &config, SimSystem &sys, Pacer &pacer,
-               ManagerLogic &mgr, const HostStats &host);
+               ManagerLogic &mgr, Checkpointer &ckpt,
+               const HostStats &host);
     ~ObsSession();
 
     ObsSession(const ObsSession &) = delete;
@@ -41,8 +52,12 @@ class ObsSession
 
     /**
      * Start the session: activates the tracer (when --trace-out is
-     * configured), registers the calling thread under @p role, and
-     * opens the engine-run span. Call before spawning core threads.
+     * configured), registers the calling thread under @p role, opens
+     * the engine-run span, wires the forensics ledgers into the
+     * uncore/pacer/checkpointer and creates the stall watchdog (when
+     * --watchdog-ms is set; the engine still registers workers and
+     * starts it). Call before spawning core threads AND before the
+     * initial checkpoint, so the ledger is part of every snapshot.
      */
     void begin(const char *role);
 
@@ -51,6 +66,10 @@ class ObsSession
 
     /** @return true when the metrics sampler is on. */
     bool metricsOn() const { return sampler_ != nullptr; }
+
+    /** @return the stall watchdog, or nullptr when not configured.
+     *  The engine registers its workers and calls start()/notes. */
+    StallWatchdog *watchdog() { return watchdog_.get(); }
 
     /** Sample the run state if the sampling epoch has elapsed. */
     void maybeSample(Tick global);
@@ -64,25 +83,41 @@ class ObsSession
 
     /**
      * Finish the run: final sample, close the engine-run span, write
-     * the Chrome-trace JSON and metrics CSV files, release the
-     * tracer. Idempotent.
+     * the Chrome-trace JSON and metrics CSV files, stop the watchdog,
+     * unwire the forensics ledgers and fold them (with the obs
+     * self-overhead counters) into the ForensicsData block.
+     * Idempotent.
      */
     void finish(Tick global);
+
+    /** Move the collected forensics out (valid after finish()). */
+    ForensicsData takeForensics() { return std::move(forensics_); }
 
   private:
     void sample(Tick global);
     std::uint64_t wallNowNs() const;
+    void unwire();
+    void warnOnFirstDrop();
 
     ObsConfig config_;
     SimSystem &sys_;
     Pacer &pacer_;
     ManagerLogic &mgr_;
+    Checkpointer &ckpt_;
     const HostStats &host_;
 
     bool tracing_ = false;
     bool finished_ = false;
+    bool wired_ = false;
+    bool dropWarned_ = false;
     std::unique_ptr<MetricsSampler> sampler_;
     std::chrono::steady_clock::time_point t0_{};
+
+    ViolationLedger ledger_;
+    AdaptiveDecisionLog decisions_;
+    std::unique_ptr<StallWatchdog> watchdog_;
+    ForensicsData forensics_;
+    std::uint64_t samplerHostNs_ = 0;
 };
 
 } // namespace obs

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Run-report writer (schema slacksim.run_report.v1).
+ */
+
+#include "obs/run_report.hh"
+
+#include <thread>
+
+#include "core/config.hh"
+#include "core/run_result.hh"
+#include "util/json.hh"
+
+namespace slacksim {
+namespace obs {
+
+namespace {
+
+const char *
+checkpointModeName(CheckpointMode mode)
+{
+    switch (mode) {
+      case CheckpointMode::Off:
+        return "off";
+      case CheckpointMode::Measure:
+        return "measure";
+      case CheckpointMode::Speculative:
+        return "speculative";
+    }
+    return "unknown";
+}
+
+const char *
+checkpointTechName(CheckpointTech tech)
+{
+    switch (tech) {
+      case CheckpointTech::Memory:
+        return "memory";
+      case CheckpointTech::ForkProcess:
+        return "fork";
+    }
+    return "unknown";
+}
+
+void
+writeHistogramSummary(JsonWriter &w, const char *key,
+                      const Log2Histogram &h)
+{
+    w.beginObject(key);
+    w.field("count", h.count());
+    w.field("mean", h.mean());
+    w.field("p50", h.percentile(50));
+    w.field("p95", h.percentile(95));
+    w.field("max", h.max());
+    w.endObject();
+}
+
+void
+writeConfigSection(JsonWriter &w, const SimConfig &config)
+{
+    const EngineConfig &e = config.engine;
+    w.beginObject("config");
+    w.field("workload", config.workload.kernel);
+    w.field("cores", config.target.numCores);
+    w.field("scheme", schemeName(e.scheme));
+    w.field("parallel_host", e.parallelHost);
+    w.field("slack_bound", e.slackBound);
+    w.field("quantum", e.quantum);
+    w.beginObject("adaptive");
+    w.field("target_rate", e.adaptive.targetViolationRate);
+    w.field("band", e.adaptive.violationBand);
+    w.field("epoch_cycles", e.adaptive.epochCycles);
+    w.field("initial_bound", e.adaptive.initialBound);
+    w.field("min_bound", e.adaptive.minBound);
+    w.field("max_bound", e.adaptive.maxBound);
+    w.field("windowed_rate", e.adaptive.windowedRate);
+    w.endObject();
+    w.beginObject("checkpoint");
+    w.field("mode", checkpointModeName(e.checkpoint.mode));
+    w.field("tech", checkpointTechName(e.checkpoint.tech));
+    w.field("interval", e.checkpoint.interval);
+    w.endObject();
+    w.beginObject("obs");
+    w.field("trace_out", e.obs.traceOut);
+    w.field("metrics_out", e.obs.metricsOut);
+    w.field("report_out", e.obs.reportOut);
+    w.field("watchdog_ms", e.obs.watchdogMs);
+    w.endObject();
+    w.endObject();
+}
+
+void
+writeResultSection(JsonWriter &w, const RunResult &r)
+{
+    w.beginObject("result");
+    w.field("exec_cycles", r.execCycles);
+    w.field("global_cycles", r.globalCycles);
+    w.field("committed_uops", r.committedUops);
+    w.field("ipc", r.ipc());
+    w.field("cpi", r.cpi());
+    w.field("wall_seconds", r.host.wallSeconds);
+    w.beginObject("violations");
+    w.field("bus", r.violations.busViolations);
+    w.field("map", r.violations.mapViolations);
+    w.field("bus_rate", r.busViolationRate());
+    w.field("map_rate", r.mapViolationRate());
+    w.endObject();
+    w.beginObject("host");
+    w.field("checkpoints", r.host.checkpointsTaken);
+    w.field("checkpoint_bytes", r.host.checkpointBytes);
+    w.field("checkpoint_seconds", r.host.checkpointSeconds);
+    w.field("rollbacks", r.host.rollbacks);
+    w.field("wasted_cycles", r.host.wastedCycles);
+    w.field("replay_cycles", r.host.replayCycles);
+    w.field("slack_adjustments", r.host.slackAdjustments);
+    w.field("manager_wakeups", r.host.managerWakeups);
+    w.field("max_observed_slack", r.host.maxObservedSlack);
+    w.endObject();
+    w.field("final_slack_bound", r.finalSlackBound);
+    w.field("intervals",
+            static_cast<std::uint64_t>(r.intervals.size()));
+    w.endObject();
+}
+
+void
+writeForensicsSection(JsonWriter &w, const ForensicsData &f)
+{
+    w.beginObject("forensics");
+
+    const ViolationLedger &ledger = f.ledger;
+    w.beginObject("violations");
+    w.field("bus_total", ledger.busTotal());
+    w.field("map_total", ledger.mapTotal());
+    w.beginObject("slack_histogram");
+    writeHistogramSummary(w, "bus", ledger.busSlack());
+    writeHistogramSummary(w, "map", ledger.mapSlack());
+    w.endObject();
+    w.beginArray("pairs");
+    for (const auto &p : ledger.nonzeroPairs()) {
+        w.beginObject();
+        w.field("requester", p.requester);
+        w.field("prior", p.prior == invalidCore
+                             ? std::int64_t(-1)
+                             : static_cast<std::int64_t>(p.prior));
+        w.field("bus", p.bus);
+        w.field("map", p.map);
+        w.endObject();
+    }
+    w.endArray();
+    w.beginArray("top_offenders");
+    for (const auto &o : ledger.topOffenders(10)) {
+        w.beginObject();
+        w.field("bucket", o.bucket);
+        w.field("bus", o.bus);
+        w.field("map", o.map);
+        w.endObject();
+    }
+    w.endArray();
+    w.field("untracked_buckets", ledger.untrackedBuckets());
+    w.endObject();
+
+    const AdaptiveDecisionLog &log = f.decisions;
+    w.beginArray("decisions");
+    for (const auto &d : log.decisions()) {
+        w.beginObject();
+        w.field("cycle", d.cycle);
+        w.field("rate", d.rate);
+        w.field("verdict", bandVerdictName(d.verdict));
+        w.field("old_bound", d.oldBound);
+        w.field("new_bound", d.newBound);
+        w.endObject();
+    }
+    w.endArray();
+    w.field("decisions_dropped", log.decisionsDropped());
+    w.beginArray("episodes");
+    for (const auto &e : log.episodes()) {
+        w.beginObject();
+        w.field("kind", episodeKindName(e.kind));
+        w.field("cycle", e.cycle);
+        w.field("detail", e.detail);
+        w.field("host_ns", e.hostNs);
+        w.endObject();
+    }
+    w.endArray();
+    w.field("episodes_dropped", log.episodesDropped());
+
+    w.endObject();
+}
+
+} // namespace
+
+void
+writeRunReport(std::ostream &os, const SimConfig &config,
+               const RunResult &result)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", runReportSchema);
+    w.beginObject("generator");
+    w.field("name", "slacksim");
+    w.field("host_threads",
+            static_cast<std::uint64_t>(
+                std::thread::hardware_concurrency()));
+    w.endObject();
+    writeConfigSection(w, config);
+    writeResultSection(w, result);
+    writeForensicsSection(w, result.forensics);
+    w.beginObject("obs");
+    w.field("trace_records", result.forensics.obs.traceRecords);
+    w.field("trace_dropped", result.forensics.obs.traceDropped);
+    w.field("trace_bytes", result.forensics.obs.traceBytes);
+    w.field("metrics_rows", result.forensics.obs.metricsRows);
+    w.field("metrics_bytes", result.forensics.obs.metricsBytes);
+    w.field("sampler_host_ns", result.forensics.obs.samplerHostNs);
+    w.endObject();
+    w.beginObject("watchdog");
+    w.field("enabled", result.forensics.watchdogEnabled);
+    w.field("stall_ms", result.forensics.stallMs);
+    w.field("stall_dumps", result.forensics.stallDumps);
+    w.endObject();
+    w.endObject();
+    w.finish();
+}
+
+} // namespace obs
+} // namespace slacksim

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The unified machine-readable run report: one versioned JSON
+ * document (`slacksim.run_report.v1`) merging the configuration, the
+ * RunResult, the violation-forensics ledger, the adaptive decision
+ * log and the obs layer's own overhead counters. Emitted by
+ * runSimulation() whenever --report-out is set, so every engine,
+ * bench and example shares one writer and one schema (documented in
+ * DESIGN.md, "Forensics & run report"; validated by
+ * tests/report_schema_test).
+ */
+
+#ifndef SLACKSIM_OBS_RUN_REPORT_HH
+#define SLACKSIM_OBS_RUN_REPORT_HH
+
+#include <iosfwd>
+
+namespace slacksim {
+
+struct SimConfig;
+struct RunResult;
+
+namespace obs {
+
+/** The schema identifier emitted in every report. */
+inline constexpr const char *runReportSchema = "slacksim.run_report.v1";
+
+/** Write the full run report for @p result under @p config. */
+void writeRunReport(std::ostream &os, const SimConfig &config,
+                    const RunResult &result);
+
+} // namespace obs
+} // namespace slacksim
+
+#endif // SLACKSIM_OBS_RUN_REPORT_HH

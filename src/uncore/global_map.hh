@@ -25,6 +25,8 @@ struct MapEntry
     std::uint64_t dSharers = 0; //!< bitmask of cores with a D copy
     std::uint64_t iSharers = 0; //!< bitmask of cores with an I copy
     CoreId owner = invalidCore; //!< core holding the line Modified
+    CoreId lastTouch = invalidCore; //!< core that last advanced the
+                                    //!< monitor (forensics attribution)
     Tick monitorTs = 0;         //!< violation-detection monitor
 
     bool
@@ -53,14 +55,18 @@ class GlobalCacheMap : public Snapshotable
     /**
      * Record a transition for violation detection: returns true when
      * @p ts is older than the line's monitoring timestamp (i.e. this
-     * is a map violation), else advances the monitor.
+     * is a map violation), else advances the monitor and remembers
+     * @p src as the last in-order toucher. A violating access leaves
+     * both the monitor and the attribution untouched — the violator
+     * did not win the line.
      */
     bool
-    recordTransition(MapEntry &e, Tick ts)
+    recordTransition(MapEntry &e, Tick ts, CoreId src)
     {
         if (ts < e.monitorTs)
             return true;
         e.monitorTs = ts;
+        e.lastTouch = src;
         return false;
     }
 

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 
+#include "obs/forensics.hh"
 #include "obs/tracer.hh"
 #include "util/logging.hh"
 
@@ -127,16 +128,27 @@ Uncore::serviceBusRequest(const BusMsg &msg, std::vector<Outbound> &out)
     // Bus violation detection: the monitoring variable records the
     // largest timestamp of any serviced request; an older incoming
     // timestamp means the bus is being used in a different order than
-    // in the target.
-    if (msg.ts < busMonitorTs_) {
+    // in the target. Detection and monitor updates are independent of
+    // the counting gate — disabling counting (replay) must not let
+    // the monitor state drift — while counters, ledger and trace
+    // events all follow the gate together, so none of them sees
+    // phantom violations during replay.
+    const bool bus_violation = msg.ts < busMonitorTs_;
+    if (bus_violation) {
         result.busViolation = true;
-        if (countViolations_)
+        if (countViolations_) {
             ++violations_->busViolations;
-        obs::traceInstant(obs::TraceCategory::Bus, "bus-violation",
-                          msg.ts, static_cast<std::int64_t>(msg.src),
-                          static_cast<std::int64_t>(busMonitorTs_));
+            if (ledger_)
+                ledger_->record(obs::ViolationKind::Bus, line, msg.src,
+                                busMonitorSrc_, busMonitorTs_ - msg.ts);
+            obs::traceInstant(obs::TraceCategory::Bus, "bus-violation",
+                              msg.ts,
+                              static_cast<std::int64_t>(msg.src),
+                              static_cast<std::int64_t>(busMonitorTs_));
+        }
     } else {
         busMonitorTs_ = msg.ts;
+        busMonitorSrc_ = msg.src;
     }
 
     // Request bus arbitration: one grant per cycle.
@@ -152,13 +164,20 @@ Uncore::serviceBusRequest(const BusMsg &msg, std::vector<Outbound> &out)
 
     // Map violation detection on the line's monitoring variable.
     MapEntry &e = map_.entry(line);
-    if (map_.recordTransition(e, msg.ts)) {
+    const Tick map_monitor = e.monitorTs;
+    const CoreId map_prior = e.lastTouch;
+    if (map_.recordTransition(e, msg.ts, msg.src)) {
         result.mapViolation = true;
-        if (countViolations_)
+        if (countViolations_) {
             ++violations_->mapViolations;
-        obs::traceInstant(obs::TraceCategory::Map, "map-violation",
-                          msg.ts, static_cast<std::int64_t>(msg.src),
-                          static_cast<std::int64_t>(line));
+            if (ledger_)
+                ledger_->record(obs::ViolationKind::Map, line, msg.src,
+                                map_prior, map_monitor - msg.ts);
+            obs::traceInstant(obs::TraceCategory::Map, "map-violation",
+                              msg.ts,
+                              static_cast<std::int64_t>(msg.src),
+                              static_cast<std::int64_t>(line));
+        }
     }
 
     switch (msg.type) {
@@ -318,6 +337,7 @@ Uncore::save(SnapshotWriter &writer) const
     l2_.save(writer);
     sync_.save(writer);
     writer.put(busMonitorTs_);
+    writer.put(busMonitorSrc_);
     writer.put(reqBusFreeAt_);
     writer.put(respBusFreeAt_);
     writer.putVector(bankFreeAt_);
@@ -325,6 +345,11 @@ Uncore::save(SnapshotWriter &writer) const
     writer.put(busQueueHist_);
     writer.put(*stats_);
     writer.put(*violations_);
+    // The forensics ledger rolls back with the violation counters it
+    // attributes, or the report's exactness guarantee breaks.
+    writer.put<bool>(ledger_ != nullptr);
+    if (ledger_)
+        ledger_->save(writer);
 }
 
 void
@@ -335,6 +360,7 @@ Uncore::restore(SnapshotReader &reader)
     l2_.restore(reader);
     sync_.restore(reader);
     busMonitorTs_ = reader.get<Tick>();
+    busMonitorSrc_ = reader.get<CoreId>();
     reqBusFreeAt_ = reader.get<Tick>();
     respBusFreeAt_ = reader.get<Tick>();
     bankFreeAt_ = reader.getVector<Tick>();
@@ -342,6 +368,11 @@ Uncore::restore(SnapshotReader &reader)
     busQueueHist_ = reader.get<Log2Histogram>();
     *stats_ = reader.get<UncoreStats>();
     *violations_ = reader.get<ViolationStats>();
+    const bool hadLedger = reader.get<bool>();
+    SLACKSIM_ASSERT(hadLedger == (ledger_ != nullptr),
+                    "ledger wiring changed across checkpoint");
+    if (ledger_)
+        ledger_->restore(reader);
     SLACKSIM_ASSERT(bankFreeAt_.size() == params_.l2.banks,
                     "uncore snapshot geometry mismatch");
 }

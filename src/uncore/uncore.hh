@@ -31,6 +31,10 @@
 
 namespace slacksim {
 
+namespace obs {
+class ViolationLedger;
+} // namespace obs
+
 /** Uncore configuration. */
 struct UncoreParams
 {
@@ -98,6 +102,18 @@ class Uncore : public Snapshotable
     /** @return true while violation counting is enabled. */
     bool violationCounting() const { return countViolations_; }
 
+    /**
+     * Wire (or unwire, with nullptr) the forensics ledger. The ledger
+     * follows the counting gate — it only records violations that
+     * land in ViolationStats, so the two always agree — and it is
+     * snapshotted with the uncore so rollbacks rewind it in lockstep.
+     * Wiring must not change between a checkpoint and its restore.
+     */
+    void setLedger(obs::ViolationLedger *ledger) { ledger_ = ledger; }
+
+    /** @return the wired forensics ledger, or nullptr. */
+    obs::ViolationLedger *ledger() const { return ledger_; }
+
     /** Clear histogram state (warmup discard; counters are owned by
      *  the caller-provided stat sinks). */
     void resetStats() { busQueueHist_.clear(); }
@@ -127,12 +143,14 @@ class Uncore : public Snapshotable
     SyncArbiter sync_;
 
     Tick busMonitorTs_ = 0;      //!< bus violation monitor variable
+    CoreId busMonitorSrc_ = invalidCore; //!< who last advanced it
     Tick reqBusFreeAt_ = 0;
     Tick respBusFreeAt_ = 0;
     std::vector<Tick> bankFreeAt_;
     SeqNum nextSeq_ = 0;
     Log2Histogram busQueueHist_;
     bool countViolations_ = true; //!< engine-controlled, not snapshot
+    obs::ViolationLedger *ledger_ = nullptr; //!< optional forensics
 };
 
 } // namespace slacksim

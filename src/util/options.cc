@@ -13,6 +13,50 @@
 
 namespace slacksim {
 
+namespace {
+
+/** Classic dynamic-programming edit distance (two rolling rows). */
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> prev(b.size() + 1);
+    std::vector<std::size_t> cur(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        prev[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        cur[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t sub =
+                prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[b.size()];
+}
+
+/** Closest known flag to @p key, or "" when nothing is plausibly a
+ *  typo (distance above max(2, len/3) reads as a different word). */
+std::string
+closestKnown(const std::string &key,
+             const std::vector<OptionSpec> &known)
+{
+    std::string best;
+    std::size_t best_d = std::max<std::size_t>(2, key.size() / 3) + 1;
+    for (const auto &spec : known) {
+        const std::size_t d = editDistance(key, spec.key);
+        if (d < best_d) {
+            best_d = d;
+            best = spec.key;
+        }
+    }
+    if (editDistance(key, "help") < best_d)
+        best = "help";
+    return best;
+}
+
+} // namespace
+
 Options::Options(int argc, const char *const *argv)
 {
     if (argc > 0)
@@ -71,6 +115,12 @@ Options::enforceKnown(const std::string &tool,
             known.begin(), known.end(),
             [&key](const OptionSpec &spec) { return key == spec.key; });
         if (!ok) {
+            const std::string hint = closestKnown(key, known);
+            if (!hint.empty()) {
+                SLACKSIM_FATAL("unknown option --", key,
+                               " (did you mean --", hint,
+                               "? run with --help for the flag list)");
+            }
             SLACKSIM_FATAL("unknown option --", key,
                            " (run with --help for the flag list)");
         }

@@ -92,6 +92,13 @@ class ProgressBoard
         sleepers_.fetch_sub(1, std::memory_order_relaxed);
     }
 
+    /** Generation word snapshot (wakeups seen; forensics probes). */
+    std::uint64_t
+    generation() const
+    {
+        return gen_.load(std::memory_order_relaxed);
+    }
+
     /** Wake every sleeper unconditionally (pause/stop paths). */
     void
     wakeAll()

@@ -344,10 +344,16 @@ TEST(GlobalCacheMap, MonitorAndInvariants)
 {
     GlobalCacheMap map;
     MapEntry &e = map.entry(0x40);
-    EXPECT_FALSE(map.recordTransition(e, 10));
-    EXPECT_FALSE(map.recordTransition(e, 10)); // equal is fine
-    EXPECT_TRUE(map.recordTransition(e, 5));   // older -> violation
-    EXPECT_FALSE(map.recordTransition(e, 20));
+    EXPECT_FALSE(map.recordTransition(e, 10, 0));
+    EXPECT_EQ(e.lastTouch, 0u);
+    EXPECT_FALSE(map.recordTransition(e, 10, 1)); // equal is fine
+    EXPECT_EQ(e.lastTouch, 1u);
+    EXPECT_TRUE(map.recordTransition(e, 5, 2)); // older -> violation
+    // Violations leave both the monitor and the attribution alone.
+    EXPECT_EQ(e.lastTouch, 1u);
+    EXPECT_EQ(e.monitorTs, 10u);
+    EXPECT_FALSE(map.recordTransition(e, 20, 3));
+    EXPECT_EQ(e.lastTouch, 3u);
     e.owner = 2;
     e.dSharers = 1ull << 2;
     map.checkInvariants();

@@ -247,6 +247,39 @@ TEST(OptionsDeathTest, RejectsUnknownFlag)
                 testing::ExitedWithCode(0), "");
 }
 
+TEST(OptionsDeathTest, SuggestsClosestFlagForTypos)
+{
+    const std::vector<OptionSpec> known = {
+        {"report-out", "FILE", "run report path"},
+        {"watchdog-ms", "MS", "stall threshold"},
+    };
+    {
+        // One transposition away from report-out.
+        const char *argv[] = {"prog", "--reprot-out=r.json"};
+        Options o(2, argv);
+        EXPECT_EXIT(o.enforceKnown("prog", known),
+                    testing::ExitedWithCode(1),
+                    "unknown option --reprot-out \\(did you mean "
+                    "--report-out\\?");
+    }
+    {
+        // Wrong unit suffix on the watchdog flag.
+        const char *argv[] = {"prog", "--watchdog-sec=5"};
+        Options o(2, argv);
+        EXPECT_EXIT(o.enforceKnown("prog", known),
+                    testing::ExitedWithCode(1),
+                    "did you mean --watchdog-ms\\?");
+    }
+    {
+        // Nothing plausibly close: no suggestion, plain rejection.
+        const char *argv[] = {"prog", "--zzzzzzzzzz=1"};
+        Options o(2, argv);
+        EXPECT_EXIT(o.enforceKnown("prog", known),
+                    testing::ExitedWithCode(1),
+                    "unknown option --zzzzzzzzzz \\(run with --help");
+    }
+}
+
 TEST(Table, PrintsAlignedColumnsAndCsv)
 {
     Table t("demo");
