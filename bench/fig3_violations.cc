@@ -12,12 +12,14 @@
  * Flags: --kernel=NAME --uops=N --serial --bounds=csv
  */
 
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 
 #include "table_io.hh"
 #include "common.hh"
 #include "stats/table.hh"
+#include "util/logging.hh"
 
 using namespace slacksim;
 using namespace slacksim::bench;
@@ -39,8 +41,18 @@ main(int argc, char **argv)
         bounds.clear();
         std::stringstream ss(opts.get("bounds"));
         std::string tok;
-        while (std::getline(ss, tok, ','))
-            bounds.push_back(std::stoull(tok));
+        while (std::getline(ss, tok, ',')) {
+            // std::stoull would accept "5x" (and throw on ""): parse
+            // strictly so a typo fails instead of sweeping garbage.
+            char *end = nullptr;
+            const std::uint64_t v =
+                tok.empty() || tok[0] == '-'
+                    ? 0
+                    : std::strtoull(tok.c_str(), &end, 10);
+            if (!end || end == tok.c_str() || *end != '\0')
+                SLACKSIM_FATAL("--bounds: bad slack bound '", tok, "'");
+            bounds.push_back(v);
+        }
     }
 
     Table bus_table("Fig 3(a): bus violation rate (% per cycle)");

@@ -29,11 +29,22 @@
  * headline trend metric; the "bounded-micro" run is the canonical
  * bounded-slack micro-workload number quoted in PR descriptions.
  *
+ * With --baseline=PATH the harness also compares each run's
+ * events_per_sec against the named earlier recording and fails when
+ * any run drops below --min-ratio (default 0.5) of it. CI uses this
+ * against bench/BENCH_perf_baseline.json to assert the fault-
+ * injection layer is free when no plan is installed: these runs
+ * configure no --fault-spec, so every fault hook must collapse to one
+ * relaxed pointer load.
+ *
  * Flags: --kernel=NAME --uops=N --repeat=N --out=PATH --serial
+ *        --baseline=PATH --min-ratio=R
  */
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -172,6 +183,68 @@ writeJson(std::ostream &os, const std::string &kernel,
     w.finish();
 }
 
+/**
+ * Pull "events_per_sec" for run @p name out of a perf_smoke JSON
+ * recording by text scan (the file is our own writer's output, so
+ * the key order is fixed). @return negative when not found.
+ */
+double
+baselineEventsPerSec(const std::string &text, const std::string &name)
+{
+    const std::string anchor = "\"name\": \"" + name + "\"";
+    const auto at = text.find(anchor);
+    if (at == std::string::npos)
+        return -1.0;
+    const std::string key = "\"events_per_sec\": ";
+    const auto k = text.find(key, at);
+    if (k == std::string::npos)
+        return -1.0;
+    return std::strtod(text.c_str() + k + key.size(), nullptr);
+}
+
+/**
+ * Enforce --min-ratio against a baseline recording; fatal on any run
+ * that regressed below it. A missing baseline file is fatal too — CI
+ * passing a bad path must not silently skip the assertion.
+ */
+void
+enforceBaseline(const std::string &path, double min_ratio,
+                const std::vector<Measurement> &all)
+{
+    std::ifstream is(path);
+    if (!is)
+        SLACKSIM_FATAL("perf_smoke: cannot read baseline ", path);
+    std::stringstream buf;
+    buf << is.rdbuf();
+    const std::string text = buf.str();
+
+    bool any = false;
+    for (const Measurement &m : all) {
+        const double base = baselineEventsPerSec(text, m.name);
+        if (base <= 0.0) {
+            std::cout << "baseline: no '" << m.name << "' run in "
+                      << path << "; skipped\n";
+            continue;
+        }
+        any = true;
+        const double ratio = m.eventsPerSec() / base;
+        std::cout << "baseline: " << m.name << " "
+                  << static_cast<std::uint64_t>(m.eventsPerSec())
+                  << " vs " << static_cast<std::uint64_t>(base)
+                  << " events/s (ratio " << ratio << ", floor "
+                  << min_ratio << ")\n";
+        if (ratio < min_ratio) {
+            SLACKSIM_FATAL("perf_smoke: '", m.name, "' regressed to ",
+                           ratio, "x of baseline (floor ", min_ratio,
+                           "x); the disabled fault layer must stay "
+                           "zero-cost");
+        }
+    }
+    if (!any)
+        SLACKSIM_FATAL("perf_smoke: baseline ", path,
+                       " matched none of the runs");
+}
+
 } // namespace
 
 int
@@ -180,7 +253,12 @@ main(int argc, char **argv)
     Options opts(argc, argv);
     checkFlags(opts, "perf_smoke: engine hot-path throughput recorder",
                {{"repeat", "N", "runs per config; best wall time kept"},
-                {"out", "PATH", "JSON output path (BENCH_perf.json)"}});
+                {"out", "PATH", "JSON output path (BENCH_perf.json)"},
+                {"baseline", "PATH",
+                 "earlier recording to enforce --min-ratio against"},
+                {"min-ratio", "R",
+                 "fail if events/s falls below R x baseline "
+                 "(default 0.5)"}});
     const std::string kernel = opts.get("kernel", "uniform");
     const std::uint64_t uops = uopBudget(opts, 200000);
     const std::uint64_t repeat = opts.getUint("repeat", 3);
@@ -251,5 +329,10 @@ main(int argc, char **argv)
         SLACKSIM_FATAL("perf_smoke: cannot write ", out);
     writeJson(os, kernel, uops, repeat, all);
     std::cout << "wrote " << out << "\n";
+
+    if (opts.has("baseline")) {
+        enforceBaseline(opts.get("baseline"),
+                        opts.getDouble("min-ratio", 0.5), all);
+    }
     return 0;
 }

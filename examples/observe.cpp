@@ -7,19 +7,26 @@
  *                        chrome://tracing or https://ui.perfetto.dev)
  *   --metrics-out=m.csv  per-epoch metrics time series (plot the
  *                        slack_bound column to watch the controller)
- *   --report-out=r.json  unified slacksim.run_report.v1 document
+ *   --report-out=r.json  unified slacksim.run_report.v2 document
  *                        (config + results + violation forensics +
- *                        adaptive decision log)
+ *                        adaptive decision log + fault/degradation
+ *                        record)
+ *
+ * Also the chaos-testing entry point (README "Chaos testing"): the
+ * --fault-spec / recovery-ladder flags inject deterministic faults
+ * and every injection + demotion lands in the report.
  *
  * Usage:
  *   observe --trace-out=t.json --metrics-out=m.csv
  *           --report-out=r.json [--kernel=uniform] [--uops=60000]
  *           [--serial] [--speculative] [--watchdog-ms=MS]
+ *           [--fault-spec=snapshot-corrupt@ckpt:2 ...]
  */
 
 #include <iostream>
 
 #include "core/run.hh"
+#include "fault/fault_flags.hh"
 #include "obs/obs_flags.hh"
 #include "util/options.hh"
 
@@ -41,6 +48,8 @@ flagSpecs()
         {"init", "N", "adaptive initial slack bound (default 64)"},
     };
     for (const auto &spec : obs::obsOptionSpecs())
+        specs.push_back(spec);
+    for (const auto &spec : fault::faultOptionSpecs())
         specs.push_back(spec);
     return specs;
 }
@@ -77,6 +86,7 @@ main(int argc, char **argv)
                                         : CheckpointMode::Measure;
     config.engine.checkpoint.interval = opts.getUint("interval", 2000);
     obs::applyObsOptions(opts, config.engine.obs);
+    fault::applyFaultOptions(opts, config.engine);
 
     if (!config.engine.obs.enabled()) {
         std::cout << "note: none of --trace-out / --metrics-out / "

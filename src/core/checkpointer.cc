@@ -8,8 +8,10 @@
 #include <chrono>
 #include <cstring>
 
+#include "fault/fault_plan.hh"
 #include "obs/forensics.hh"
 #include "obs/tracer.hh"
+#include "util/checksum.hh"
 #include "util/logging.hh"
 
 namespace slacksim {
@@ -52,7 +54,8 @@ Checkpointer::Checkpointer(SimSystem &sys, Pacer &pacer,
         extraCopyArena_.resize(engine_.checkpoint.extraCopyBytes, 1);
     if (enabled() &&
         engine_.checkpoint.tech == CheckpointTech::ForkProcess) {
-        fork_ = std::make_unique<ForkCheckpointer>();
+        fork_ = std::make_unique<ForkCheckpointer>(
+            engine_.checkpoint.childTimeoutMs);
     }
 }
 
@@ -83,12 +86,34 @@ Checkpointer::takeCheckpoint(Tick now)
     }
 
     const std::uint64_t ckpt_wall = obs::traceWallNs();
+    auto *plan = fault::FaultPlan::active();
     Event event = Event::Taken;
     if (fork_) {
         // The paper's mechanism: this very process image becomes the
         // checkpoint; execution continues in a child. After a future
         // rollback, control re-emerges right here in the parent.
-        const auto outcome = fork_->checkpoint();
+        // Child faults are decided *before* fork so the injection
+        // record lives in parent memory and survives the recovery.
+        auto child_fault = ForkCheckpointer::ChildFault::None;
+        if (plan) {
+            switch (plan->fireChildFault(fork_->checkpointCount() + 1,
+                                         now)) {
+              case fault::FaultPlan::ChildFault::Kill:
+                child_fault = ForkCheckpointer::ChildFault::Kill;
+                break;
+              case fault::FaultPlan::ChildFault::Exit:
+                child_fault = ForkCheckpointer::ChildFault::Exit;
+                break;
+              case fault::FaultPlan::ChildFault::None:
+                break;
+            }
+        }
+        const auto outcome = fork_->checkpoint(child_fault);
+        if (plan &&
+            child_fault != ForkCheckpointer::ChildFault::None &&
+            outcome == ForkCheckpointer::Outcome::RolledBack) {
+            plan->markLastHandled("parent-recovery");
+        }
         haveCheckpoint_ = true;
         host_->checkpointsTaken = fork_->checkpointCount();
         host_->checkpointSeconds = fork_->checkpointSeconds();
@@ -99,15 +124,19 @@ Checkpointer::takeCheckpoint(Tick now)
             event = Event::ResumedFromRollback;
     } else {
         const double t0 = nowSeconds();
-        // Serialize into the spare buffer (reusing its capacity) and
-        // only then promote it: buffers_[active_] stays a valid
-        // rollback image even if save() throws halfway through.
+        // Serialize into the spare generation (reusing its capacity)
+        // and only then promote it: gens_[active_] stays a valid
+        // rollback image even if save() throws halfway through, and
+        // then stays around as the last-good fallback.
         const std::uint32_t spare = active_ ^ 1;
-        SnapshotWriter writer(std::move(buffers_[spare]));
+        SnapshotWriter writer(std::move(gens_[spare].buf));
         sys_.save(writer);
         pacer_.save(writer);
         mgr_.save(writer);
-        buffers_[spare] = writer.release();
+        gens_[spare].buf = writer.release();
+        sealSnapshot(gens_[spare].buf);
+        gens_[spare].takenAt = now;
+        gens_[spare].valid = true;
         active_ = spare;
         haveCheckpoint_ = true;
 
@@ -125,7 +154,13 @@ Checkpointer::takeCheckpoint(Tick now)
                 extraCopyScratch_[extraCopyScratch_.size() / 2] + 1);
         }
         ++host_->checkpointsTaken;
-        host_->checkpointBytes = buffers_[active_].size();
+        host_->checkpointBytes = gens_[active_].buf.size();
+        // Snapshot faults land *after* sealing: the damage is exactly
+        // what the integrity trailer exists to catch.
+        if (plan) {
+            plan->fireSnapshotFault(host_->checkpointsTaken,
+                                    gens_[active_].buf, now);
+        }
         const double dt = nowSeconds() - t0;
         host_->checkpointSeconds += dt;
         if (decisionLog_) {
@@ -167,7 +202,12 @@ Checkpointer::takeCheckpoint(Tick now)
         }
         obs::traceBegin(obs::TraceCategory::Checkpoint, "replay", now);
     } else {
-        mgr_.armRollback(speculative());
+        mgr_.armRollback(speculative() && !speculationSuppressed_);
+        if (plan && speculative() && !speculationSuppressed_ &&
+            plan->fireSpuriousRollback(host_->checkpointsTaken, now)) {
+            mgr_.requestRollback();
+            plan->markLastHandled("manager-rollback");
+        }
     }
     return event;
 }
@@ -183,7 +223,7 @@ Checkpointer::finalizeHostStats()
     }
 }
 
-Tick
+Checkpointer::RollbackResult
 Checkpointer::rollback(Tick current_global)
 {
     SLACKSIM_ASSERT(haveCheckpoint_, "rollback without a checkpoint");
@@ -198,11 +238,6 @@ Checkpointer::rollback(Tick current_global)
         fork_->rollback();
     }
 
-    ++host_->rollbacks;
-    host_->wastedCycles += current_global >= lastCheckpointAt_
-                               ? current_global - lastCheckpointAt_
-                               : 0;
-
     obs::traceInstant(obs::TraceCategory::Checkpoint,
                       "violation-rollback", current_global,
                       static_cast<std::int64_t>(current_global -
@@ -214,35 +249,86 @@ Checkpointer::rollback(Tick current_global)
     mgr_.clearRollbackRequest();
     mgr_.armRollback(false);
 
-    SnapshotReader reader(buffers_[active_]);
-    sys_.restore(reader);
-    pacer_.restore(reader);
-    mgr_.restore(reader);
-    SLACKSIM_ASSERT(reader.exhausted(),
-                    "checkpoint not fully consumed on rollback");
+    // Try the active generation first, then the previous last-good
+    // one. A generation that fails its integrity trailer is discarded
+    // for good; verification happens *before* any restore() touches
+    // component state, so a bad arena never trashes the world halfway
+    // through.
+    auto *plan = fault::FaultPlan::active();
+    for (std::uint32_t attempt = 0; attempt < 2; ++attempt) {
+        const std::uint32_t idx = active_ ^ attempt;
+        Generation &g = gens_[idx];
+        if (!g.valid)
+            continue;
+        const auto payload = verifySnapshot(g.buf);
+        if (!payload) {
+            g.valid = false;
+            SLACKSIM_WARN("checkpoint from cycle ", g.takenAt,
+                          " failed integrity verification (",
+                          g.buf.size(), " bytes); discarding it");
+            if (plan)
+                plan->markLastHandled("restore-fallback");
+            continue;
+        }
+        const bool fell_back = attempt != 0;
+        if (fell_back) {
+            active_ = idx;
+            SLACKSIM_WARN("restoring last-good checkpoint from cycle ",
+                          g.takenAt, " instead");
+        }
 
-    obs::traceSpanAt(rb_wall, obs::TraceCategory::Checkpoint, "rollback",
-                     current_global, lastCheckpointAt_);
-    if (decisionLog_) {
-        obs::EpisodeRecord ep;
-        ep.kind = obs::EpisodeKind::Rollback;
-        ep.cycle = current_global;
-        ep.detail = current_global >= lastCheckpointAt_
-                        ? current_global - lastCheckpointAt_
-                        : 0;
-        ep.hostNs = nowNs() - rb_t0;
-        decisionLog_->recordEpisode(ep);
+        SnapshotReader reader(g.buf, *payload);
+        sys_.restore(reader);
+        pacer_.restore(reader);
+        mgr_.restore(reader);
+        SLACKSIM_ASSERT(reader.exhausted(),
+                        "checkpoint not fully consumed on rollback");
+
+        ++host_->rollbacks;
+        host_->wastedCycles +=
+            current_global >= g.takenAt ? current_global - g.takenAt
+                                        : 0;
+        lastCheckpointAt_ = g.takenAt;
+        nextCheckpointAt_ = g.takenAt + engine_.checkpoint.interval;
+
+        obs::traceSpanAt(rb_wall, obs::TraceCategory::Checkpoint,
+                         "rollback", current_global, g.takenAt);
+        if (decisionLog_) {
+            obs::EpisodeRecord ep;
+            ep.kind = obs::EpisodeKind::Rollback;
+            ep.cycle = current_global;
+            ep.detail = current_global >= g.takenAt
+                            ? current_global - g.takenAt
+                            : 0;
+            ep.hostNs = nowNs() - rb_t0;
+            decisionLog_->recordEpisode(ep);
+        }
+
+        // Forward progress: replay the interval cycle-by-cycle with
+        // violation counting off; the next boundary re-checkpoints.
+        pacer_.setReplayMode(true);
+        sys_.uncore().setViolationCounting(false);
+        replayStartNs_ = nowNs();
+        mgr_.beginInterval(g.takenAt);
+        obs::traceBegin(obs::TraceCategory::Checkpoint, "replay",
+                        g.takenAt);
+        return {fell_back ? RollbackResult::Status::FellBack
+                          : RollbackResult::Status::Restored,
+                g.takenAt};
     }
 
-    // Forward progress: replay the interval cycle-by-cycle with
-    // violation counting off; the next boundary re-checkpoints.
-    pacer_.setReplayMode(true);
-    sys_.uncore().setViolationCounting(false);
-    replayStartNs_ = nowNs();
-    mgr_.beginInterval(lastCheckpointAt_);
-    obs::traceBegin(obs::TraceCategory::Checkpoint, "replay",
-                    lastCheckpointAt_);
-    return lastCheckpointAt_;
+    // No generation verified: the run demotes instead of crashing.
+    // Speculation stays suppressed (the policy layer records the
+    // transition); execution continues forward from where it is, and
+    // the next boundary takes a fresh, verifiable checkpoint.
+    speculationSuppressed_ = true;
+    haveCheckpoint_ = false;
+    SLACKSIM_WARN("no checkpoint generation passed verification; "
+                  "suppressing speculation and continuing forward");
+    if (plan)
+        plan->markLastHandled("demoted", "restore-fallback");
+    mgr_.beginInterval(current_global);
+    return {RollbackResult::Status::Demoted, current_global};
 }
 
 } // namespace slacksim

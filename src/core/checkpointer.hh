@@ -69,6 +69,22 @@ class Checkpointer
                             //!< the engine must enter replay pacing
     };
 
+    /** What rollback() reports back to the engine. */
+    struct RollbackResult
+    {
+        enum class Status : std::uint8_t
+        {
+            Restored, //!< active generation verified and restored
+            FellBack, //!< active failed integrity; older last-good
+                      //!< generation restored instead
+            Demoted   //!< no generation verified: speculation is now
+                      //!< suppressed, execution continues forward
+        };
+
+        Status status = Status::Restored;
+        Tick resumedAt = 0; //!< simulated time execution resumes at
+    };
+
     /**
      * Take a global checkpoint at quiesced time @p now: closes the
      * open measurement interval, captures the world (in-memory
@@ -84,18 +100,39 @@ class Checkpointer
     void finalizeHostStats();
 
     /**
-     * Restore the last checkpoint (system must be quiesced). Enters
-     * cycle-by-cycle replay until the next boundary.
+     * Restore the newest checkpoint generation whose integrity
+     * trailer verifies (system must be quiesced); a generation that
+     * fails verification is discarded and the previous last-good one
+     * is tried. With no valid generation left the run is demoted —
+     * speculation suppressed, execution continues forward — instead
+     * of crashing. On a restore, enters cycle-by-cycle replay until
+     * the next boundary.
      * @param current_global global time when the violation hit
-     * @return the simulated time rolled back to
      */
-    Tick rollback(Tick current_global);
+    RollbackResult rollback(Tick current_global);
 
-    /** @return bytes of the most recent checkpoint. */
+    /**
+     * Degradation ladder switch (fault/recovery_policy.hh): while
+     * suppressed, checkpoints are still taken (preserving interval
+     * measurement) but rollback stays disarmed. Set internally when
+     * every generation fails integrity verification.
+     */
+    void setSpeculationSuppressed(bool suppressed)
+    {
+        speculationSuppressed_ = suppressed;
+    }
+
+    /** @return true while speculation is suppressed. */
+    bool speculationSuppressed() const
+    {
+        return speculationSuppressed_;
+    }
+
+    /** @return bytes of the most recent checkpoint (incl. trailer). */
     std::uint64_t
     lastCheckpointBytes() const
     {
-        return buffers_[active_].size();
+        return gens_[active_].buf.size();
     }
 
     /** Wire (or unwire, with nullptr) the forensics episode log:
@@ -113,14 +150,25 @@ class Checkpointer
     EngineConfig engine_;
     HostStats *host_;
 
+    /** One retained checkpoint generation: a sealed arena (payload +
+     *  integrity trailer, util/checksum.hh) and where it was taken. */
+    struct Generation
+    {
+        std::vector<std::uint8_t> buf;
+        Tick takenAt = 0;
+        bool valid = false; //!< sealed and not yet failed verification
+    };
+
     /**
-     * Double-buffered retained snapshot storage: buffers_[active_]
+     * Double-buffered retained snapshot storage: gens_[active_]
      * always holds the last *complete* checkpoint; a new one is
      * serialized into the spare (reusing its capacity) and the roles
-     * swap only once the write finished. A failure mid-serialization
-     * therefore never corrupts the rollback image.
+     * swap only once the write finished and the arena is sealed. A
+     * failure mid-serialization therefore never corrupts the rollback
+     * image, and the out-going generation stays restorable as the
+     * last-good fallback should the new one fail verification.
      */
-    std::vector<std::uint8_t> buffers_[2];
+    Generation gens_[2];
     std::uint32_t active_ = 0;
     std::vector<std::uint8_t> extraCopyArena_;
     std::vector<std::uint8_t> extraCopyScratch_;
@@ -128,6 +176,7 @@ class Checkpointer
     Tick lastCheckpointAt_ = 0;
     Tick nextCheckpointAt_ = 0;
     bool haveCheckpoint_ = false;
+    bool speculationSuppressed_ = false;
     obs::AdaptiveDecisionLog *decisionLog_ = nullptr;
     std::uint64_t replayStartNs_ = 0; //!< wall ns when replay began
 };

@@ -109,6 +109,11 @@ SimConfig::validate() const
     }
     if (engine.queueCapacity < 64)
         SLACKSIM_FATAL("queueCapacity must be >= 64");
+    if (engine.recovery.stormThreshold > 0 &&
+        engine.recovery.stormWindow < 1) {
+        SLACKSIM_FATAL("rollback-storm detection requires "
+                       "stormWindow >= 1 cycle");
+    }
     if (engine.obs.bufferKb < 1 || engine.obs.bufferKb > (1u << 20))
         SLACKSIM_FATAL("obs bufferKb must be in [1, 1048576]");
     if (target.l1d.lineBytes != target.l1i.lineBytes ||

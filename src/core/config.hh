@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "cache/l1_cache.hh"
 #include "cpu/ooo_core.hh"
@@ -92,6 +93,46 @@ struct CheckpointParams
      * 0 disables the emulation.
      */
     std::uint64_t extraCopyBytes = 0;
+
+    /**
+     * Fork technology only: kill and recover a checkpoint child that
+     * produces no exit status within this many host ms (0 = wait
+     * forever, the pre-fault-tolerance behavior).
+     */
+    std::uint64_t childTimeoutMs = 0;
+};
+
+/**
+ * Graceful-degradation ladder (DESIGN.md §9). All detection knobs
+ * default to off so existing configurations behave exactly as before;
+ * checkpoint-integrity demotion is always on (a run with no valid
+ * rollback image must degrade rather than crash).
+ */
+struct RecoveryParams
+{
+    /**
+     * Rollbacks within stormWindow cycles that count as a rollback
+     * storm; a storm demotes speculative → adaptive (stop rolling
+     * back, keep adapting). 0 disables storm detection.
+     */
+    std::uint32_t stormThreshold = 0;
+
+    /** Sliding window (cycles) for storm detection. */
+    Tick stormWindow = 100000;
+
+    /**
+     * Consecutive adaptive epochs pinned at minBound with the
+     * violation rate still above band before demoting to fixed
+     * slack=1 (quantum-equivalent, paper §3). 0 disables.
+     */
+    std::uint32_t pinnedEpochLimit = 0;
+
+    /**
+     * Cycles of demoted running before one re-promotion attempt; the
+     * delay doubles after every demotion (capped at 8x). 0 = demote
+     * permanently, never re-promote.
+     */
+    Tick repromoteAfter = 0;
 };
 
 /** Engine (simulation-layer) configuration. */
@@ -105,6 +146,17 @@ struct EngineConfig
     std::uint64_t p2pSeed = 12345; //!< LaxP2P: pairing RNG seed
     AdaptiveParams adaptive;
     CheckpointParams checkpoint;
+    RecoveryParams recovery;
+
+    /**
+     * Deterministic fault injection: parsed --fault-spec strings
+     * (grammar in fault/fault_plan.hh) plus the seed that fixes every
+     * random choice a fault makes (bit positions, truncation points).
+     * Empty = no faults; runSimulation() also honors the
+     * SLACKSIM_FAULT_SPEC environment as a fallback.
+     */
+    std::vector<std::string> faultSpecs;
+    std::uint64_t faultSeed = 1;
 
     /** Stop after this many committed micro-ops in total (0: run to
      *  trace completion). */

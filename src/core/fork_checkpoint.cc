@@ -12,6 +12,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <thread>
 #include <unistd.h>
 
 #include "util/logging.hh"
@@ -22,10 +23,14 @@ namespace {
 
 // Distinguished exit statuses flowing up the holder chain.
 constexpr int exitRollback = 42;
+// An injected child-exit fault: unlike an application error this one
+// is *recovered* by the suspended parent, not propagated.
+constexpr int exitInjectedChild = 77;
 
 } // namespace
 
-ForkCheckpointer::ForkCheckpointer()
+ForkCheckpointer::ForkCheckpointer(std::uint64_t child_timeout_ms)
+    : childTimeoutMs_(child_timeout_ms)
 {
     void *page =
         mmap(nullptr, sizeof(SharedPage), PROT_READ | PROT_WRITE,
@@ -45,7 +50,7 @@ ForkCheckpointer::~ForkCheckpointer()
 }
 
 ForkCheckpointer::Outcome
-ForkCheckpointer::checkpoint()
+ForkCheckpointer::checkpoint(ChildFault inject)
 {
     // Keep inherited stdio buffers from replaying into descendants.
     std::fflush(nullptr);
@@ -58,14 +63,60 @@ ForkCheckpointer::checkpoint()
     if (child > 0) {
         // Parent: this address space is now the checkpoint. Suspend
         // until the running child finishes or requests a rollback.
+        // An unexpected child death (signal, injected fault, timeout
+        // kill) is absorbed as a rollback a bounded number of times:
+        // this process *is* the last checkpoint, so resuming here is
+        // exactly the recovery the paper's mechanism affords.
+        const auto recover = [this](const char *cause) -> Outcome {
+            const std::uint64_t deaths =
+                shared_->recoveredDeaths.fetch_add(
+                    1, std::memory_order_relaxed) +
+                1;
+            if (deaths > maxRecoveredDeaths) {
+                SLACKSIM_WARN("fork-checkpoint child died (", cause,
+                              ") ", deaths,
+                              " times; giving up");
+                _exit(70);
+            }
+            SLACKSIM_WARN("fork-checkpoint child died (", cause,
+                          "); recovering from the suspended "
+                          "checkpoint (attempt ",
+                          deaths, "/", maxRecoveredDeaths, ")");
+            shared_->rollbacks.fetch_add(1,
+                                         std::memory_order_relaxed);
+            return Outcome::RolledBack;
+        };
+
+        const auto started = std::chrono::steady_clock::now();
         for (;;) {
             int status = 0;
-            const pid_t waited = waitpid(child, &status, 0);
+            const int flags = childTimeoutMs_ ? WNOHANG : 0;
+            const pid_t waited = waitpid(child, &status, flags);
             if (waited < 0) {
                 if (errno == EINTR)
                     continue;
                 SLACKSIM_FATAL("fork-checkpoint waitpid failed: ",
                                errno);
+            }
+            if (waited == 0) {
+                // Child still running under a timeout: poll, and
+                // kill + reap once the deadline passes.
+                const auto elapsed =
+                    std::chrono::duration_cast<
+                        std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - started)
+                        .count();
+                if (static_cast<std::uint64_t>(elapsed) >=
+                    childTimeoutMs_) {
+                    kill(child, SIGKILL);
+                    while (waitpid(child, &status, 0) < 0 &&
+                           errno == EINTR) {
+                    }
+                    return recover("timeout");
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+                continue;
             }
             if (WIFEXITED(status)) {
                 if (WEXITSTATUS(status) == exitRollback) {
@@ -74,15 +125,25 @@ ForkCheckpointer::checkpoint()
                         1, std::memory_order_relaxed);
                     return Outcome::RolledBack;
                 }
-                // Normal completion (or error): propagate the status
-                // up the chain of suspended checkpoint holders.
+                if (WEXITSTATUS(status) == exitInjectedChild)
+                    return recover("injected exit");
+                // Normal completion (or application error):
+                // propagate the status up the chain of suspended
+                // checkpoint holders.
                 _exit(WEXITSTATUS(status));
             }
-            if (WIFSIGNALED(status)) {
-                // The simulation crashed; propagate a failure.
-                _exit(70);
-            }
+            if (WIFSIGNALED(status))
+                return recover("signal");
         }
+    }
+
+    // Child: apply any injected self-destruction first — the point is
+    // to die *after* the parent became a valid checkpoint.
+    if (inject == ChildFault::Kill) {
+        raise(SIGKILL);
+    } else if (inject == ChildFault::Exit) {
+        std::fflush(nullptr);
+        _exit(exitInjectedChild);
     }
 
     // Child: the simulation continues here. Release the previous
@@ -133,6 +194,12 @@ std::uint64_t
 ForkCheckpointer::wastedCycles() const
 {
     return shared_->wastedCycles.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+ForkCheckpointer::recoveredDeaths() const
+{
+    return shared_->recoveredDeaths.load(std::memory_order_relaxed);
 }
 
 double

@@ -45,11 +45,24 @@ class ForkCheckpointer
                     //!< all memory is back at checkpoint state
     };
 
-    ForkCheckpointer();
+    /**
+     * @param child_timeout_ms kill and recover a child that produces
+     *        no exit status within this many host ms (0: wait
+     *        forever, the historical behavior)
+     */
+    explicit ForkCheckpointer(std::uint64_t child_timeout_ms = 0);
     ~ForkCheckpointer();
 
     ForkCheckpointer(const ForkCheckpointer &) = delete;
     ForkCheckpointer &operator=(const ForkCheckpointer &) = delete;
+
+    /** Injected child self-destruction (fault/fault_plan.hh). */
+    enum class ChildFault : std::uint8_t
+    {
+        None, //!< run normally
+        Kill, //!< raise(SIGKILL) right after fork
+        Exit, //!< _exit() with a distinguished nonzero status
+    };
 
     /**
      * Establish a checkpoint here. The caller's process forks: the
@@ -57,8 +70,16 @@ class ForkCheckpointer
      * returns Continue. If the simulation later rolls back, control
      * returns from this very call in the (former) parent with
      * RolledBack and pre-fork memory contents.
+     *
+     * A child that dies by signal (including an injected @p inject
+     * fault or a child-timeout kill) is *recovered*: the suspended
+     * parent counts it in recoveredDeaths and resumes as if a
+     * rollback had been requested, up to a bounded number of times
+     * before propagating the failure up the holder chain. Ordinary
+     * nonzero child exits still propagate unchanged — an application
+     * error is not a crash to retry.
      */
-    Outcome checkpoint();
+    Outcome checkpoint(ChildFault inject = ChildFault::None);
 
     /**
      * Abandon the current execution and resume from the last
@@ -82,6 +103,12 @@ class ForkCheckpointer
     /** @return accumulated fork() call time in seconds. */
     double checkpointSeconds() const;
 
+    /** @return child deaths absorbed as rollbacks so far. */
+    std::uint64_t recoveredDeaths() const;
+
+    /** Unexpected child deaths recovered before giving up. */
+    static constexpr std::uint64_t maxRecoveredDeaths = 3;
+
   private:
     struct SharedPage
     {
@@ -89,10 +116,12 @@ class ForkCheckpointer
         std::atomic<std::uint64_t> checkpoints{0};
         std::atomic<std::uint64_t> wastedCycles{0};
         std::atomic<std::uint64_t> checkpointMicros{0};
+        std::atomic<std::uint64_t> recoveredDeaths{0};
         std::atomic<std::int32_t> obsoleteHolder{0};
     };
 
     SharedPage *shared_ = nullptr;
+    std::uint64_t childTimeoutMs_ = 0;
 };
 
 } // namespace slacksim

@@ -103,6 +103,14 @@ class ManagerLogic : public Snapshotable
     /** @return true when a tracked violation requested a rollback. */
     bool rollbackRequested() const { return rollbackRequested_; }
 
+    /** Request a rollback from outside the violation monitors (fault
+     *  injection's spurious-rollback). Honors the arming gate. */
+    void requestRollback()
+    {
+        if (rollbackArmed_)
+            rollbackRequested_ = true;
+    }
+
     /** Clear the rollback request (after acting on it). */
     void clearRollbackRequest() { rollbackRequested_ = false; }
 

@@ -64,6 +64,18 @@ Pacer::maxLocalFor(Tick global_time) const
 {
     if (replayMode_)
         return global_time; // forced cycle-by-cycle during replay
+    // A degradation clamp never loosens a scheme, only tightens it
+    // (quantum/cc already pace at least this strictly).
+    if (forcedBound_) {
+        return std::min(nativeMaxLocalFor(global_time),
+                        global_time + forcedBound_);
+    }
+    return nativeMaxLocalFor(global_time);
+}
+
+Tick
+Pacer::nativeMaxLocalFor(Tick global_time) const
+{
     switch (engine_.scheme) {
       case SchemeKind::CycleByCycle:
         return global_time;
@@ -90,8 +102,10 @@ Tick
 Pacer::maxLocalForCore(CoreId core, Tick global_time,
                        const std::vector<Tick> &locals)
 {
-    if (engine_.scheme != SchemeKind::LaxP2P || replayMode_)
+    if (engine_.scheme != SchemeKind::LaxP2P || replayMode_ ||
+        forcedBound_) {
         return maxLocalFor(global_time);
+    }
     SLACKSIM_ASSERT(core < peers_.size() &&
                         locals.size() == peers_.size(),
                     "lax-p2p pacing geometry mismatch");
@@ -112,8 +126,10 @@ Pacer::sortedService() const
 void
 Pacer::observe(Tick global_time, const ViolationStats &violations)
 {
-    if (engine_.scheme != SchemeKind::Adaptive || replayMode_)
+    if (engine_.scheme != SchemeKind::Adaptive || replayMode_ ||
+        forcedBound_) {
         return;
+    }
     if (global_time < nextEpoch_ || global_time == 0)
         return;
     const auto &p = engine_.adaptive;

@@ -62,7 +62,21 @@ class Pacer : public Snapshotable
     void observe(Tick global_time, const ViolationStats &violations);
 
     /** @return the current slack bound (adaptive/bounded schemes). */
-    Tick currentBound() const { return bound_; }
+    Tick currentBound() const { return forcedBound_ ? forcedBound_ : bound_; }
+
+    /**
+     * Degradation override (fault/recovery_policy.hh): clamp every
+     * scheme's pacing to @p bound and freeze the adaptive controller.
+     * Host-side policy — deliberately *not* part of save()/restore(),
+     * so a rollback cannot resurrect a revoked slack bound.
+     */
+    void setForcedBound(Tick bound) { forcedBound_ = bound; }
+
+    /** Lift the degradation override. */
+    void clearForcedBound() { forcedBound_ = 0; }
+
+    /** @return the forced bound, or 0 when none is active. */
+    Tick forcedBound() const { return forcedBound_; }
 
     /** Force cycle-by-cycle pacing (speculative replay). */
     void setReplayMode(bool replay) { replayMode_ = replay; }
@@ -87,11 +101,15 @@ class Pacer : public Snapshotable
   private:
     void shufflePeers(Tick global_time);
 
+    /** Scheme pacing with no replay/degradation override applied. */
+    Tick nativeMaxLocalFor(Tick global_time) const;
+
     EngineConfig engine_;
     std::uint32_t numCores_;
     HostStats *host_;
     obs::AdaptiveDecisionLog *decisionLog_ = nullptr;
     Tick bound_ = 0;      //!< live slack bound (adaptive/bounded/p2p)
+    Tick forcedBound_ = 0; //!< degradation clamp (0: none)
     Tick nextEpoch_ = 0;  //!< next adaptive evaluation time
     bool replayMode_ = false;
     std::uint64_t lastCounted_ = 0; //!< windowed rate: last total

@@ -10,6 +10,7 @@
 #include <iterator>
 #include <string>
 
+#include "fault/fault_plan.hh"
 #include "obs/obs_session.hh"
 #include "obs/tracer.hh"
 #include "util/logging.hh"
@@ -154,6 +155,20 @@ ParallelEngine::coreThreadMain(CoreId c)
                 }
             }
             continue;
+        }
+
+        if (auto *plan = fault::FaultPlan::active()) {
+            if (const std::uint64_t ms =
+                    plan->fireWorkerStall(c, cc.localTime())) {
+                // Injected wedge: this worker goes dark for a while.
+                // The stall watchdog (if armed) is what notices.
+                if (watchdog_)
+                    watchdog_->note(c, "fault-stall", cc.localTime());
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(ms));
+                plan->markLastHandled(watchdog_ ? "stall-watchdog"
+                                                : "bounded-stall");
+            }
         }
 
         bool backpressured = false;
@@ -442,6 +457,7 @@ ParallelEngine::run()
     obs::ObsSession session(engine_.obs, sys_, pacer_, mgr_, ckpt_,
                             host_);
     session.begin("manager");
+    recovery_.setDecisionLog(session.decisionLog());
     if (obs::StallWatchdog *wd = session.watchdog()) {
         // Registration order fixes the worker indices the hot-path
         // note() calls use: cores first, then relays, manager last.
@@ -500,34 +516,60 @@ ParallelEngine::run()
         const Tick global = clocks.global;
         Tick safe = global;
         std::size_t activity = 0;
-        const std::uint64_t service_wall = obs::traceWallNs();
-        if (relays_.empty()) {
-            activity += mgr_.pumpAll();
+        if (auto *plan = fault::FaultPlan::active()) {
+            if (const std::uint64_t rounds =
+                    plan->fireBackpressure(global)) {
+                backpressureRounds_ += rounds;
+            }
+        }
+        if (backpressureRounds_ > 0) {
+            // Injected backpressure burst: the manager withholds
+            // pumping and service, so the SPSC OutQs fill and cores
+            // hit their backpressure path (yield + retry) until the
+            // burst drains.
+            if (--backpressureRounds_ == 0) {
+                if (auto *plan = fault::FaultPlan::active())
+                    plan->markLastHandled("manager-resumed");
+            }
+            // Count the skip as activity so the manager keeps
+            // iterating (and draining the burst) instead of sleeping
+            // on the progress board with service suspended.
+            ++activity;
         } else {
-            safe = maxTick;
-            for (const auto &relay : relays_) {
-                safe = std::min(
-                    safe,
-                    relay->watermark.load(std::memory_order_acquire));
+            const std::uint64_t service_wall = obs::traceWallNs();
+            if (relays_.empty()) {
+                activity += mgr_.pumpAll();
+            } else {
+                safe = maxTick;
+                for (const auto &relay : relays_) {
+                    safe = std::min(
+                        safe, relay->watermark.load(
+                                  std::memory_order_acquire));
+                }
+                if (safe == maxTick)
+                    safe = global; // all cores finished
+                for (const auto &relay : relays_) {
+                    activity += relay->queue.consumeAll(
+                        [this](const BusMsg &msg) {
+                            mgr_.ingest(msg);
+                        });
+                }
             }
-            if (safe == maxTick)
-                safe = global; // all cores finished
-            for (const auto &relay : relays_) {
-                activity += relay->queue.consumeAll(
-                    [this](const BusMsg &msg) { mgr_.ingest(msg); });
+            activity += mgr_.serviceSorted(safe);
+            mgr_.flushOverflow();
+            if (activity > 0) {
+                obs::traceSpanAt(service_wall,
+                                 obs::TraceCategory::Manager,
+                                 "manager-service", global, safe,
+                                 static_cast<std::int64_t>(activity));
             }
+            // Wake any core that just received a delivery: inert
+            // free-running cores sleep until their InQ gets
+            // something.
+            mgr_.drainDelivered([this](CoreId c) { wakeCore(c); });
         }
-        activity += mgr_.serviceSorted(safe);
-        mgr_.flushOverflow();
-        if (activity > 0) {
-            obs::traceSpanAt(service_wall, obs::TraceCategory::Manager,
-                             "manager-service", global, safe,
-                             static_cast<std::int64_t>(activity));
-        }
-        // Wake any core that just received a delivery: inert
-        // free-running cores sleep until their InQ gets something.
-        mgr_.drainDelivered([this](CoreId c) { wakeCore(c); });
         pacer_.observe(global, sys_.violations());
+        recovery_.observe(global, sys_.violations());
         updatePacing(true, clocks);
         session.maybeSample(global);
         if (clocks.minUnfinished != maxTick &&
@@ -540,11 +582,25 @@ ParallelEngine::run()
         if (ckpt_.enabled()) {
             if (mgr_.rollbackRequested()) {
                 pauseWorld();
-                const Tick resumed = ckpt_.rollback(computeGlobal());
+                const Tick rb_global = computeGlobal();
+                const auto rb = ckpt_.rollback(rb_global);
+                if (rb.status ==
+                    Checkpointer::RollbackResult::Status::Demoted) {
+                    // No valid checkpoint generation: nothing was
+                    // restored; keep running forward without
+                    // speculation instead of dying.
+                    recovery_.noteIntegrityDemotion(rb_global);
+                    updatePacing(true);
+                    session.collectTrace();
+                    resumeWorld();
+                    ++activity;
+                    continue;
+                }
+                recovery_.noteRollback(rb_global);
                 refreshControlAfterRestore();
                 mgr_.setSorted(true);
                 updatePacing(false);
-                session.forceSample(resumed);
+                session.forceSample(rb.resumedAt);
                 session.collectTrace();
                 resumeWorld();
                 ++activity;
@@ -692,6 +748,9 @@ ParallelEngine::collectResult(double wall_seconds) const
     r.host.wallSeconds = wall_seconds;
     r.intervals = mgr_.intervals();
     r.finalSlackBound = pacer_.currentBound();
+    r.degradationLevel = recovery_.levelName();
+    r.demotions = recovery_.demotions();
+    r.repromotions = recovery_.repromotions();
     return r;
 }
 

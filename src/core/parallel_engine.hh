@@ -28,6 +28,7 @@
 #include "core/pacer.hh"
 #include "core/run_result.hh"
 #include "core/sim_system.hh"
+#include "fault/recovery_policy.hh"
 #include "util/progress_board.hh"
 #include "util/spsc_queue.hh"
 
@@ -94,6 +95,8 @@ class ParallelEngine
     Pacer pacer_;
     ManagerLogic mgr_;
     Checkpointer ckpt_;
+    fault::RecoveryPolicy recovery_{engine_, pacer_, mgr_, ckpt_};
+    std::uint64_t backpressureRounds_ = 0; //!< injected service skips
 
     /** Hierarchical-manager relay: consolidates one cluster's OutQs
      *  toward the root manager (paper Section 2's scaling note). */

@@ -5,12 +5,14 @@
 
 #include "core/run.hh"
 
-#include <fstream>
+#include <memory>
 
 #include "core/parallel_engine.hh"
 #include "core/serial_engine.hh"
 #include "core/sim_system.hh"
+#include "fault/fault_plan.hh"
 #include "obs/run_report.hh"
+#include "util/io.hh"
 #include "util/logging.hh"
 
 namespace slacksim {
@@ -26,14 +28,13 @@ maybeWriteReport(const SimConfig &config, const RunResult &result)
     const std::string &path = config.engine.obs.reportOut;
     if (path.empty())
         return;
-    std::ofstream os(path);
-    if (!os) {
-        SLACKSIM_WARN("cannot write run report to ", path);
-        return;
+    CheckedOfstream os(path, "run report");
+    if (os.ok())
+        obs::writeRunReport(os.stream(), config, result);
+    if (os.finish()) {
+        SLACKSIM_INFORM("run report (", obs::runReportSchema, ") -> ",
+                        path);
     }
-    obs::writeRunReport(os, config, result);
-    SLACKSIM_INFORM("run report (", obs::runReportSchema, ") -> ",
-                    path);
 }
 
 } // namespace
@@ -41,6 +42,18 @@ maybeWriteReport(const SimConfig &config, const RunResult &result)
 RunResult
 runSimulation(const SimConfig &config)
 {
+    // Resolve and install the fault plan for the duration of this run
+    // (flag or environment; nullptr in the common fault-free case).
+    std::uint64_t fault_seed = 0;
+    std::vector<fault::FaultSpec> specs = fault::resolveFaultSpecs(
+        config.engine.faultSpecs, config.engine.faultSeed, &fault_seed);
+    std::unique_ptr<fault::FaultPlan> plan;
+    if (!specs.empty()) {
+        plan = std::make_unique<fault::FaultPlan>(std::move(specs),
+                                                  fault_seed);
+        plan->install();
+    }
+
     SimSystem sys(config);
     RunResult result;
     if (config.engine.parallelHost) {
@@ -49,6 +62,13 @@ runSimulation(const SimConfig &config)
     } else {
         SerialEngine engine(sys);
         result = engine.run();
+    }
+
+    if (plan) {
+        plan->uninstall();
+        result.faultInjections = plan->records();
+        result.faultSpecCount = plan->specCount();
+        result.faultSeed = plan->seed();
     }
     maybeWriteReport(config, result);
     return result;

@@ -82,6 +82,15 @@ RunResult::printSummary(std::ostream &os) const
         os << "  final slack bound: " << finalSlackBound
            << " (adjustments=" << host.slackAdjustments << ")\n";
     }
+    if (demotions || repromotions) {
+        os << "  degradation      : level=" << degradationLevel
+           << " demotions=" << demotions
+           << " repromotions=" << repromotions << "\n";
+    }
+    if (!faultInjections.empty()) {
+        os << "  faults injected  : " << faultInjections.size()
+           << " (seed=" << faultSeed << ")\n";
+    }
     os.flush();
 }
 
@@ -164,6 +173,11 @@ RunResult::printJson(std::ostream &os) const
        << ",\"replayCycles\":" << host.replayCycles << "},";
     os << "\"adaptive\":{\"finalBound\":" << finalSlackBound
        << ",\"adjustments\":" << host.slackAdjustments << "},";
+    os << "\"degradation\":{\"level\":\"" << jsonEscape(degradationLevel)
+       << "\",\"demotions\":" << demotions
+       << ",\"repromotions\":" << repromotions << "},";
+    os << "\"faults\":{\"specs\":" << faultSpecCount
+       << ",\"injections\":" << faultInjections.size() << "},";
     os << "\"maxObservedSlack\":" << host.maxObservedSlack << ",";
     os << "\"intervals\":[";
     for (std::size_t i = 0; i < intervals.size(); ++i) {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/config.hh"
+#include "fault/fault_plan.hh"
 #include "obs/forensics.hh"
 #include "stats/stats.hh"
 #include "util/histogram.hh"
@@ -53,8 +54,22 @@ struct RunResult
 
     /** Violation attribution, decision log and obs overhead collected
      *  by the run's ObsSession (see obs/forensics.hh and the
-     *  slacksim.run_report.v1 document). */
+     *  slacksim.run_report.v2 document). */
     obs::ForensicsData forensics;
+
+    /** Degradation-ladder outcome (see fault/recovery_policy.hh):
+     *  the run's final level ("none" when the ladder does not apply)
+     *  and how many demotions / re-promotions happened. */
+    std::string degradationLevel = "none";
+    std::uint64_t demotions = 0;
+    std::uint64_t repromotions = 0;
+
+    /** Fault-injection attribution for chaos runs: every fault the
+     *  installed FaultPlan fired, plus the plan's spec count and the
+     *  seed that made the run repeatable (0 = no plan installed). */
+    std::vector<fault::InjectionRecord> faultInjections;
+    std::uint64_t faultSpecCount = 0;
+    std::uint64_t faultSeed = 0;
 
     /** Committed micro-ops per cycle across the whole CMP. */
     double

@@ -8,7 +8,9 @@
 #include <algorithm>
 #include <chrono>
 #include <string>
+#include <thread>
 
+#include "fault/fault_plan.hh"
 #include "obs/obs_session.hh"
 #include "obs/tracer.hh"
 #include "util/logging.hh"
@@ -67,6 +69,7 @@ SerialEngine::run()
     obs::ObsSession session(engine_.obs, sys_, pacer_, mgr_, ckpt_,
                             host_);
     session.begin("manager");
+    recovery_.setDecisionLog(session.decisionLog());
     if (obs::StallWatchdog *wd = session.watchdog()) {
         // Single host thread: every simulated core is informational
         // only (the engine's own livelock panics cover real stalls,
@@ -113,6 +116,14 @@ SerialEngine::run()
                 mgr_.pumpCore(c);
                 continue;
             }
+            if (auto *plan = fault::FaultPlan::active()) {
+                if (const std::uint64_t ms =
+                        plan->fireWorkerStall(c, cc.localTime())) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(ms));
+                    plan->markLastHandled("serial-engine");
+                }
+            }
             Tick advanced = 0;
             const Tick local0 = cc.localTime();
             const std::uint64_t burst_wall = obs::traceWallNs();
@@ -144,15 +155,34 @@ SerialEngine::run()
         }
 
         const Tick global = sys_.globalTime();
-        const std::uint64_t service_wall = obs::traceWallNs();
-        const std::size_t serviced = mgr_.serviceSorted(global);
-        mgr_.flushOverflow();
-        if (serviced > 0) {
-            obs::traceSpanAt(service_wall, obs::TraceCategory::Manager,
-                             "manager-service", global, global,
-                             static_cast<std::int64_t>(serviced));
+        if (auto *plan = fault::FaultPlan::active()) {
+            if (const std::uint64_t rounds =
+                    plan->fireBackpressure(global)) {
+                backpressureRounds_ += rounds;
+            }
+        }
+        if (backpressureRounds_ > 0) {
+            // Injected backpressure burst: the manager withholds
+            // service, so cores stall against unanswered requests
+            // until the burst drains. Bounded well under the livelock
+            // panic threshold by FaultPlan grammar limits.
+            if (--backpressureRounds_ == 0) {
+                if (auto *plan = fault::FaultPlan::active())
+                    plan->markLastHandled("manager-resumed");
+            }
+        } else {
+            const std::uint64_t service_wall = obs::traceWallNs();
+            const std::size_t serviced = mgr_.serviceSorted(global);
+            mgr_.flushOverflow();
+            if (serviced > 0) {
+                obs::traceSpanAt(service_wall,
+                                 obs::TraceCategory::Manager,
+                                 "manager-service", global, global,
+                                 static_cast<std::int64_t>(serviced));
+            }
         }
         pacer_.observe(global, sys_.violations());
+        recovery_.observe(global, sys_.violations());
         session.maybeSample(global);
         {
             Tick max_unfinished = global;
@@ -168,10 +198,20 @@ SerialEngine::run()
 
         if (ckpt_.enabled()) {
             if (mgr_.rollbackRequested()) {
-                const Tick resumed = ckpt_.rollback(global);
+                const auto rb = ckpt_.rollback(global);
+                if (rb.status ==
+                    Checkpointer::RollbackResult::Status::Demoted) {
+                    // No valid checkpoint generation: keep running
+                    // forward without speculation instead of dying.
+                    recovery_.noteIntegrityDemotion(global);
+                    updatePacing(true);
+                    session.collectTrace();
+                    continue;
+                }
+                recovery_.noteRollback(global);
                 mgr_.setSorted(true); // replay is cycle-by-cycle
                 updatePacing(false);  // pacing reset after restore
-                session.forceSample(resumed);
+                session.forceSample(rb.resumedAt);
                 session.collectTrace();
                 continue;
             }
@@ -183,6 +223,7 @@ SerialEngine::run()
                     Checkpointer::Event::ResumedFromRollback) {
                     // Fork-technology rollback: this process just
                     // woke up as the checkpoint. Replay follows.
+                    recovery_.noteRollback(boundary);
                     mgr_.setSorted(true);
                     updatePacing(false);
                     session.forceSample(sys_.globalTime());
@@ -285,6 +326,9 @@ SerialEngine::collectResult(double wall_seconds) const
     r.host.wallSeconds = wall_seconds;
     r.intervals = mgr_.intervals();
     r.finalSlackBound = pacer_.currentBound();
+    r.degradationLevel = recovery_.levelName();
+    r.demotions = recovery_.demotions();
+    r.repromotions = recovery_.repromotions();
     return r;
 }
 

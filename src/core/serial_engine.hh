@@ -19,6 +19,7 @@
 #include "core/pacer.hh"
 #include "core/run_result.hh"
 #include "core/sim_system.hh"
+#include "fault/recovery_policy.hh"
 
 namespace slacksim {
 
@@ -43,8 +44,10 @@ class SerialEngine
     Pacer pacer_;
     ManagerLogic mgr_;
     Checkpointer ckpt_;
+    fault::RecoveryPolicy recovery_{engine_, pacer_, mgr_, ckpt_};
     std::vector<Tick> maxLocal_;
     std::vector<Tick> localsScratch_;
+    std::uint64_t backpressureRounds_ = 0; //!< injected service skips
 };
 
 } // namespace slacksim

@@ -22,4 +22,13 @@ speculativeTimeEstimate(const SpecModelInputs &in)
     return normal + wasted + replay;
 }
 
+double
+degradedTimeEstimate(const SpecModelInputs &in, double demoted_fraction)
+{
+    SLACKSIM_ASSERT(demoted_fraction >= 0.0 && demoted_fraction <= 1.0,
+                    "demoted fraction must be a fraction");
+    const double ts = speculativeTimeEstimate(in);
+    return demoted_fraction * in.tCpt + (1.0 - demoted_fraction) * ts;
+}
+
 } // namespace slacksim

@@ -31,6 +31,18 @@ struct SpecModelInputs
 /** @return estimated speculative simulation seconds Ts. */
 double speculativeTimeEstimate(const SpecModelInputs &in);
 
+/**
+ * Expected simulation seconds when the degradation ladder demotes a
+ * fraction of the run out of speculation: the demoted portion runs as
+ * plain checkpointed slack simulation (Tcpt) while the rest keeps the
+ * speculative estimate Ts. Linear interpolation between Ts (nothing
+ * demoted) and Tcpt (fully demoted); since Ts carries the rollback
+ * and replay overhead on top of Tcpt, demotion hands back host time
+ * in exchange for the accuracy speculation was buying.
+ */
+double degradedTimeEstimate(const SpecModelInputs &in,
+                            double demoted_fraction);
+
 } // namespace slacksim
 
 #endif // SLACKSIM_CORE_SPEC_MODEL_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fault/recovery flag plumbing implementation.
+ */
+
+#include "fault/fault_flags.hh"
+
+#include "core/config.hh"
+#include "fault/fault_plan.hh"
+
+namespace slacksim {
+namespace fault {
+
+const std::vector<OptionSpec> &
+faultOptionSpecs()
+{
+    static const std::vector<OptionSpec> specs = {
+        {"fault-spec", "SPEC",
+         "inject a deterministic fault (kind@site:trigger[:args]; "
+         "repeatable; grammar in fault/fault_plan.hh)"},
+        {"fault-seed", "N",
+         "seed for the fault plan's random choices (default 1)"},
+        {"storm-threshold", "N",
+         "rollbacks within the storm window that demote speculation "
+         "(0 = off)"},
+        {"storm-window", "CYCLES",
+         "sliding window for rollback-storm detection"},
+        {"pinned-epochs", "N",
+         "adaptive epochs pinned at min slack above band before "
+         "demoting to fixed slack=1 (0 = off)"},
+        {"repromote-after", "CYCLES",
+         "base backoff before re-promoting a demoted run (0 = never)"},
+        {"child-timeout-ms", "MS",
+         "fork checkpoints: kill+recover a silent child after MS "
+         "host ms (0 = wait forever)"},
+    };
+    return specs;
+}
+
+void
+applyFaultOptions(const Options &opts, EngineConfig &engine)
+{
+    for (const std::string &value : opts.getAll("fault-spec")) {
+        for (const FaultSpec &spec : FaultPlan::parseSpecList(value)) {
+            (void)spec; // parse-check only; the string is the config
+        }
+        engine.faultSpecs.push_back(value);
+    }
+    engine.faultSeed = opts.getUint("fault-seed", engine.faultSeed);
+    engine.recovery.stormThreshold = static_cast<std::uint32_t>(
+        opts.getUint("storm-threshold", engine.recovery.stormThreshold));
+    engine.recovery.stormWindow =
+        opts.getUint("storm-window", engine.recovery.stormWindow);
+    engine.recovery.pinnedEpochLimit = static_cast<std::uint32_t>(
+        opts.getUint("pinned-epochs", engine.recovery.pinnedEpochLimit));
+    engine.recovery.repromoteAfter =
+        opts.getUint("repromote-after", engine.recovery.repromoteAfter);
+    engine.checkpoint.childTimeoutMs = opts.getUint(
+        "child-timeout-ms", engine.checkpoint.childTimeoutMs);
+}
+
+} // namespace fault
+} // namespace slacksim

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Command-line plumbing for the fault-injection and recovery
+ * subsystem, shared by the examples and the bench harnesses: the
+ * --fault-spec / --fault-seed / --storm-threshold / --storm-window /
+ * --pinned-epochs / --repromote-after / --child-timeout-ms flag specs
+ * (for --help and unknown-flag rejection) and the helper that applies
+ * them to an EngineConfig.
+ */
+
+#ifndef SLACKSIM_FAULT_FAULT_FLAGS_HH
+#define SLACKSIM_FAULT_FAULT_FLAGS_HH
+
+#include <vector>
+
+#include "util/options.hh"
+
+namespace slacksim {
+
+struct EngineConfig;
+
+namespace fault {
+
+/** @return the fault/recovery flag specs (help text included). */
+const std::vector<OptionSpec> &faultOptionSpecs();
+
+/** Apply any given fault/recovery flags to @p engine. Fault specs
+ *  are parse-checked here so a mistyped chaos flag dies at the
+ *  command line, not mid-run. */
+void applyFaultOptions(const Options &opts, EngineConfig &engine);
+
+} // namespace fault
+} // namespace slacksim
+
+#endif // SLACKSIM_FAULT_FAULT_FLAGS_HH

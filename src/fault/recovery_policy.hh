@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Graceful-degradation ladder (DESIGN.md §9).
+ *
+ * A speculative run that stops making progress must not crash and
+ * must not livelock: it degrades, one rung at a time, toward the
+ * always-correct quantum-equivalent configuration the paper builds on
+ * (§3), and every transition is recorded in the decision ledger and
+ * the run report.
+ *
+ *   speculative ──(rollback storm / checkpoint integrity)──► adaptive
+ *   adaptive ──(pinned at min bound, rate still over band)──► fixed
+ *   fixed-slack: forced bound 1, quantum-equivalent, cannot demote
+ *
+ * Re-promotion climbs back one rung after `repromoteAfter` demoted
+ * cycles; the delay doubles with every demotion (capped at 8x) so a
+ * workload that keeps collapsing backs off instead of oscillating.
+ *
+ * All calls happen on the manager thread while the simulation is
+ * quiesced or between service rounds — no locking needed.
+ */
+
+#ifndef SLACKSIM_FAULT_RECOVERY_POLICY_HH
+#define SLACKSIM_FAULT_RECOVERY_POLICY_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "core/config.hh"
+#include "stats/stats.hh"
+#include "util/types.hh"
+
+namespace slacksim {
+
+class Pacer;
+class ManagerLogic;
+class Checkpointer;
+
+namespace obs {
+class AdaptiveDecisionLog;
+} // namespace obs
+
+namespace fault {
+
+/** Rungs of the degradation ladder, most capable first. */
+enum class DegradationLevel : std::uint8_t {
+    Speculative, //!< rollback + replay armed
+    Adaptive,    //!< no speculation; pacing feedback still live
+    FixedSlack,  //!< forced slack bound 1 (quantum-equivalent, §3)
+};
+
+/** @return stable lowercase name for a ladder rung. */
+const char *degradationLevelName(DegradationLevel level);
+
+/**
+ * Watches rollback frequency and the adaptive controller, and walks
+ * the run down (and optionally back up) the degradation ladder by
+ * flipping the speculation / pacing switches on the Checkpointer,
+ * ManagerLogic and Pacer it was built around.
+ */
+class RecoveryPolicy
+{
+  public:
+    RecoveryPolicy(const EngineConfig &engine, Pacer &pacer,
+                   ManagerLogic &mgr, Checkpointer &ckpt);
+
+    /** Wire (or unwire, with nullptr) the forensics transition log. */
+    void setDecisionLog(obs::AdaptiveDecisionLog *log)
+    {
+        decisionLog_ = log;
+    }
+
+    /**
+     * One rollback just happened at global time @p global. Demotes
+     * speculative → adaptive when `stormThreshold` rollbacks land
+     * within `stormWindow` cycles.
+     */
+    void noteRollback(Tick global);
+
+    /**
+     * Periodic observation from the engine loop (same cadence as
+     * Pacer::observe). Detects an adaptive controller pinned at its
+     * minimum bound with the violation rate still over the band, and
+     * drives backoff-gated re-promotion.
+     */
+    void observe(Tick global, const ViolationStats &violations);
+
+    /**
+     * The Checkpointer demoted itself because no checkpoint
+     * generation passed integrity verification. Always honored, even
+     * with every detection knob off.
+     */
+    void noteIntegrityDemotion(Tick global);
+
+    /** @return the current ladder rung. */
+    DegradationLevel level() const { return level_; }
+
+    /** @return printable rung name, or "none" when the configuration
+     *  has no ladder (neither speculative nor adaptive). */
+    const char *levelName() const;
+
+    std::uint64_t demotions() const { return demotions_; }
+    std::uint64_t repromotions() const { return repromotions_; }
+
+  private:
+    void demote(Tick cycle, const char *reason);
+    void promote(Tick cycle);
+    void recordTransition(Tick cycle, DegradationLevel from,
+                          DegradationLevel to, const char *reason);
+
+    EngineConfig engine_;
+    Pacer &pacer_;
+    ManagerLogic &mgr_;
+    Checkpointer &ckpt_;
+    obs::AdaptiveDecisionLog *decisionLog_ = nullptr;
+
+    bool applicable_ = false;      //!< config has a ladder at all
+    DegradationLevel top_ = DegradationLevel::Adaptive;
+    DegradationLevel level_ = DegradationLevel::Adaptive;
+
+    std::deque<Tick> rollbackTimes_; //!< storm detection window
+    Tick nextEpochCheck_ = 0;        //!< pinned-bound evaluation time
+    std::uint32_t pinnedEpochs_ = 0; //!< consecutive pinned epochs
+    Tick demotedAt_ = 0;             //!< when the last demotion landed
+    std::uint64_t demotions_ = 0;
+    std::uint64_t repromotions_ = 0;
+};
+
+} // namespace fault
+} // namespace slacksim
+
+#endif // SLACKSIM_FAULT_RECOVERY_POLICY_HH

@@ -177,9 +177,24 @@ struct EpisodeRecord
 };
 
 /**
- * Append-only ledger of adaptive decisions and checkpoint episodes.
- * Capped so a pathological run cannot balloon the report; drops are
- * counted, never silent.
+ * One degradation-ladder transition (see fault/recovery_policy.hh):
+ * a demotion forced by a rollback storm, a checkpoint-integrity
+ * failure or a pinned-at-minimum adaptive controller — or a
+ * re-promotion attempt after the backoff elapsed. The from/to/reason
+ * strings are static literals supplied by the recovery layer.
+ */
+struct TransitionRecord
+{
+    Tick cycle = 0;
+    const char *from = "";
+    const char *to = "";
+    const char *reason = "";
+};
+
+/**
+ * Append-only ledger of adaptive decisions, checkpoint episodes and
+ * degradation transitions. Capped so a pathological run cannot
+ * balloon the report; drops are counted, never silent.
  */
 class AdaptiveDecisionLog
 {
@@ -214,23 +229,45 @@ class AdaptiveDecisionLog
         return episodes_;
     }
 
+    void
+    recordTransition(const TransitionRecord &t)
+    {
+        if (transitions_.size() < maxRecords)
+            transitions_.push_back(t);
+        else
+            ++transitionsDropped_;
+    }
+
+    const std::vector<TransitionRecord> &transitions() const
+    {
+        return transitions_;
+    }
+
     std::uint64_t decisionsDropped() const { return decisionsDropped_; }
     std::uint64_t episodesDropped() const { return episodesDropped_; }
+    std::uint64_t transitionsDropped() const
+    {
+        return transitionsDropped_;
+    }
 
     void
     clear()
     {
         decisions_.clear();
         episodes_.clear();
+        transitions_.clear();
         decisionsDropped_ = 0;
         episodesDropped_ = 0;
+        transitionsDropped_ = 0;
     }
 
   private:
     std::vector<DecisionRecord> decisions_;
     std::vector<EpisodeRecord> episodes_;
+    std::vector<TransitionRecord> transitions_;
     std::uint64_t decisionsDropped_ = 0;
     std::uint64_t episodesDropped_ = 0;
+    std::uint64_t transitionsDropped_ = 0;
 };
 
 /** The obs layer's own overhead, surfaced instead of lost. */
@@ -242,6 +279,7 @@ struct ObsSelfStats
     std::uint64_t metricsRows = 0;   //!< sampler rows captured
     std::uint64_t metricsBytes = 0;  //!< metrics CSV bytes written
     std::uint64_t samplerHostNs = 0; //!< wall time spent sampling
+    std::uint64_t ioErrors = 0;      //!< failed writer opens/closes
 };
 
 /**

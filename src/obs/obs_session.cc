@@ -5,14 +5,13 @@
 
 #include "obs/obs_session.hh"
 
-#include <fstream>
-
 #include "core/checkpointer.hh"
 #include "core/manager_logic.hh"
 #include "core/pacer.hh"
 #include "core/sim_system.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/tracer.hh"
+#include "util/io.hh"
 #include "util/logging.hh"
 
 namespace slacksim::obs {
@@ -180,17 +179,16 @@ ObsSession::finish(Tick global)
 
     if (sampler_) {
         sample(global);
-        std::ofstream os(config_.metricsOut);
-        if (!os) {
-            SLACKSIM_WARN("cannot write metrics CSV to ",
-                          config_.metricsOut);
-        } else {
-            sampler_->writeCsv(os);
-            self.metricsBytes = os.tellp() >= 0
-                                    ? static_cast<std::uint64_t>(os.tellp())
-                                    : 0;
+        CheckedOfstream os(config_.metricsOut, "metrics CSV");
+        if (os.ok()) {
+            sampler_->writeCsv(os.stream());
+            self.metricsBytes = os.bytesWritten();
+        }
+        if (os.finish()) {
             SLACKSIM_INFORM("metrics: ", sampler_->rows().size(),
                             " epoch samples -> ", config_.metricsOut);
+        } else {
+            ++self.ioErrors;
         }
         self.metricsRows = sampler_->rows().size();
     }
@@ -210,15 +208,12 @@ ObsSession::finish(Tick global)
             warnOnFirstDrop();
         self.traceRecords = records;
         self.traceDropped = dropped;
-        std::ofstream os(config_.traceOut);
-        if (!os) {
-            SLACKSIM_WARN("cannot write Chrome trace to ",
-                          config_.traceOut);
-        } else {
-            writeChromeTrace(os, traces);
-            self.traceBytes = os.tellp() >= 0
-                                  ? static_cast<std::uint64_t>(os.tellp())
-                                  : 0;
+        CheckedOfstream os(config_.traceOut, "Chrome trace");
+        if (os.ok()) {
+            writeChromeTrace(os.stream(), traces);
+            self.traceBytes = os.bytesWritten();
+        }
+        if (os.finish()) {
             SLACKSIM_INFORM("trace: ", records, " events on ",
                             traces.size(), " tracks -> ",
                             config_.traceOut,
@@ -226,6 +221,8 @@ ObsSession::finish(Tick global)
                             dropped ? std::to_string(dropped) : "",
                             dropped ? " records; raise --obs-buffer-kb)"
                                     : "");
+        } else {
+            ++self.ioErrors;
         }
     }
 

@@ -93,6 +93,10 @@ class ObsSession
     /** Move the collected forensics out (valid after finish()). */
     ForensicsData takeForensics() { return std::move(forensics_); }
 
+    /** The run's decision log (valid between begin() and finish());
+     *  the recovery policy records degradation transitions here. */
+    AdaptiveDecisionLog *decisionLog() { return &decisions_; }
+
   private:
     void sample(Tick global);
     std::uint64_t wallNowNs() const;

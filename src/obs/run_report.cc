@@ -1,6 +1,6 @@
 /**
  * @file
- * Run-report writer (schema slacksim.run_report.v1).
+ * Run-report writer (schema slacksim.run_report.v2).
  */
 
 #include "obs/run_report.hh"
@@ -9,6 +9,7 @@
 
 #include "core/config.hh"
 #include "core/run_result.hh"
+#include "fault/fault_plan.hh"
 #include "util/json.hh"
 
 namespace slacksim {
@@ -79,6 +80,13 @@ writeConfigSection(JsonWriter &w, const SimConfig &config)
     w.field("mode", checkpointModeName(e.checkpoint.mode));
     w.field("tech", checkpointTechName(e.checkpoint.tech));
     w.field("interval", e.checkpoint.interval);
+    w.field("child_timeout_ms", e.checkpoint.childTimeoutMs);
+    w.endObject();
+    w.beginObject("recovery");
+    w.field("storm_threshold", e.recovery.stormThreshold);
+    w.field("storm_window", e.recovery.stormWindow);
+    w.field("pinned_epoch_limit", e.recovery.pinnedEpochLimit);
+    w.field("repromote_after", e.recovery.repromoteAfter);
     w.endObject();
     w.beginObject("obs");
     w.field("trace_out", e.obs.traceOut);
@@ -183,7 +191,52 @@ writeForensicsSection(JsonWriter &w, const ForensicsData &f)
     }
     w.endArray();
     w.field("episodes_dropped", log.episodesDropped());
+    w.beginArray("transitions");
+    for (const auto &t : log.transitions()) {
+        w.beginObject();
+        w.field("cycle", t.cycle);
+        w.field("from", t.from);
+        w.field("to", t.to);
+        w.field("reason", t.reason);
+        w.endObject();
+    }
+    w.endArray();
+    w.field("transitions_dropped", log.transitionsDropped());
 
+    w.endObject();
+}
+
+void
+writeDegradationSection(JsonWriter &w, const SimConfig &config,
+                        const RunResult &r)
+{
+    w.beginObject("degradation");
+    w.field("level", r.degradationLevel);
+    w.field("demotions", r.demotions);
+    w.field("repromotions", r.repromotions);
+    w.field("storm_threshold",
+            config.engine.recovery.stormThreshold);
+    w.field("repromote_after", config.engine.recovery.repromoteAfter);
+    w.endObject();
+}
+
+void
+writeFaultsSection(JsonWriter &w, const RunResult &r)
+{
+    w.beginObject("faults");
+    w.field("spec_count", r.faultSpecCount);
+    w.field("seed", r.faultSeed);
+    w.beginArray("injections");
+    for (const auto &inj : r.faultInjections) {
+        w.beginObject();
+        w.field("kind", fault::faultKindName(inj.kind));
+        w.field("trigger", inj.trigger);
+        w.field("cycle", inj.cycle);
+        w.field("detail", inj.detail);
+        w.field("handled_by", inj.handledBy);
+        w.endObject();
+    }
+    w.endArray();
     w.endObject();
 }
 
@@ -205,6 +258,8 @@ writeRunReport(std::ostream &os, const SimConfig &config,
     writeConfigSection(w, config);
     writeResultSection(w, result);
     writeForensicsSection(w, result.forensics);
+    writeDegradationSection(w, config, result);
+    writeFaultsSection(w, result);
     w.beginObject("obs");
     w.field("trace_records", result.forensics.obs.traceRecords);
     w.field("trace_dropped", result.forensics.obs.traceDropped);
@@ -212,6 +267,7 @@ writeRunReport(std::ostream &os, const SimConfig &config,
     w.field("metrics_rows", result.forensics.obs.metricsRows);
     w.field("metrics_bytes", result.forensics.obs.metricsBytes);
     w.field("sampler_host_ns", result.forensics.obs.samplerHostNs);
+    w.field("io_errors", result.forensics.obs.ioErrors);
     w.endObject();
     w.beginObject("watchdog");
     w.field("enabled", result.forensics.watchdogEnabled);

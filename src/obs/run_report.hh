@@ -1,13 +1,17 @@
 /**
  * @file
  * The unified machine-readable run report: one versioned JSON
- * document (`slacksim.run_report.v1`) merging the configuration, the
+ * document (`slacksim.run_report.v2`) merging the configuration, the
  * RunResult, the violation-forensics ledger, the adaptive decision
- * log and the obs layer's own overhead counters. Emitted by
- * runSimulation() whenever --report-out is set, so every engine,
- * bench and example shares one writer and one schema (documented in
- * DESIGN.md, "Forensics & run report"; validated by
+ * log, the degradation-ladder outcome, the fault-injection record and
+ * the obs layer's own overhead counters. Emitted by runSimulation()
+ * whenever --report-out is set, so every engine, bench and example
+ * shares one writer and one schema (documented in DESIGN.md,
+ * "Forensics & run report" and "Fault tolerance"; validated by
  * tests/report_schema_test).
+ *
+ * v1 -> v2: added `forensics.transitions[]` (+ dropped counter), the
+ * top-level `degradation` and `faults` sections and `obs.io_errors`.
  */
 
 #ifndef SLACKSIM_OBS_RUN_REPORT_HH
@@ -23,7 +27,7 @@ struct RunResult;
 namespace obs {
 
 /** The schema identifier emitted in every report. */
-inline constexpr const char *runReportSchema = "slacksim.run_report.v1";
+inline constexpr const char *runReportSchema = "slacksim.run_report.v2";
 
 /** Write the full run report for @p result under @p config. */
 void writeRunReport(std::ostream &os, const SimConfig &config,

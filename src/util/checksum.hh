@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Snapshot integrity: an XXH64-style hash plus seal/verify helpers
+ * for checkpoint arenas.
+ *
+ * A retained in-memory checkpoint sits in host RAM for the whole
+ * interval between captures; a stray write (host bug, emulated fault)
+ * silently corrupts the rollback image and a later restore would then
+ * scatter garbage through the simulated world before any section
+ * marker fires. sealSnapshot() appends a length-prefixed checksum
+ * trailer to a finished arena and verifySnapshot() re-derives it
+ * before a single byte is deserialized, so a bad image is discarded
+ * up front instead of half-restored (see DESIGN.md §9).
+ *
+ * Trailer layout (little-endian, appended after the payload):
+ *   u64 payload length in bytes | u64 xxh64(payload, seed=length)
+ * Seeding the hash with the length binds the two fields together: a
+ * truncation that happens to end on a stale trailer still fails.
+ */
+
+#ifndef SLACKSIM_UTIL_CHECKSUM_HH
+#define SLACKSIM_UTIL_CHECKSUM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+namespace slacksim {
+
+namespace detail {
+
+constexpr std::uint64_t xxhPrime1 = 0x9E3779B185EBCA87ull;
+constexpr std::uint64_t xxhPrime2 = 0xC2B2AE3D27D4EB4Full;
+constexpr std::uint64_t xxhPrime3 = 0x165667B19E3779F9ull;
+constexpr std::uint64_t xxhPrime4 = 0x85EBCA77C2B2AE63ull;
+constexpr std::uint64_t xxhPrime5 = 0x27D4EB2F165667C5ull;
+
+inline std::uint64_t
+xxhRotl(std::uint64_t v, int bits)
+{
+    return (v << bits) | (v >> (64 - bits));
+}
+
+inline std::uint64_t
+xxhRead64(const std::uint8_t *p)
+{
+    std::uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+inline std::uint32_t
+xxhRead32(const std::uint8_t *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+inline std::uint64_t
+xxhRound(std::uint64_t acc, std::uint64_t lane)
+{
+    return xxhRotl(acc + lane * xxhPrime2, 31) * xxhPrime1;
+}
+
+inline std::uint64_t
+xxhMerge(std::uint64_t h, std::uint64_t acc)
+{
+    return (h ^ xxhRound(0, acc)) * xxhPrime1 + xxhPrime4;
+}
+
+} // namespace detail
+
+/** XXH64 of @p len bytes at @p data under @p seed. */
+inline std::uint64_t
+xxh64(const void *data, std::size_t len, std::uint64_t seed = 0)
+{
+    using namespace detail;
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    const std::uint8_t *const end = p + len;
+    std::uint64_t h;
+
+    if (len >= 32) {
+        std::uint64_t v1 = seed + xxhPrime1 + xxhPrime2;
+        std::uint64_t v2 = seed + xxhPrime2;
+        std::uint64_t v3 = seed;
+        std::uint64_t v4 = seed - xxhPrime1;
+        const std::uint8_t *const limit = end - 32;
+        do {
+            v1 = xxhRound(v1, xxhRead64(p));
+            v2 = xxhRound(v2, xxhRead64(p + 8));
+            v3 = xxhRound(v3, xxhRead64(p + 16));
+            v4 = xxhRound(v4, xxhRead64(p + 24));
+            p += 32;
+        } while (p <= limit);
+        h = xxhRotl(v1, 1) + xxhRotl(v2, 7) + xxhRotl(v3, 12) +
+            xxhRotl(v4, 18);
+        h = xxhMerge(h, v1);
+        h = xxhMerge(h, v2);
+        h = xxhMerge(h, v3);
+        h = xxhMerge(h, v4);
+    } else {
+        h = seed + xxhPrime5;
+    }
+
+    h += static_cast<std::uint64_t>(len);
+    while (p + 8 <= end) {
+        h ^= xxhRound(0, xxhRead64(p));
+        h = xxhRotl(h, 27) * xxhPrime1 + xxhPrime4;
+        p += 8;
+    }
+    if (p + 4 <= end) {
+        h ^= static_cast<std::uint64_t>(xxhRead32(p)) * xxhPrime1;
+        h = xxhRotl(h, 23) * xxhPrime2 + xxhPrime3;
+        p += 4;
+    }
+    while (p < end) {
+        h ^= static_cast<std::uint64_t>(*p) * xxhPrime5;
+        h = xxhRotl(h, 11) * xxhPrime1;
+        ++p;
+    }
+
+    h ^= h >> 33;
+    h *= xxhPrime2;
+    h ^= h >> 29;
+    h *= xxhPrime3;
+    h ^= h >> 32;
+    return h;
+}
+
+/** Bytes sealSnapshot() appends: u64 length + u64 checksum. */
+inline constexpr std::size_t snapshotTrailerBytes = 16;
+
+/** Seal a finished snapshot arena by appending the integrity
+ *  trailer. The payload is everything currently in @p buf. */
+inline void
+sealSnapshot(std::vector<std::uint8_t> &buf)
+{
+    const std::uint64_t len = buf.size();
+    const std::uint64_t sum = xxh64(buf.data(), buf.size(), len);
+    std::uint8_t trailer[snapshotTrailerBytes];
+    std::memcpy(trailer, &len, sizeof(len));
+    std::memcpy(trailer + sizeof(len), &sum, sizeof(sum));
+    buf.insert(buf.end(), trailer, trailer + sizeof(trailer));
+}
+
+/**
+ * Verify a sealed arena. @return the payload size when the trailer
+ * is present, the recorded length matches the arena, and the
+ * checksum re-derives; std::nullopt on any mismatch (corruption or
+ * truncation). Never touches payload interpretation — safe to call
+ * on arbitrary bytes.
+ */
+inline std::optional<std::size_t>
+verifySnapshot(const std::vector<std::uint8_t> &buf)
+{
+    if (buf.size() < snapshotTrailerBytes)
+        return std::nullopt;
+    const std::size_t payload = buf.size() - snapshotTrailerBytes;
+    std::uint64_t len = 0;
+    std::uint64_t sum = 0;
+    std::memcpy(&len, buf.data() + payload, sizeof(len));
+    std::memcpy(&sum, buf.data() + payload + sizeof(len), sizeof(sum));
+    if (len != payload)
+        return std::nullopt;
+    if (xxh64(buf.data(), payload, len) != sum)
+        return std::nullopt;
+    return payload;
+}
+
+} // namespace slacksim
+
+#endif // SLACKSIM_UTIL_CHECKSUM_HH

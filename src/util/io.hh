@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Failure-checked file output.
+ *
+ * Every writer the simulator opens for a side artifact (metrics CSV,
+ * Chrome trace, run report) goes through CheckedOfstream: open
+ * failures and close/flush failures are warned about with errno and
+ * counted, never silently swallowed — a chaos run on a full disk must
+ * still finish and must say what it lost. The fault layer's
+ * `io-fail@write:N` spec hooks the Nth checked open here to make that
+ * path testable deterministically.
+ */
+
+#ifndef SLACKSIM_UTIL_IO_HH
+#define SLACKSIM_UTIL_IO_HH
+
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "fault/fault_plan.hh"
+#include "util/logging.hh"
+
+namespace slacksim {
+
+/** Process-wide count of failed checked opens/closes. */
+inline std::atomic<std::uint64_t> &
+ioErrorCount()
+{
+    static std::atomic<std::uint64_t> count{0};
+    return count;
+}
+
+/**
+ * An ofstream whose open and close are both checked. Construction
+ * never throws; a failed writer degrades to a no-op stream and the
+ * failure is warned + counted.
+ */
+class CheckedOfstream
+{
+  public:
+    /**
+     * @param path file to create/truncate
+     * @param what short artifact name for warnings ("metrics CSV")
+     */
+    CheckedOfstream(const std::string &path, const char *what)
+        : path_(path), what_(what)
+    {
+        if (auto *plan = fault::FaultPlan::active()) {
+            if (plan->fireIoFail(what)) {
+                // Injected transient failure: behave exactly as a
+                // real failed open would.
+                fail("injected open failure");
+                plan->markLastHandled("io-warn");
+                return;
+            }
+        }
+        errno = 0;
+        out_.open(path, std::ios::out | std::ios::trunc);
+        if (!out_.is_open())
+            fail(std::strerror(errno ? errno : EIO));
+    }
+
+    ~CheckedOfstream() { finish(); }
+
+    CheckedOfstream(const CheckedOfstream &) = delete;
+    CheckedOfstream &operator=(const CheckedOfstream &) = delete;
+
+    /** @return true while the stream is usable. */
+    bool ok() const { return !failed_ && out_.is_open(); }
+
+    /** @return true when open or close failed. */
+    bool failed() const { return failed_; }
+
+    /** The underlying stream (harmlessly inert after a failure). */
+    std::ofstream &stream() { return out_; }
+
+    /** @return bytes written so far (0 after a failure). */
+    std::uint64_t
+    bytesWritten()
+    {
+        if (!ok())
+            return 0;
+        const auto pos = out_.tellp();
+        return pos < 0 ? 0 : static_cast<std::uint64_t>(pos);
+    }
+
+    /**
+     * Flush and close, checking for write-back errors (ENOSPC shows
+     * up here, not at open). Idempotent; the destructor calls it.
+     * @return true when everything was durably handed to the OS.
+     */
+    bool
+    finish()
+    {
+        if (finished_)
+            return !failed_;
+        finished_ = true;
+        if (!out_.is_open())
+            return !failed_;
+        errno = 0;
+        out_.flush();
+        const bool flush_ok = out_.good();
+        out_.close();
+        if (!flush_ok || out_.fail())
+            fail(std::strerror(errno ? errno : EIO));
+        return !failed_;
+    }
+
+  private:
+    void
+    fail(const char *why)
+    {
+        if (!failed_) {
+            failed_ = true;
+            ioErrorCount().fetch_add(1, std::memory_order_relaxed);
+        }
+        SLACKSIM_WARN("i/o error on ", what_, " '", path_, "': ", why);
+    }
+
+    std::ofstream out_;
+    std::string path_;
+    const char *what_;
+    bool failed_ = false;
+    bool finished_ = false;
+};
+
+} // namespace slacksim
+
+#endif // SLACKSIM_UTIL_IO_HH

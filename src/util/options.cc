@@ -6,6 +6,7 @@
 #include "util/options.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 
@@ -65,10 +66,15 @@ Options::Options(int argc, const char *const *argv)
         const std::string arg = argv[i];
         if (arg.rfind("--", 0) == 0) {
             const auto eq = arg.find('=');
-            if (eq == std::string::npos)
-                values_[arg.substr(2)] = "";
-            else
-                values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+            std::string key, value;
+            if (eq == std::string::npos) {
+                key = arg.substr(2);
+            } else {
+                key = arg.substr(2, eq - 2);
+                value = arg.substr(eq + 1);
+            }
+            values_[key] = value;
+            ordered_.emplace_back(std::move(key), std::move(value));
         } else {
             positional_.push_back(arg);
         }
@@ -140,17 +146,38 @@ Options::get(const std::string &key, const std::string &fallback) const
     return it == values_.end() ? fallback : it->second;
 }
 
+std::vector<std::string>
+Options::getAll(const std::string &key) const
+{
+    std::vector<std::string> all;
+    for (const auto &[k, v] : ordered_) {
+        if (k == key)
+            all.push_back(v);
+    }
+    return all;
+}
+
 std::uint64_t
 Options::getUint(const std::string &key, std::uint64_t fallback) const
 {
     auto it = values_.find(key);
     if (it == values_.end())
         return fallback;
+    // strtoull quietly accepts "" (returns 0 with end==start) and
+    // negative values (wraps modulo 2^64): both must be rejected, a
+    // mistyped "--slack=-5" silently simulating with slack 2^64-5
+    // would be an unbounded-slack run wearing a bounded flag.
+    const std::string &s = it->second;
+    if (s.empty() || s[0] == '-')
+        SLACKSIM_FATAL("option --", key,
+                       " expects a non-negative integer, got '", s,
+                       "'");
     char *end = nullptr;
-    const std::uint64_t v = std::strtoull(it->second.c_str(), &end, 10);
-    if (!end || *end != '\0')
+    errno = 0;
+    const std::uint64_t v = std::strtoull(s.c_str(), &end, 10);
+    if (!end || end == s.c_str() || *end != '\0' || errno == ERANGE)
         SLACKSIM_FATAL("option --", key, " expects an integer, got '",
-                       it->second, "'");
+                       s, "'");
     return v;
 }
 
@@ -160,11 +187,14 @@ Options::getDouble(const std::string &key, double fallback) const
     auto it = values_.find(key);
     if (it == values_.end())
         return fallback;
+    const std::string &s = it->second;
+    if (s.empty())
+        SLACKSIM_FATAL("option --", key, " expects a number, got ''");
     char *end = nullptr;
-    const double v = std::strtod(it->second.c_str(), &end);
-    if (!end || *end != '\0')
+    const double v = std::strtod(s.c_str(), &end);
+    if (!end || end == s.c_str() || *end != '\0')
         SLACKSIM_FATAL("option --", key, " expects a number, got '",
-                       it->second, "'");
+                       s, "'");
     return v;
 }
 

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace slacksim {
@@ -45,11 +46,17 @@ class Options
     /** @return true when --key was given (with or without a value). */
     bool has(const std::string &key) const;
 
-    /** @return value of --key=value or @p fallback. */
+    /** @return value of --key=value or @p fallback. When the flag was
+     *  repeated, the last occurrence wins (see getAll). */
     std::string get(const std::string &key,
                     const std::string &fallback = "") const;
 
-    /** Typed getters; fatal on a malformed value. */
+    /** @return every value given for a repeatable --key=value flag,
+     *  in command-line order (empty when the flag was absent). */
+    std::vector<std::string> getAll(const std::string &key) const;
+
+    /** Typed getters; fatal on a malformed value (empty, negative,
+     *  trailing garbage like "5x" — never silently truncated). */
     std::uint64_t getUint(const std::string &key,
                           std::uint64_t fallback) const;
     double getDouble(const std::string &key, double fallback) const;
@@ -67,6 +74,9 @@ class Options
   private:
     std::string program_;
     std::map<std::string, std::string> values_;
+    /** Every (key, value) pair in argv order: repeatable flags (e.g.
+     *  --fault-spec) must not be last-one-wins collapsed. */
+    std::vector<std::pair<std::string, std::string>> ordered_;
     std::vector<std::string> positional_;
 };
 

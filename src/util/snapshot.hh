@@ -99,8 +99,22 @@ class SnapshotReader
 {
   public:
     explicit SnapshotReader(const std::vector<std::uint8_t> &bytes)
-        : buf_(bytes)
+        : buf_(bytes), limit_(bytes.size())
     {
+    }
+
+    /**
+     * Read only the first @p limit bytes of @p bytes: a sealed
+     * checkpoint arena carries an integrity trailer past the payload
+     * (util/checksum.hh) that restore() must never consume, and
+     * exhausted() must report done at the payload boundary.
+     */
+    SnapshotReader(const std::vector<std::uint8_t> &bytes,
+                   std::size_t limit)
+        : buf_(bytes), limit_(limit)
+    {
+        SLACKSIM_ASSERT(limit <= bytes.size(),
+                        "snapshot read limit past the buffer");
     }
 
     /** Deserialize one trivially-copyable value. */
@@ -110,7 +124,7 @@ class SnapshotReader
     {
         static_assert(std::is_trivially_copyable_v<T>,
                       "get() requires a trivially copyable type");
-        SLACKSIM_ASSERT(pos_ + sizeof(T) <= buf_.size(),
+        SLACKSIM_ASSERT(pos_ + sizeof(T) <= limit_,
                         "snapshot underrun at ", pos_);
         T value;
         std::memcpy(&value, buf_.data() + pos_, sizeof(T));
@@ -124,7 +138,7 @@ class SnapshotReader
     getVector()
     {
         const auto count = get<std::uint64_t>();
-        SLACKSIM_ASSERT(pos_ + count * sizeof(T) <= buf_.size(),
+        SLACKSIM_ASSERT(pos_ + count * sizeof(T) <= limit_,
                         "snapshot vector underrun");
         std::vector<T> values(count);
         if (count) {
@@ -146,14 +160,15 @@ class SnapshotReader
                         " found ", found);
     }
 
-    /** @return true when every byte has been consumed. */
-    bool exhausted() const { return pos_ == buf_.size(); }
+    /** @return true when every readable byte has been consumed. */
+    bool exhausted() const { return pos_ == limit_; }
 
     /** @return current read offset. */
     std::size_t position() const { return pos_; }
 
   private:
     const std::vector<std::uint8_t> &buf_;
+    std::size_t limit_ = 0;
     std::size_t pos_ = 0;
 };
 

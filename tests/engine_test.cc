@@ -408,3 +408,96 @@ TEST(EngineAdaptive, WindowedRateControllerRunsAndAdjusts)
     const auto r_cc = runSimulation(cc_config);
     EXPECT_LT(r.execCycles, 10 * r_cc.execCycles);
 }
+
+TEST(EngineRecovery, RollbackStormWalksTheDegradationLadder)
+{
+    // Speculative run tuned to roll back constantly: an impossible
+    // violation-rate target keeps requesting rollbacks, the storm
+    // detector demotes to adaptive, and the still-pinned controller
+    // then demotes to fixed slack=1. Every rung must be logged and
+    // the run must still complete.
+    auto config = baseConfig("falseshare", SchemeKind::Adaptive, false);
+    config.workload.iters = 2000;
+    config.engine.adaptive.targetViolationRate = 1e-6;
+    config.engine.adaptive.epochCycles = 500;
+    config.engine.adaptive.initialBound = 64;
+    config.engine.adaptive.minBound = 1;
+    config.engine.checkpoint.mode = CheckpointMode::Speculative;
+    config.engine.checkpoint.interval = 1000;
+    config.engine.recovery.stormThreshold = 3;
+    config.engine.recovery.stormWindow = 20000;
+    config.engine.recovery.pinnedEpochLimit = 4;
+    config.engine.recovery.repromoteAfter = 0; // never re-promote
+
+    const Workload w = makeWorkload(config.workload);
+    const auto r = runSimulation(config);
+    EXPECT_EQ(r.committedUops, w.totalMicroOps());
+    EXPECT_EQ(r.degradationLevel, "fixed-slack");
+    EXPECT_GE(r.demotions, 2u);
+    EXPECT_EQ(r.repromotions, 0u);
+
+    const auto &transitions = r.forensics.decisions.transitions();
+    ASSERT_GE(transitions.size(), 2u);
+    bool saw_storm = false, saw_pinned = false;
+    for (const auto &t : transitions) {
+        if (std::string(t.reason) == "rollback-storm") {
+            EXPECT_STREQ(t.from, "speculative");
+            EXPECT_STREQ(t.to, "adaptive");
+            saw_storm = true;
+        } else if (std::string(t.reason) == "pinned-at-min") {
+            EXPECT_STREQ(t.from, "adaptive");
+            EXPECT_STREQ(t.to, "fixed-slack");
+            saw_pinned = true;
+        }
+    }
+    EXPECT_TRUE(saw_storm) << "missing speculative->adaptive demotion";
+    EXPECT_TRUE(saw_pinned) << "missing adaptive->fixed-slack demotion";
+    // Demoted pacing pins the bound at the quantum-equivalent floor.
+    EXPECT_EQ(r.finalSlackBound, 1u);
+}
+
+TEST(EngineRecovery, RepromotesAfterBackoffElapses)
+{
+    // Same storm setup, but with a short re-promotion backoff the
+    // ladder must climb back up at least once and log the attempt.
+    auto config = baseConfig("falseshare", SchemeKind::Adaptive, false);
+    config.workload.iters = 3000;
+    config.engine.adaptive.targetViolationRate = 1e-6;
+    config.engine.adaptive.epochCycles = 500;
+    config.engine.adaptive.initialBound = 64;
+    config.engine.checkpoint.mode = CheckpointMode::Speculative;
+    config.engine.checkpoint.interval = 1000;
+    config.engine.recovery.stormThreshold = 3;
+    config.engine.recovery.stormWindow = 20000;
+    config.engine.recovery.repromoteAfter = 5000;
+
+    const Workload w = makeWorkload(config.workload);
+    const auto r = runSimulation(config);
+    EXPECT_EQ(r.committedUops, w.totalMicroOps());
+    EXPECT_GE(r.demotions, 1u);
+    EXPECT_GE(r.repromotions, 1u);
+    bool saw_repromotion = false;
+    for (const auto &t : r.forensics.decisions.transitions()) {
+        if (std::string(t.reason) == "backoff-elapsed")
+            saw_repromotion = true;
+    }
+    EXPECT_TRUE(saw_repromotion);
+}
+
+TEST(EngineRecovery, DisabledDetectionLeavesRunsUntouched)
+{
+    // All recovery knobs off (the defaults): a speculative run storms
+    // away exactly as before the ladder existed.
+    auto config = baseConfig("falseshare", SchemeKind::Adaptive, false);
+    config.workload.iters = 1000;
+    config.engine.adaptive.targetViolationRate = 0.05;
+    config.engine.adaptive.initialBound = 64;
+    config.engine.checkpoint.mode = CheckpointMode::Speculative;
+    config.engine.checkpoint.interval = 1000;
+
+    const Workload w = makeWorkload(config.workload);
+    const auto r = runSimulation(config);
+    EXPECT_EQ(r.committedUops, w.totalMicroOps());
+    EXPECT_EQ(r.degradationLevel, "speculative");
+    EXPECT_EQ(r.demotions, 0u);
+}

@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -201,7 +202,14 @@ TEST(ForkCheckpoint, MeasureModeNeverRollsBack)
                           &ck, &done),
               3)
         << out;
-    EXPECT_EQ(rb, 0u);
+    if (std::getenv("SLACKSIM_FAULT_SPEC")) {
+        // Chaos matrix: Measure mode takes no *violation* rollbacks,
+        // but an injected child death still forces one recovery
+        // rollback per fault — the run completing is the invariant.
+        EXPECT_LE(rb, 3u);
+    } else {
+        EXPECT_EQ(rb, 0u);
+    }
     EXPECT_GT(ck, 1u);
     EXPECT_EQ(done, 1);
 }

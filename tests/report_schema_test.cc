@@ -1,6 +1,6 @@
 /**
  * @file
- * Validates the slacksim.run_report.v1 document end to end: every
+ * Validates the slacksim.run_report.v2 document end to end: every
  * section and key the schema promises, exact agreement between the
  * forensics attribution tables and the run's violation counters, a
  * replayable adaptive decision chain, and the observe example's
@@ -58,7 +58,7 @@ runAndParse(SimConfig config, const std::string &name,
     return jsonlite::parse(ss.str());
 }
 
-/** The keys every v1 report must carry, section by section. */
+/** The keys every v2 report must carry, section by section. */
 void
 expectSchemaComplete(const jsonlite::Value &doc)
 {
@@ -71,8 +71,14 @@ expectSchemaComplete(const jsonlite::Value &doc)
     const auto &config = doc.at("config");
     for (const char *key :
          {"workload", "cores", "scheme", "parallel_host", "slack_bound",
-          "quantum", "adaptive", "checkpoint", "obs"}) {
+          "quantum", "adaptive", "checkpoint", "recovery", "obs"}) {
         EXPECT_TRUE(config.has(key)) << "config." << key;
+    }
+    for (const char *key :
+         {"storm_threshold", "storm_window", "pinned_epoch_limit",
+          "repromote_after"}) {
+        EXPECT_TRUE(config.at("recovery").has(key))
+            << "config.recovery." << key;
     }
     for (const char *key :
          {"target_rate", "band", "epoch_cycles", "initial_bound",
@@ -80,7 +86,8 @@ expectSchemaComplete(const jsonlite::Value &doc)
         EXPECT_TRUE(config.at("adaptive").has(key))
             << "config.adaptive." << key;
     }
-    for (const char *key : {"mode", "tech", "interval"})
+    for (const char *key :
+         {"mode", "tech", "interval", "child_timeout_ms"})
         EXPECT_TRUE(config.at("checkpoint").has(key));
     for (const char *key :
          {"trace_out", "metrics_out", "report_out", "watchdog_ms"}) {
@@ -116,15 +123,27 @@ expectSchemaComplete(const jsonlite::Value &doc)
         for (const char *key : {"count", "mean", "p50", "p95", "max"})
             EXPECT_TRUE(h.has(key)) << side << "." << key;
     }
-    for (const char *key : {"decisions", "decisions_dropped",
-                            "episodes", "episodes_dropped"}) {
+    for (const char *key :
+         {"decisions", "decisions_dropped", "episodes",
+          "episodes_dropped", "transitions", "transitions_dropped"}) {
         EXPECT_TRUE(forensics.has(key)) << "forensics." << key;
     }
+
+    const auto &degradation = doc.at("degradation");
+    for (const char *key : {"level", "demotions", "repromotions",
+                            "storm_threshold", "repromote_after"}) {
+        EXPECT_TRUE(degradation.has(key)) << "degradation." << key;
+    }
+
+    const auto &faults = doc.at("faults");
+    for (const char *key : {"spec_count", "seed", "injections"})
+        EXPECT_TRUE(faults.has(key)) << "faults." << key;
 
     const auto &obs = doc.at("obs");
     for (const char *key :
          {"trace_records", "trace_dropped", "trace_bytes",
-          "metrics_rows", "metrics_bytes", "sampler_host_ns"}) {
+          "metrics_rows", "metrics_bytes", "sampler_host_ns",
+          "io_errors"}) {
         EXPECT_TRUE(obs.has(key)) << "obs." << key;
     }
 
@@ -256,6 +275,35 @@ TEST(RunReport, SpeculativeRollbacksKeepLedgerExact)
               doc.at("result").at("host").at("checkpoints").asUint());
     EXPECT_EQ(rollbacks,
               doc.at("result").at("host").at("rollbacks").asUint());
+}
+
+TEST(RunReport, FaultInjectionAndDegradationAttributed)
+{
+    SimConfig config = smallConfig(SchemeKind::Adaptive, false);
+    config.engine.adaptive.targetViolationRate = 1e-5;
+    config.engine.adaptive.epochCycles = 500;
+    config.engine.checkpoint.mode = CheckpointMode::Speculative;
+    config.engine.checkpoint.interval = 2000;
+    config.engine.faultSpecs = {"spurious-rollback@ckpt:2"};
+    config.engine.faultSeed = 7;
+
+    const auto doc = runAndParse(config, "report_faulted.json");
+    expectSchemaComplete(doc);
+
+    const auto &faults = doc.at("faults");
+    EXPECT_EQ(faults.at("spec_count").asUint(), 1u);
+    EXPECT_EQ(faults.at("seed").asUint(), 7u);
+    const auto &injections = faults.at("injections").array;
+    ASSERT_EQ(injections.size(), 1u);
+    for (const char *key :
+         {"kind", "trigger", "cycle", "detail", "handled_by"})
+        EXPECT_TRUE(injections[0].has(key)) << "injection." << key;
+    EXPECT_EQ(injections[0].at("kind").asString(),
+              "spurious-rollback");
+    EXPECT_EQ(injections[0].at("handled_by").asString(),
+              "manager-rollback");
+    EXPECT_EQ(doc.at("degradation").at("level").asString(),
+              "speculative");
 }
 
 TEST(RunReport, ObserveExampleEndToEnd)

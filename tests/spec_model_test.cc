@@ -128,3 +128,30 @@ TEST(RunResult, SummaryMentionsKeyFields)
     EXPECT_NE(s.find("rollbacks"), std::string::npos);
     EXPECT_NE(s.find("final slack bound"), std::string::npos);
 }
+
+TEST(SpecModel, DegradedTimeInterpolatesBetweenTsAndTcpt)
+{
+    SpecModelInputs in;
+    in.tCc = 100.0;
+    in.tCpt = 20.0;
+    in.fraction = 0.1;
+    in.rollbackDistance = 500.0;
+    in.interval = 1000.0;
+    const double ts = speculativeTimeEstimate(in);
+    // Speculation pays rollback + replay overhead on top of Tcpt.
+    ASSERT_GT(ts, in.tCpt);
+
+    // The ends of the ladder: nothing demoted = full speculation,
+    // everything demoted = plain checkpointed slack simulation.
+    EXPECT_DOUBLE_EQ(degradedTimeEstimate(in, 0.0), ts);
+    EXPECT_DOUBLE_EQ(degradedTimeEstimate(in, 1.0), in.tCpt);
+
+    // Demotion hands host time back monotonically.
+    double prev = ts;
+    for (const double f : {0.25, 0.5, 0.75}) {
+        const double t = degradedTimeEstimate(in, f);
+        EXPECT_LT(t, prev);
+        EXPECT_GT(t, in.tCpt);
+        prev = t;
+    }
+}

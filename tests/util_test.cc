@@ -306,3 +306,34 @@ TEST(Table, Formatters)
     EXPECT_EQ(formatCycles(2000000), "2M");
     EXPECT_EQ(formatCycles(1234), "1234");
 }
+
+TEST(Options, GetAllReturnsRepeatedFlagsInOrder)
+{
+    const char *argv[] = {"prog", "--fault-spec=a@ckpt:1", "--other=x",
+                          "--fault-spec=b@ckpt:2"};
+    Options o(4, argv);
+    // Scalar get keeps last-wins semantics for repeated flags...
+    EXPECT_EQ(o.get("fault-spec"), "b@ckpt:2");
+    // ...while getAll preserves every occurrence in argv order.
+    const auto all = o.getAll("fault-spec");
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_EQ(all[0], "a@ckpt:1");
+    EXPECT_EQ(all[1], "b@ckpt:2");
+    EXPECT_TRUE(o.getAll("missing").empty());
+}
+
+TEST(OptionsDeathTest, RejectsMalformedNumericValues)
+{
+    const char *argv[] = {"prog",       "--empty=",   "--neg=-5",
+                          "--junk=5x",  "--huge=99999999999999999999",
+                          "--fempty=",  "--fjunk=1.5q"};
+    Options o(7, argv);
+    // An empty or negative value must not silently become 0 or wrap
+    // modulo 2^64 (a "--slack=-5" run would quietly be unbounded).
+    EXPECT_DEATH(o.getUint("empty", 7), "non-negative integer");
+    EXPECT_DEATH(o.getUint("neg", 7), "non-negative integer");
+    EXPECT_DEATH(o.getUint("junk", 7), "expects an integer");
+    EXPECT_DEATH(o.getUint("huge", 7), "expects an integer");
+    EXPECT_DEATH(o.getDouble("fempty", 1.0), "expects a number");
+    EXPECT_DEATH(o.getDouble("fjunk", 1.0), "expects a number");
+}
