@@ -35,10 +35,20 @@
  * against bench/BENCH_perf_baseline.json to assert the fault-
  * injection layer is free when no plan is installed: these runs
  * configure no --fault-spec, so every fault hook must collapse to one
- * relaxed pointer load.
+ * relaxed pointer load. The same floor now also polices the profiler
+ * hooks: baseline runs set no --profile, so a dormant PhaseScope that
+ * stopped being a single relaxed load would show up here.
+ *
+ * With --profile each run additionally records the host-time phase
+ * attribution of its best repetition, prints the breakdown, and emits
+ * it as a "profile" object per run (wall_ns, attributed_ns, verdict,
+ * phases[]) so the bench trajectory carries attribution, not just
+ * events/s. The extra keys are invisible to baselineEventsPerSec(),
+ * which anchors on "name"/"events_per_sec" only, so old and new
+ * recordings stay comparable.
  *
  * Flags: --kernel=NAME --uops=N --repeat=N --out=PATH --serial
- *        --baseline=PATH --min-ratio=R
+ *        --baseline=PATH --min-ratio=R --profile
  */
 
 #include <cstdlib>
@@ -79,6 +89,7 @@ struct Measurement
     double checkpointSeconds = 0.0;
     std::uint64_t busViolations = 0;
     std::uint64_t mapViolations = 0;
+    obs::ProfileReport profile; //!< best run's attribution (--profile)
 
     std::uint64_t events() const { return committedUops + busRequests; }
 
@@ -139,6 +150,7 @@ measure(const SmokeRun &run, std::uint64_t repeat)
             m.checkpointSeconds = r.host.checkpointSeconds;
             m.busViolations = r.violations.busViolations;
             m.mapViolations = r.violations.mapViolations;
+            m.profile = r.forensics.profile;
         }
     }
     return m;
@@ -176,6 +188,22 @@ writeJson(std::ostream &os, const std::string &kernel,
         w.field("checkpoint_bytes_per_sec", m.checkpointBytesPerSec());
         w.field("bus_violations", m.busViolations);
         w.field("map_violations", m.mapViolations);
+        if (m.profile.enabled) {
+            w.beginObject("profile");
+            w.field("wall_ns", m.profile.wallNs);
+            w.field("attributed_ns", m.profile.attributedNs());
+            w.field("verdict", m.profile.verdict);
+            w.beginArray("phases");
+            for (const auto &p : m.profile.phaseTotals) {
+                w.beginObject();
+                w.field("name", p.name);
+                w.field("ns", p.ns);
+                w.field("count", p.count);
+                w.endObject();
+            }
+            w.endArray();
+            w.endObject();
+        }
         w.endObject();
     }
     w.endArray();
@@ -322,6 +350,27 @@ main(int argc, char **argv)
                       << " ckpt-B/s";
         }
         std::cout << "\n";
+        if (m.profile.enabled) {
+            // Host time per phase for the kept (best) repetition,
+            // as a share of *total thread-time* (phase totals sum
+            // across every worker thread, so wall is the wrong
+            // denominator on parallel hosts); sub-0.5% phases are
+            // noise at smoke-run durations.
+            double total = 0.0;
+            for (const auto &p : m.profile.phaseTotals)
+                total += static_cast<double>(p.ns);
+            for (const auto &p : m.profile.phaseTotals) {
+                if (total <= 0.0 ||
+                    static_cast<double>(p.ns) < total * 0.005)
+                    continue;
+                std::cout << "    " << p.name << ": "
+                          << static_cast<double>(p.ns) / 1e6
+                          << " ms (" << 100.0 *
+                                 static_cast<double>(p.ns) / total
+                          << "% of host thread-time)\n";
+            }
+            std::cout << "    " << m.profile.verdict << "\n";
+        }
     }
 
     std::ofstream os(out);

@@ -10,6 +10,7 @@
 
 #include "fault/fault_plan.hh"
 #include "obs/forensics.hh"
+#include "obs/profiler.hh"
 #include "obs/tracer.hh"
 #include "util/checksum.hh"
 #include "util/logging.hh"
@@ -63,6 +64,11 @@ Checkpointer::Event
 Checkpointer::takeCheckpoint(Tick now)
 {
     SLACKSIM_ASSERT(enabled(), "takeCheckpoint with checkpointing off");
+    // Fork-technology note: a fork child resuming from rollback never
+    // returns through this scope's destructor in the parent image;
+    // the child's slot simply shows the scope as still open, and
+    // endSession() closes it at collection time.
+    obs::PhaseScope checkpoint(obs::Phase::Checkpoint);
 
     mgr_.closeInterval();
 
@@ -227,6 +233,7 @@ Checkpointer::RollbackResult
 Checkpointer::rollback(Tick current_global)
 {
     SLACKSIM_ASSERT(haveCheckpoint_, "rollback without a checkpoint");
+    obs::PhaseScope rollback(obs::Phase::RollbackReplay);
 
     if (fork_) {
         fork_->addWastedCycles(current_global >= lastCheckpointAt_

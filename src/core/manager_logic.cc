@@ -5,6 +5,7 @@
 
 #include "core/manager_logic.hh"
 
+#include "obs/profiler.hh"
 #include "util/logging.hh"
 
 namespace slacksim {
@@ -69,6 +70,11 @@ ManagerLogic::stash(const BusMsg &msg)
 std::size_t
 ManagerLogic::serviceSorted(Tick safe_time)
 {
+    // Uncore event simulation: nested under the engine's drain scope,
+    // so the flamegraph separates merge/service work ("drain;
+    // simulate") from raw queue pumping. Per call, not per event —
+    // one TSC pair amortized over the whole safe-time batch.
+    obs::PhaseScope simulate(obs::Phase::Simulate);
     std::size_t serviced = 0;
     while (stagedCount_ != 0) {
         const std::uint32_t src = merge_.winner();

@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "obs/forensics.hh"
+#include "obs/profiler.hh"
 #include "obs/tracer.hh"
 #include "util/logging.hh"
 
@@ -132,6 +133,9 @@ Pacer::observe(Tick global_time, const ViolationStats &violations)
     }
     if (global_time < nextEpoch_ || global_time == 0)
         return;
+    // Past the early-outs: this iteration actually evaluates an
+    // epoch, which is the part worth attributing.
+    obs::PhaseScope epoch(obs::Phase::PacerEpoch);
     const auto &p = engine_.adaptive;
     nextEpoch_ = global_time + p.epochCycles;
 

@@ -12,6 +12,7 @@
 
 #include "fault/fault_plan.hh"
 #include "obs/obs_session.hh"
+#include "obs/profiler.hh"
 #include "obs/tracer.hh"
 #include "util/logging.hh"
 
@@ -82,6 +83,7 @@ ParallelEngine::coreThreadMain(CoreId c)
     const std::string role = "core " + std::to_string(c);
     setLogThreadContext(role, &cc.localClock());
     obs::Tracer::instance().registerThread(role);
+    obs::Profiler::instance().registerThread(role);
 
     while (!stop_.load(std::memory_order_acquire)) {
         if (phase_.load(std::memory_order_acquire) != phaseRunning) {
@@ -102,6 +104,7 @@ ParallelEngine::coreThreadMain(CoreId c)
             if (phase_.load(std::memory_order_acquire) !=
                     phaseRunning &&
                 !stop_.load(std::memory_order_acquire)) {
+                obs::PhaseScope barrier(obs::Phase::Barrier);
                 resumeEpoch_.wait(e, std::memory_order_acquire);
             }
             continue;
@@ -122,6 +125,7 @@ ParallelEngine::coreThreadMain(CoreId c)
             if (cc.finished() &&
                 phase_.load(std::memory_order_acquire) == phaseRunning &&
                 !stop_.load(std::memory_order_acquire)) {
+                obs::PhaseScope wait(obs::Phase::WaitInbound);
                 ctl.wakeWord.wait(w, std::memory_order_acquire);
             }
             continue;
@@ -142,7 +146,10 @@ ParallelEngine::coreThreadMain(CoreId c)
                 if (watchdog_)
                     watchdog_->note(c, "park-paced", local);
                 const std::uint64_t park_wall = obs::traceWallNs();
-                ctl.wakeWord.wait(w, std::memory_order_acquire);
+                {
+                    obs::PhaseScope wait(obs::Phase::WaitSlack);
+                    ctl.wakeWord.wait(w, std::memory_order_acquire);
+                }
                 if (watchdog_)
                     watchdog_->note(c, "resume", cc.localTime());
                 // Retroactive span, skipping waits that returned at
@@ -175,6 +182,8 @@ ParallelEngine::coreThreadMain(CoreId c)
         bool wait_inbound = false;
         Tick advanced = 0;
         const std::uint64_t burst_wall = obs::traceWallNs();
+        {
+        obs::PhaseScope simulate(obs::Phase::Simulate);
         while (advanced < engine_.burstCycles) {
             const Tick max_local =
                 ctl.maxLocal.load(std::memory_order_acquire);
@@ -201,6 +210,7 @@ ParallelEngine::coreThreadMain(CoreId c)
             if (cc.finished())
                 break;
         }
+        }
         ctl.committed.store(cc.committedUops(),
                             std::memory_order_release);
         if (advanced > 0) {
@@ -212,6 +222,7 @@ ParallelEngine::coreThreadMain(CoreId c)
             board_->bump(c);
         if (backpressured) {
             // Give the manager a chance to drain our OutQ.
+            obs::PhaseScope push(obs::Phase::QueuePush);
             std::this_thread::yield();
         } else if (wait_inbound) {
             // Inert free-running core: sleep until the manager
@@ -227,7 +238,10 @@ ParallelEngine::coreThreadMain(CoreId c)
                     watchdog_->note(c, "park-inbound", cc.localTime());
                 const std::uint64_t park_wall = obs::traceWallNs();
                 const Tick park_cycle = cc.localTime();
-                ctl.wakeWord.wait(w, std::memory_order_acquire);
+                {
+                    obs::PhaseScope wait(obs::Phase::WaitInbound);
+                    ctl.wakeWord.wait(w, std::memory_order_acquire);
+                }
                 if (watchdog_)
                     watchdog_->note(c, "resume", cc.localTime());
                 if (obs::traceWallNs() - park_wall >= parkSpanMinNs) {
@@ -240,6 +254,7 @@ ParallelEngine::coreThreadMain(CoreId c)
         }
     }
 
+    obs::Profiler::instance().unregisterThread();
     obs::Tracer::instance().unregisterThread();
     clearLogThreadContext();
 }
@@ -252,6 +267,7 @@ ParallelEngine::relayThreadMain(std::uint32_t cluster)
     const std::string role = "relay " + std::to_string(cluster);
     setLogThreadContext(role);
     obs::Tracer::instance().registerThread(role);
+    obs::Profiler::instance().registerThread(role);
     while (!stop_.load(std::memory_order_acquire)) {
         if (phase_.load(std::memory_order_acquire) != phaseRunning) {
             const std::uint32_t gen =
@@ -270,6 +286,7 @@ ParallelEngine::relayThreadMain(std::uint32_t cluster)
             if (phase_.load(std::memory_order_acquire) !=
                     phaseRunning &&
                 !stop_.load(std::memory_order_acquire)) {
+                obs::PhaseScope barrier(obs::Phase::Barrier);
                 resumeEpoch_.wait(e, std::memory_order_acquire);
             }
             continue;
@@ -278,6 +295,8 @@ ParallelEngine::relayThreadMain(std::uint32_t cluster)
         const std::uint64_t p0 = board_->sum();
         bool moved = false;
         Tick watermark = maxTick;
+        {
+        obs::PhaseScope pump(obs::Phase::QueuePush);
         BusMsg buf[64];
         for (CoreId c = relay.first; c < relay.last; ++c) {
             // Read the clock *before* pumping: every event this core
@@ -314,6 +333,7 @@ ParallelEngine::relayThreadMain(std::uint32_t cluster)
             if (!controls_[c]->finished.load(std::memory_order_acquire))
                 watermark = std::min(watermark, local);
         }
+        }
         relay.watermark.store(watermark, std::memory_order_release);
 
         if (moved) {
@@ -327,6 +347,7 @@ ParallelEngine::relayThreadMain(std::uint32_t cluster)
                 watchdog_->note(sys_.numCores() + cluster,
                                 "relay-idle", watermark);
             }
+            obs::PhaseScope wait(obs::Phase::WaitInbound);
             board_->sleep(p0, [this] {
                 return phase_.load(std::memory_order_acquire) ==
                            phaseRunning &&
@@ -334,6 +355,7 @@ ParallelEngine::relayThreadMain(std::uint32_t cluster)
             });
         }
     }
+    obs::Profiler::instance().unregisterThread();
     obs::Tracer::instance().unregisterThread();
     clearLogThreadContext();
 }
@@ -411,6 +433,9 @@ ParallelEngine::quiescedAtBoundary(Tick boundary) const
 void
 ParallelEngine::pauseWorld()
 {
+    // The manager side of the stop-the-world handshake: request,
+    // wake, then wait for every ack.
+    obs::PhaseScope barrier(obs::Phase::Barrier);
     pauseGen_.fetch_add(1, std::memory_order_seq_cst);
     phase_.store(phasePaused, std::memory_order_seq_cst);
     for (CoreId c = 0; c < sys_.numCores(); ++c)
@@ -536,6 +561,7 @@ ParallelEngine::run()
             // on the progress board with service suspended.
             ++activity;
         } else {
+            obs::PhaseScope drain(obs::Phase::Drain);
             const std::uint64_t service_wall = obs::traceWallNs();
             if (relays_.empty()) {
                 activity += mgr_.pumpAll();
@@ -684,6 +710,7 @@ ParallelEngine::run()
         }
 
         if (activity == 0 && board_->sum() == p0) {
+            obs::PhaseScope wait(obs::Phase::WaitInbound);
             board_->sleep(p0, [] { return true; });
             ++host_.managerWakeups;
         }

@@ -12,6 +12,7 @@
 
 #include "fault/fault_plan.hh"
 #include "obs/obs_session.hh"
+#include "obs/profiler.hh"
 #include "obs/tracer.hh"
 #include "util/logging.hh"
 
@@ -127,6 +128,8 @@ SerialEngine::run()
             Tick advanced = 0;
             const Tick local0 = cc.localTime();
             const std::uint64_t burst_wall = obs::traceWallNs();
+            {
+            obs::PhaseScope simulate(obs::Phase::Simulate);
             while (cc.localTime() <= maxLocal_[c] &&
                    advanced < engine_.burstCycles) {
                 const Tick before = cc.localTime();
@@ -140,6 +143,7 @@ SerialEngine::run()
                 if (cc.finished())
                     break;
             }
+            }
             progress |= advanced > 0;
             if (advanced > 0) {
                 // All cores share the one host thread's track; the
@@ -150,8 +154,11 @@ SerialEngine::run()
             }
             // Arrival order in the serial engine is the deterministic
             // round-robin order of these pumps.
-            mgr_.pumpCore(c);
-            mgr_.flushOverflow();
+            {
+                obs::PhaseScope push(obs::Phase::QueuePush);
+                mgr_.pumpCore(c);
+                mgr_.flushOverflow();
+            }
         }
 
         const Tick global = sys_.globalTime();
@@ -171,6 +178,7 @@ SerialEngine::run()
                     plan->markLastHandled("manager-resumed");
             }
         } else {
+            obs::PhaseScope drain(obs::Phase::Drain);
             const std::uint64_t service_wall = obs::traceWallNs();
             const std::size_t serviced = mgr_.serviceSorted(global);
             mgr_.flushOverflow();

@@ -12,6 +12,7 @@
 
 #include <unistd.h>
 
+#include "obs/profiler.hh"
 #include "util/logging.hh"
 
 namespace slacksim {
@@ -198,6 +199,14 @@ StallWatchdog::renderDump(const char *reason,
         os << (flag ? "  * " : "    ") << w.name;
         if (w.clock)
             os << " clock=" << clock;
+        // With --profile on, say *what* the worker is doing right now
+        // (one relaxed byte read of its live phase), not just that its
+        // clock stopped. Watchdog-thread path only — the fatal-signal
+        // handler reuses the pre-rendered buffer and never gets here.
+        if (const char *phase =
+                Profiler::instance().currentPhaseOfRole(w.name)) {
+            os << " phase=" << phase;
+        }
         if (done)
             os << " [finished]";
         if (flag)

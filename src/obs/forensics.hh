@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/profiler.hh"
 #include "util/histogram.hh"
 #include "util/snapshot.hh"
 #include "util/types.hh"
@@ -292,6 +293,7 @@ struct ForensicsData
     ViolationLedger ledger;
     AdaptiveDecisionLog decisions;
     ObsSelfStats obs;
+    ProfileReport profile; //!< host-time attribution (--profile)
     bool watchdogEnabled = false;
     std::uint64_t stallMs = 0;
     std::uint64_t stallDumps = 0;

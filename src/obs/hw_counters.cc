@@ -1,0 +1,140 @@
+/**
+ * @file
+ * perf_event_open plumbing with the graceful-fallback contract
+ * described in hw_counters.hh.
+ */
+
+#include "obs/hw_counters.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define SLACKSIM_HAVE_PERF_EVENT 1
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#else
+#define SLACKSIM_HAVE_PERF_EVENT 0
+#endif
+
+namespace slacksim::obs {
+
+#if SLACKSIM_HAVE_PERF_EVENT
+
+namespace {
+
+int
+openCounter(std::uint64_t hw_id)
+{
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.type = PERF_TYPE_HARDWARE;
+    attr.size = sizeof(attr);
+    attr.config = hw_id;
+    attr.disabled = 0;
+    attr.inherit = 1; // count threads spawned after open()
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    // pid=0, cpu=-1: this process (and, via inherit, its children),
+    // on every CPU.
+    return static_cast<int>(
+        syscall(__NR_perf_event_open, &attr, 0, -1, -1, 0));
+}
+
+std::uint64_t
+readCounter(int fd)
+{
+    std::uint64_t value = 0;
+    if (fd >= 0 &&
+        ::read(fd, &value, sizeof(value)) != sizeof(value)) {
+        value = 0;
+    }
+    return value;
+}
+
+} // namespace
+
+bool
+HwCounters::open(bool force_unavailable)
+{
+    close();
+    if (force_unavailable) {
+        reason_ = "disabled (forced fallback)";
+        return false;
+    }
+    static const std::uint64_t kIds[3] = {
+        PERF_COUNT_HW_CPU_CYCLES,
+        PERF_COUNT_HW_INSTRUCTIONS,
+        PERF_COUNT_HW_CACHE_MISSES,
+    };
+    for (std::size_t i = 0; i < 3; ++i) {
+        fds_[i] = openCounter(kIds[i]);
+        if (fds_[i] < 0) {
+            const int err = errno;
+            reason_ = std::string("perf_event_open failed: ") +
+                      std::strerror(err);
+            close();
+            return false;
+        }
+    }
+    available_ = true;
+    reason_.clear();
+    return true;
+}
+
+HwCounterTotals
+HwCounters::read() const
+{
+    HwCounterTotals totals;
+    totals.available = available_;
+    totals.reason = reason_;
+    if (!available_)
+        return totals;
+    totals.cycles = readCounter(fds_[0]);
+    totals.instructions = readCounter(fds_[1]);
+    totals.cacheMisses = readCounter(fds_[2]);
+    return totals;
+}
+
+void
+HwCounters::close()
+{
+    for (int &fd : fds_) {
+        if (fd >= 0)
+            ::close(fd);
+        fd = -1;
+    }
+    available_ = false;
+}
+
+#else // !SLACKSIM_HAVE_PERF_EVENT
+
+bool
+HwCounters::open(bool force_unavailable)
+{
+    close();
+    reason_ = force_unavailable
+                  ? "disabled (forced fallback)"
+                  : "perf_event_open not available on this platform";
+    return false;
+}
+
+HwCounterTotals
+HwCounters::read() const
+{
+    HwCounterTotals totals;
+    totals.available = false;
+    totals.reason = reason_;
+    return totals;
+}
+
+void
+HwCounters::close()
+{
+    available_ = false;
+}
+
+#endif // SLACKSIM_HAVE_PERF_EVENT
+
+} // namespace slacksim::obs

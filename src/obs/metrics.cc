@@ -5,9 +5,34 @@
 
 #include "obs/metrics.hh"
 
+#include <cassert>
 #include <ostream>
+#include <string>
+#include <vector>
 
 namespace slacksim::obs {
+
+namespace {
+
+/** Header tokens must stay machine-parsable: lowercase, digits and
+ *  underscores only (no separators, quotes or spaces that would need
+ *  CSV escaping). Enforced on every emitted column so a future column
+ *  can't silently break downstream plot scripts. */
+bool
+validColumnName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    for (const char ch : name) {
+        const bool ok = (ch >= 'a' && ch <= 'z') ||
+                        (ch >= '0' && ch <= '9') || ch == '_';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
 
 MetricsSampler::MetricsSampler(Tick epoch_cycles)
     : epochCycles_(epoch_cycles < 1 ? 1 : epoch_cycles)
@@ -43,13 +68,44 @@ MetricsSampler::writeCsv(std::ostream &os) const
 {
     const std::size_t cores =
         rows_.empty() ? 0 : rows_.front().coreLocal.size();
-    os << "wall_ns,global_cycle,min_local,max_local,slack_spread,"
-          "slack_bound,replay,bus_violations,map_violations,"
-          "bus_viol_rate,map_viol_rate,bus_requests,"
-          "bus_queueing_cycles,mgr_pending,checkpoints,rollbacks";
-    for (std::size_t c = 0; c < cores; ++c)
-        os << ",core" << c << "_local";
+
+    std::vector<std::string> columns = {
+        "wall_ns", "global_cycle", "min_local", "max_local",
+        "slack_spread", "slack_bound", "replay", "bus_violations",
+        "map_violations", "bus_viol_rate", "map_viol_rate",
+        "bus_requests", "bus_queueing_cycles", "mgr_pending",
+        "checkpoints", "rollbacks"};
+    for (std::size_t c = 0; c < cores; ++c) {
+        const std::string n = std::to_string(c);
+        columns.push_back("core" + n + "_local");
+        columns.push_back("core" + n + "_lag");
+        columns.push_back("core" + n + "_inq");
+        columns.push_back("core" + n + "_outq");
+    }
+
+    // Schema comment first: parsers that key on column names skip
+    // '#' lines; parsers that check the schema string get a stable
+    // anchor that survives column reorders.
+    os << "# schema=" << csvSchema << " columns=" << columns.size()
+       << " rows=" << rows_.size() << "\n";
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+        assert(validColumnName(columns[i]));
+        if (!validColumnName(columns[i])) {
+            // Release builds: sanitize in place rather than drop, so
+            // the header stays aligned with the data columns.
+            for (char &ch : columns[i]) {
+                const bool ok = (ch >= 'a' && ch <= 'z') ||
+                                (ch >= '0' && ch <= '9') || ch == '_';
+                if (!ok)
+                    ch = '_';
+            }
+            if (columns[i].empty())
+                columns[i].push_back('_');
+        }
+        os << (i ? "," : "") << columns[i];
+    }
     os << "\n";
+
     for (const auto &r : rows_) {
         os << r.wallNs << "," << r.global << "," << r.minLocal << ","
            << r.maxLocal << ","
@@ -60,8 +116,18 @@ MetricsSampler::writeCsv(std::ostream &os) const
            << r.busRequests << "," << r.busQueueingCycles << ","
            << r.mgrPending << "," << r.checkpoints << ","
            << r.rollbacks;
-        for (std::size_t c = 0; c < cores; ++c)
-            os << "," << (c < r.coreLocal.size() ? r.coreLocal[c] : 0);
+        for (std::size_t c = 0; c < cores; ++c) {
+            const Tick local =
+                c < r.coreLocal.size() ? r.coreLocal[c] : 0;
+            // Slack lag: this core's drift above the slowest core —
+            // the (myClock - minClock) series the adaptive analysis
+            // plots (0 for the straggler itself).
+            const Tick lag = local >= r.minLocal ? local - r.minLocal
+                                                 : 0;
+            os << "," << local << "," << lag << ","
+               << (c < r.coreInQ.size() ? r.coreInQ[c] : 0) << ","
+               << (c < r.coreOutQ.size() ? r.coreOutQ[c] : 0);
+        }
         os << "\n";
     }
 }

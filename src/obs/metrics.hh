@@ -39,6 +39,10 @@ struct MetricsRow
     std::uint64_t checkpoints = 0; //!< checkpoints taken so far
     std::uint64_t rollbacks = 0;   //!< rollbacks so far
     std::vector<Tick> coreLocal;   //!< per-core local clocks
+    /** Per-core queue occupancies at the sample instant (approximate
+     *  for live cross-thread queues; see SpscQueue::size). */
+    std::vector<std::uint64_t> coreInQ;
+    std::vector<std::uint64_t> coreOutQ;
 };
 
 /** Fixed-cadence collector of MetricsRow samples. */
@@ -60,8 +64,14 @@ class MetricsSampler
 
     const std::vector<MetricsRow> &rows() const { return rows_; }
 
-    /** Write the whole series as CSV (header + one line per row). */
+    /** Write the whole series as CSV: a `# schema=` comment line, a
+     *  validated header, then one line per row. Every header token is
+     *  checked against [a-z0-9_] so downstream parsers can key on
+     *  column names instead of positions. */
     void writeCsv(std::ostream &os) const;
+
+    /** The CSV schema identifier emitted in the comment line. */
+    static constexpr const char *csvSchema = "slacksim.metrics.v2";
 
   private:
     Tick epochCycles_;

@@ -43,12 +43,23 @@ struct ObsConfig
      *  the watchdog thread off entirely. */
     std::uint64_t watchdogMs = 0;
 
+    /** Host-time profiler: attribute every worker thread's wall time
+     *  to phases (simulate / waits / drain / checkpoint / ...) and
+     *  emit the profile section of the run report. Off by default;
+     *  the dormant hook is a single relaxed load. */
+    bool profile = false;
+
+    /** Folded-stack output path for flamegraph.pl / speedscope; ""
+     *  keeps the profile in the run report only. Setting this implies
+     *  profile=true at the flag layer. */
+    std::string profileOut;
+
     /** @return true when any output is requested. */
     bool
     enabled() const
     {
         return !traceOut.empty() || !metricsOut.empty() ||
-               !reportOut.empty();
+               !reportOut.empty() || profile;
     }
 };
 

@@ -20,9 +20,14 @@ obsOptionSpecs()
         {"obs-epoch", "CYCLES",
          "metrics sampling period (default: adaptive epoch)"},
         {"report-out", "FILE",
-         "write the unified slacksim.run_report.v2 JSON"},
+         "write the unified slacksim.run_report.v3 JSON"},
         {"watchdog-ms", "MS",
          "stall watchdog threshold in wall ms (0 = off)"},
+        {"profile", "",
+         "attribute host time to phases; adds the run-report "
+         "profile section"},
+        {"profile-out", "FILE",
+         "write a folded-stack flamegraph file (implies --profile)"},
     };
     return specs;
 }
@@ -37,6 +42,10 @@ applyObsOptions(const Options &opts, ObsConfig &config)
     config.metricsEpoch = opts.getUint("obs-epoch", config.metricsEpoch);
     config.reportOut = opts.get("report-out", config.reportOut);
     config.watchdogMs = opts.getUint("watchdog-ms", config.watchdogMs);
+    config.profile = opts.getBool("profile", config.profile);
+    config.profileOut = opts.get("profile-out", config.profileOut);
+    if (!config.profileOut.empty())
+        config.profile = true;
 }
 
 } // namespace slacksim::obs

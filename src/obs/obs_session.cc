@@ -10,6 +10,7 @@
 #include "core/pacer.hh"
 #include "core/sim_system.hh"
 #include "obs/chrome_trace.hh"
+#include "obs/profiler.hh"
 #include "obs/tracer.hh"
 #include "util/io.hh"
 #include "util/logging.hh"
@@ -40,6 +41,8 @@ ObsSession::~ObsSession()
         watchdog_->stop();
     if (tracing_ && !finished_)
         Tracer::instance().deactivate();
+    if (profiling_ && !finished_)
+        Profiler::instance().endSession();
 }
 
 void
@@ -71,6 +74,19 @@ ObsSession::begin(const char *role)
         } else {
             SLACKSIM_WARN("trace session already active; --trace-out=",
                           config_.traceOut, " ignored for this run");
+        }
+    }
+    if (config_.profile) {
+        profiling_ = Profiler::instance().beginSession();
+        if (profiling_) {
+            Profiler::instance().registerThread(role);
+            // Hardware counters must open before worker threads spawn:
+            // inherit=1 only covers threads created after the open.
+            hw_ = std::make_unique<HwCounters>();
+            hw_->open();
+        } else {
+            SLACKSIM_WARN("profiler session already active; --profile "
+                          "ignored for this run");
         }
     }
     if (!config_.metricsOut.empty()) {
@@ -122,6 +138,7 @@ ObsSession::forceSample(Tick global)
 void
 ObsSession::sample(Tick global)
 {
+    PhaseScope scope(Phase::Sample);
     const std::uint64_t t0 = wallNowNs();
     MetricsRow row;
     row.wallNs = t0;
@@ -138,8 +155,15 @@ ObsSession::sample(Tick global)
     row.checkpoints = host_.checkpointsTaken;
     row.rollbacks = host_.rollbacks;
     row.coreLocal.reserve(sys_.numCores());
-    for (CoreId c = 0; c < sys_.numCores(); ++c)
+    row.coreInQ.reserve(sys_.numCores());
+    row.coreOutQ.reserve(sys_.numCores());
+    for (CoreId c = 0; c < sys_.numCores(); ++c) {
         row.coreLocal.push_back(sys_.core(c).localTime());
+        // Queue sizes are acquire-read and approximate while the
+        // owning threads run — exactly right for occupancy telemetry.
+        row.coreInQ.push_back(sys_.core(c).inQ().size());
+        row.coreOutQ.push_back(sys_.core(c).outQ().size());
+    }
     sampler_->push(global, std::move(row));
     samplerHostNs_ += wallNowNs() - t0;
 }
@@ -223,6 +247,32 @@ ObsSession::finish(Tick global)
                                     : "");
         } else {
             ++self.ioErrors;
+        }
+    }
+
+    if (profiling_) {
+        // Both engines join their workers before finish(), so every
+        // worker slot is closed; endSession() closes the manager's
+        // own slot and converts ticks to ns with the full-session
+        // calibration.
+        forensics_.profile = Profiler::instance().endSession();
+        if (hw_) {
+            forensics_.profile.hw = hw_->read();
+            hw_->close();
+        }
+        if (!forensics_.profile.verdict.empty())
+            SLACKSIM_INFORM("profile: ", forensics_.profile.verdict);
+        if (!config_.profileOut.empty()) {
+            CheckedOfstream os(config_.profileOut, "folded stacks");
+            if (os.ok())
+                writeFoldedStacks(os.stream(), forensics_.profile);
+            if (os.finish()) {
+                SLACKSIM_INFORM("profile: folded stacks -> ",
+                                config_.profileOut,
+                                " (flamegraph.pl / speedscope)");
+            } else {
+                ++self.ioErrors;
+            }
         }
     }
 

@@ -24,6 +24,7 @@
 
 #include "obs/flight_recorder.hh"
 #include "obs/forensics.hh"
+#include "obs/hw_counters.hh"
 #include "obs/metrics.hh"
 #include "obs/obs_config.hh"
 
@@ -66,6 +67,10 @@ class ObsSession
 
     /** @return true when the metrics sampler is on. */
     bool metricsOn() const { return sampler_ != nullptr; }
+
+    /** @return true while the host-time profiler is attributing this
+     *  run (--profile). */
+    bool profiling() const { return profiling_; }
 
     /** @return the stall watchdog, or nullptr when not configured.
      *  The engine registers its workers and calls start()/notes. */
@@ -111,10 +116,12 @@ class ObsSession
     const HostStats &host_;
 
     bool tracing_ = false;
+    bool profiling_ = false;
     bool finished_ = false;
     bool wired_ = false;
     bool dropWarned_ = false;
     std::unique_ptr<MetricsSampler> sampler_;
+    std::unique_ptr<HwCounters> hw_;
     std::chrono::steady_clock::time_point t0_{};
 
     ViolationLedger ledger_;

@@ -1,6 +1,6 @@
 /**
  * @file
- * Run-report writer (schema slacksim.run_report.v2).
+ * Run-report writer (schema slacksim.run_report.v3).
  */
 
 #include "obs/run_report.hh"
@@ -93,6 +93,8 @@ writeConfigSection(JsonWriter &w, const SimConfig &config)
     w.field("metrics_out", e.obs.metricsOut);
     w.field("report_out", e.obs.reportOut);
     w.field("watchdog_ms", e.obs.watchdogMs);
+    w.field("profile", e.obs.profile);
+    w.field("profile_out", e.obs.profileOut);
     w.endObject();
     w.endObject();
 }
@@ -221,6 +223,55 @@ writeDegradationSection(JsonWriter &w, const SimConfig &config,
 }
 
 void
+writePhaseTotals(JsonWriter &w, const char *key,
+                 const std::vector<PhaseTotal> &totals)
+{
+    w.beginArray(key);
+    for (const auto &t : totals) {
+        w.beginObject();
+        w.field("name", t.name);
+        w.field("ns", t.ns);
+        w.field("count", t.count);
+        w.endObject();
+    }
+    w.endArray();
+}
+
+void
+writeProfileSection(JsonWriter &w, const ProfileReport &p)
+{
+    w.beginObject("profile");
+    w.field("enabled", p.enabled);
+    w.field("wall_ns", p.wallNs);
+    w.field("attributed_ns", p.attributedNs());
+    w.field("tsc_ghz", p.tscGhz);
+    writePhaseTotals(w, "phases", p.phaseTotals);
+    w.beginArray("workers");
+    for (const auto &worker : p.workers) {
+        w.beginObject();
+        w.field("role", worker.role);
+        w.field("tid", worker.tid);
+        w.field("span_ns", worker.spanNs);
+        w.field("other_ns", worker.otherNs);
+        w.field("truncated", worker.truncated);
+        w.field("dropped_paths", worker.droppedPaths);
+        writePhaseTotals(w, "phases", worker.phases);
+        writePhaseTotals(w, "paths", worker.paths);
+        w.endObject();
+    }
+    w.endArray();
+    w.beginObject("hw");
+    w.field("available", p.hw.available);
+    w.field("reason", p.hw.reason);
+    w.field("cycles", p.hw.cycles);
+    w.field("instructions", p.hw.instructions);
+    w.field("cache_misses", p.hw.cacheMisses);
+    w.endObject();
+    w.field("verdict", p.verdict);
+    w.endObject();
+}
+
+void
 writeFaultsSection(JsonWriter &w, const RunResult &r)
 {
     w.beginObject("faults");
@@ -260,6 +311,7 @@ writeRunReport(std::ostream &os, const SimConfig &config,
     writeForensicsSection(w, result.forensics);
     writeDegradationSection(w, config, result);
     writeFaultsSection(w, result);
+    writeProfileSection(w, result.forensics.profile);
     w.beginObject("obs");
     w.field("trace_records", result.forensics.obs.traceRecords);
     w.field("trace_dropped", result.forensics.obs.traceDropped);

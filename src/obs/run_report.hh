@@ -1,7 +1,7 @@
 /**
  * @file
  * The unified machine-readable run report: one versioned JSON
- * document (`slacksim.run_report.v2`) merging the configuration, the
+ * document (`slacksim.run_report.v3`) merging the configuration, the
  * RunResult, the violation-forensics ledger, the adaptive decision
  * log, the degradation-ladder outcome, the fault-injection record and
  * the obs layer's own overhead counters. Emitted by runSimulation()
@@ -12,6 +12,10 @@
  *
  * v1 -> v2: added `forensics.transitions[]` (+ dropped counter), the
  * top-level `degradation` and `faults` sections and `obs.io_errors`.
+ * v2 -> v3: added the top-level `profile` section (host-time phase
+ * attribution, per-worker breakdowns, hardware counters, verdict)
+ * emitted by the --profile layer; `enabled=false` with empty arrays
+ * when profiling was off.
  */
 
 #ifndef SLACKSIM_OBS_RUN_REPORT_HH
@@ -27,7 +31,7 @@ struct RunResult;
 namespace obs {
 
 /** The schema identifier emitted in every report. */
-inline constexpr const char *runReportSchema = "slacksim.run_report.v2";
+inline constexpr const char *runReportSchema = "slacksim.run_report.v3";
 
 /** Write the full run report for @p result under @p config. */
 void writeRunReport(std::ostream &os, const SimConfig &config,

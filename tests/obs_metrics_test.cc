@@ -30,12 +30,18 @@ struct Csv
     std::vector<std::string> header;
     std::vector<std::vector<std::string>> rows;
 
+    std::string schemaLine;
+
     explicit Csv(const std::string &path)
     {
         std::ifstream in(path);
         std::string line;
         bool first = true;
         while (std::getline(in, line)) {
+            if (!line.empty() && line[0] == '#') {
+                schemaLine = line;
+                continue;
+            }
             std::vector<std::string> cells;
             std::stringstream ss(line);
             std::string cell;
@@ -122,15 +128,46 @@ TEST(MetricsSampler, CsvShape)
     std::ostringstream os;
     sampler.writeCsv(os);
     const std::string text = os.str();
+    // Schema comment first, then the header.
+    EXPECT_EQ(text.rfind("# schema=", 0), 0u);
+    EXPECT_NE(text.find(MetricsSampler::csvSchema), std::string::npos);
     EXPECT_NE(text.find("wall_ns,global_cycle,"), std::string::npos);
     EXPECT_NE(text.find("slack_bound"), std::string::npos);
-    EXPECT_NE(text.find("core0_local"), std::string::npos);
-    EXPECT_NE(text.find("core1_local"), std::string::npos);
-    // Header + 2 data lines.
+    for (const char *col : {"core0_local", "core0_lag", "core0_inq",
+                            "core0_outq", "core1_local", "core1_lag",
+                            "core1_inq", "core1_outq"})
+        EXPECT_NE(text.find(col), std::string::npos) << col;
+    // Schema comment + header + 2 data lines.
     int lines = 0;
     for (const char c : text)
         lines += c == '\n';
-    EXPECT_EQ(lines, 3);
+    EXPECT_EQ(lines, 4);
+}
+
+TEST(MetricsSampler, SlackLagColumnIsDriftAboveSlowestCore)
+{
+    MetricsSampler sampler(10);
+    MetricsRow row = rowAt(100, 4);
+    row.minLocal = 90;
+    row.coreLocal = {90, 130};
+    row.coreInQ = {3, 0};
+    row.coreOutQ = {0, 7};
+    sampler.push(100, row);
+
+    const std::string path = testing::TempDir() + "obs_metrics_lag.csv";
+    {
+        std::ofstream os(path);
+        sampler.writeCsv(os);
+    }
+    Csv csv(path);
+    EXPECT_NE(csv.schemaLine.find(MetricsSampler::csvSchema),
+              std::string::npos);
+    // The straggler lags by 0; the leader by (130 - 90).
+    EXPECT_EQ(csv.numbers("core0_lag").at(0), 0.0);
+    EXPECT_EQ(csv.numbers("core1_lag").at(0), 40.0);
+    EXPECT_EQ(csv.numbers("core0_inq").at(0), 3.0);
+    EXPECT_EQ(csv.numbers("core1_outq").at(0), 7.0);
+    std::remove(path.c_str());
 }
 
 TEST(MetricsSeries, AdaptiveBoundDescendsTowardTargetBand)

@@ -1,6 +1,6 @@
 /**
  * @file
- * Validates the slacksim.run_report.v2 document end to end: every
+ * Validates the slacksim.run_report.v3 document end to end: every
  * section and key the schema promises, exact agreement between the
  * forensics attribution tables and the run's violation counters, a
  * replayable adaptive decision chain, and the observe example's
@@ -58,7 +58,7 @@ runAndParse(SimConfig config, const std::string &name,
     return jsonlite::parse(ss.str());
 }
 
-/** The keys every v2 report must carry, section by section. */
+/** The keys every v3 report must carry, section by section. */
 void
 expectSchemaComplete(const jsonlite::Value &doc)
 {
@@ -89,8 +89,8 @@ expectSchemaComplete(const jsonlite::Value &doc)
     for (const char *key :
          {"mode", "tech", "interval", "child_timeout_ms"})
         EXPECT_TRUE(config.at("checkpoint").has(key));
-    for (const char *key :
-         {"trace_out", "metrics_out", "report_out", "watchdog_ms"}) {
+    for (const char *key : {"trace_out", "metrics_out", "report_out",
+                            "watchdog_ms", "profile", "profile_out"}) {
         EXPECT_TRUE(config.at("obs").has(key)) << "config.obs." << key;
     }
 
@@ -150,6 +150,20 @@ expectSchemaComplete(const jsonlite::Value &doc)
     const auto &watchdog = doc.at("watchdog");
     for (const char *key : {"enabled", "stall_ms", "stall_dumps"})
         EXPECT_TRUE(watchdog.has(key)) << "watchdog." << key;
+
+    // v3: the profile section is always present; with profiling off it
+    // carries enabled=false and empty arrays.
+    const auto &profile = doc.at("profile");
+    for (const char *key :
+         {"enabled", "wall_ns", "attributed_ns", "tsc_ghz", "phases",
+          "workers", "hw", "verdict"}) {
+        EXPECT_TRUE(profile.has(key)) << "profile." << key;
+    }
+    for (const char *key :
+         {"available", "reason", "cycles", "instructions",
+          "cache_misses"}) {
+        EXPECT_TRUE(profile.at("hw").has(key)) << "profile.hw." << key;
+    }
 }
 
 /** Forensic attribution must sum exactly to the run's counters. */
@@ -304,6 +318,95 @@ TEST(RunReport, FaultInjectionAndDegradationAttributed)
               "manager-rollback");
     EXPECT_EQ(doc.at("degradation").at("level").asString(),
               "speculative");
+}
+
+namespace {
+
+/** Shared assertions for a profile-enabled report. */
+void
+expectProfileCoherent(const jsonlite::Value &doc)
+{
+    const auto &profile = doc.at("profile");
+    EXPECT_TRUE(profile.at("enabled").asBool());
+    EXPECT_GT(profile.at("wall_ns").asUint(), 0u);
+
+    // The global table lists every phase by name plus the "other"
+    // residual bucket.
+    const auto &phases = profile.at("phases").array;
+    for (const char *name :
+         {"simulate", "queue-push", "wait-for-slack", "wait-inbound",
+          "barrier", "checkpoint", "rollback-replay", "drain",
+          "pacer-epoch", "sample", "other"}) {
+        bool found = false;
+        for (const auto &p : phases)
+            found |= p.at("name").asString() == name;
+        EXPECT_TRUE(found) << "missing phase " << name;
+    }
+
+    // Per worker, exclusive phase time plus the residual reconstructs
+    // the worker's span exactly (residual saturates at zero).
+    const auto &workers = profile.at("workers").array;
+    ASSERT_FALSE(workers.empty());
+    for (const auto &w : workers) {
+        for (const char *key :
+             {"role", "tid", "span_ns", "other_ns", "truncated",
+              "dropped_paths", "phases", "paths"})
+            ASSERT_TRUE(w.has(key)) << "worker." << key;
+        EXPECT_FALSE(w.at("role").asString().empty());
+        const std::uint64_t span = w.at("span_ns").asUint();
+        const std::uint64_t other = w.at("other_ns").asUint();
+        std::uint64_t attributed = 0;
+        for (const auto &p : w.at("phases").array)
+            attributed += p.at("ns").asUint();
+        if (other == 0)
+            EXPECT_GE(attributed, span) << w.at("role").asString();
+        else
+            EXPECT_EQ(attributed + other, span)
+                << w.at("role").asString();
+    }
+
+    // Something simulated, so host time landed in the simulate phase
+    // and the verdict summarises a real distribution.
+    std::uint64_t simulate_ns = 0;
+    for (const auto &p : phases)
+        if (p.at("name").asString() == "simulate")
+            simulate_ns = p.at("ns").asUint();
+    EXPECT_GT(simulate_ns, 0u);
+    EXPECT_FALSE(profile.at("verdict").asString().empty());
+    EXPECT_GT(profile.at("attributed_ns").asUint(), 0u);
+}
+
+} // namespace
+
+TEST(RunReport, SerialProfileSectionAttributesHostTime)
+{
+    SimConfig config = smallConfig(SchemeKind::Adaptive, false);
+    config.engine.adaptive.targetViolationRate = 0.002;
+    config.engine.adaptive.epochCycles = 500;
+    config.engine.checkpoint.mode = CheckpointMode::Speculative;
+    config.engine.checkpoint.interval = 2000;
+    config.engine.obs.profile = true;
+
+    const auto doc = runAndParse(config, "report_profile_serial.json");
+    expectSchemaComplete(doc);
+    expectProfileCoherent(doc);
+    EXPECT_TRUE(doc.at("config").at("obs").at("profile").asBool());
+}
+
+TEST(RunReport, ParallelProfileCoversEveryHostThread)
+{
+    SimConfig config = smallConfig(SchemeKind::Adaptive, true);
+    config.engine.adaptive.targetViolationRate = 0.002;
+    config.engine.adaptive.epochCycles = 500;
+    config.engine.obs.profile = true;
+
+    const auto doc =
+        runAndParse(config, "report_profile_parallel.json");
+    expectSchemaComplete(doc);
+    expectProfileCoherent(doc);
+    // Parallel host: one slot per core thread plus the relay and the
+    // manager — strictly more workers than the serial run's one.
+    EXPECT_GT(doc.at("profile").at("workers").array.size(), 1u);
 }
 
 TEST(RunReport, ObserveExampleEndToEnd)
