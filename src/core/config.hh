@@ -24,6 +24,9 @@
 
 namespace slacksim {
 
+class CancelToken; // util/cancel.hh
+class TaskRunner;  // util/task_runner.hh
+
 /** The pacing scheme applied by the simulation manager. */
 enum class SchemeKind : std::uint8_t {
     CycleByCycle, //!< lock-step, sorted event service (gold standard)
@@ -194,6 +197,23 @@ struct EngineConfig
     /** Observability: event tracing + epoch metrics (off by default;
      *  see src/obs and the --trace-out/--metrics-out flags). */
     ObsConfig obs;
+
+    /**
+     * Cooperative cancellation channel (util/cancel.hh), or nullptr.
+     * The engines poll it at their loop boundary and return a partial
+     * result with `cancelled = true`; the job server uses this for
+     * per-job timeouts, client cancels and shutdown drains. Non-owning
+     * — must outlive the run.
+     */
+    CancelToken *cancel = nullptr;
+
+    /**
+     * Where engine worker threads execute (util/task_runner.hh), or
+     * nullptr for the built-in spawn/join-per-run behavior. The serve
+     * worker pool passes its persistent pool here so thousands of
+     * jobs reuse one set of host threads. Non-owning.
+     */
+    TaskRunner *runner = nullptr;
 };
 
 /** Target-machine configuration. */

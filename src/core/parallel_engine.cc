@@ -9,12 +9,15 @@
 #include <chrono>
 #include <iterator>
 #include <string>
+#include <thread>
 
 #include "fault/fault_plan.hh"
 #include "obs/obs_session.hh"
 #include "obs/profiler.hh"
 #include "obs/tracer.hh"
+#include "util/cancel.hh"
 #include "util/logging.hh"
+#include "util/run_token.hh"
 
 namespace slacksim {
 
@@ -79,6 +82,12 @@ ParallelEngine::coreThreadMain(CoreId c)
     CoreComplex &cc = sys_.core(c);
     CoreControl &ctl = *controls_[c];
     std::uint32_t acked_gen = 0;
+
+    // Adopt the run's identity on this (possibly pool-borrowed) host
+    // thread: the token gates obs registration to our own run's
+    // sessions, the fault-plan binding scopes injected faults to us.
+    ScopedRunToken token_scope(sys_.runToken());
+    fault::ScopedFaultPlan plan_scope(sys_.faultPlan());
 
     const std::string role = "core " + std::to_string(c);
     setLogThreadContext(role, &cc.localClock());
@@ -264,6 +273,8 @@ ParallelEngine::relayThreadMain(std::uint32_t cluster)
 {
     Relay &relay = *relays_[cluster];
     std::uint32_t acked_gen = 0;
+    ScopedRunToken token_scope(sys_.runToken());
+    fault::ScopedFaultPlan plan_scope(sys_.faultPlan());
     const std::string role = "relay " + std::to_string(cluster);
     setLogThreadContext(role);
     obs::Tracer::instance().registerThread(role);
@@ -517,17 +528,32 @@ ParallelEngine::run()
     }
     updatePacing(true);
 
+    TaskRunner &runner =
+        engine_.runner ? *engine_.runner : fallbackRunner_;
     threads_.reserve(sys_.numCores());
     for (CoreId c = 0; c < sys_.numCores(); ++c)
-        threads_.emplace_back([this, c] { coreThreadMain(c); });
+        threads_.push_back(
+            runner.launch([this, c] { coreThreadMain(c); }));
     for (std::uint32_t r = 0; r < relays_.size(); ++r)
-        relayThreads_.emplace_back([this, r] { relayThreadMain(r); });
+        relayThreads_.push_back(
+            runner.launch([this, r] { relayThreadMain(r); }));
+
+    // A cancel request may arrive while the manager is parked on the
+    // progress board; the waker is a pure futex kick (wakers must not
+    // block — they run under the token's registry lock).
+    ScopedWaker cancel_waker(engine_.cancel,
+                             [this] { board_->wakeAll(); });
+    bool cancelled = false;
 
     double last_progress_wall = 0.0;
     Tick last_global = 0;
     bool warmup_pending = engine_.warmupUops > 0;
 
     for (;;) {
+        if (engine_.cancel && engine_.cancel->cancelled()) {
+            cancelled = true;
+            break;
+        }
         const std::uint64_t p0 = board_->sum();
 
         // Read local clocks *before* pumping: every event with a
@@ -711,7 +737,12 @@ ParallelEngine::run()
 
         if (activity == 0 && board_->sum() == p0) {
             obs::PhaseScope wait(obs::Phase::WaitInbound);
-            board_->sleep(p0, [] { return true; });
+            // The eligibility re-check (after sleeper registration)
+            // closes the race with a cancel that fired its wakeAll
+            // kick before we parked.
+            board_->sleep(p0, [this] {
+                return !engine_.cancel || !engine_.cancel->cancelled();
+            });
             ++host_.managerWakeups;
         }
     }
@@ -724,10 +755,10 @@ ParallelEngine::run()
     for (CoreId c = 0; c < sys_.numCores(); ++c)
         wakeCore(c);
     for (auto &t : threads_)
-        t.join();
+        t->join();
     threads_.clear();
     for (auto &t : relayThreads_)
-        t.join();
+        t->join();
     relayThreads_.clear();
     // Drain any events still in transit (relay queues, popped-but-
     // unpushed carry tails, and OutQs the relays had not pumped when
@@ -750,6 +781,7 @@ ParallelEngine::run()
     watchdog_ = nullptr; // owned by the session; run is over
     clearLogThreadContext();
     RunResult r = collectResult(secondsSince(t0));
+    r.cancelled = cancelled;
     r.forensics = session.takeForensics();
     return r;
 }

@@ -19,7 +19,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <thread>
 #include <vector>
 
 #include "core/checkpointer.hh"
@@ -31,6 +30,7 @@
 #include "fault/recovery_policy.hh"
 #include "util/progress_board.hh"
 #include "util/spsc_queue.hh"
+#include "util/task_runner.hh"
 
 namespace slacksim {
 
@@ -118,8 +118,12 @@ class ParallelEngine
     std::vector<std::unique_ptr<CoreControl>> controls_;
     std::vector<std::unique_ptr<Relay>> relays_;
     std::vector<Tick> localsScratch_;
-    std::vector<std::thread> threads_;
-    std::vector<std::thread> relayThreads_;
+    /** Worker handles from the configured TaskRunner: pool threads
+     *  under the job server, plain spawned threads otherwise. */
+    std::vector<std::unique_ptr<TaskRunner::Handle>> threads_;
+    std::vector<std::unique_ptr<TaskRunner::Handle>> relayThreads_;
+    /** Used when EngineConfig::runner is null (single-run tools). */
+    ThreadSpawnRunner fallbackRunner_;
 
     std::atomic<std::uint32_t> phase_{phaseRunning};
     std::atomic<std::uint32_t> pauseGen_{0};

@@ -14,6 +14,7 @@
 #include "obs/run_report.hh"
 #include "util/io.hh"
 #include "util/logging.hh"
+#include "util/run_token.hh"
 
 namespace slacksim {
 
@@ -42,8 +43,17 @@ maybeWriteReport(const SimConfig &config, const RunResult &result)
 RunResult
 runSimulation(const SimConfig &config)
 {
+    // Mint this run's identity and bind it to the calling (manager)
+    // thread: token-aware registries (tracer, profiler) use it to
+    // tell concurrent runs apart, and the engines replicate it onto
+    // every worker thread via the SimSystem run binding below.
+    const std::uint64_t token = newRunToken();
+    ScopedRunToken token_scope(token);
+
     // Resolve and install the fault plan for the duration of this run
     // (flag or environment; nullptr in the common fault-free case).
+    // The install is thread-local, so concurrent runs in one process
+    // each see only their own plan.
     std::uint64_t fault_seed = 0;
     std::vector<fault::FaultSpec> specs = fault::resolveFaultSpecs(
         config.engine.faultSpecs, config.engine.faultSeed, &fault_seed);
@@ -55,6 +65,7 @@ runSimulation(const SimConfig &config)
     }
 
     SimSystem sys(config);
+    sys.setRunBinding(token, plan.get());
     RunResult result;
     if (config.engine.parallelHost) {
         ParallelEngine engine(sys);

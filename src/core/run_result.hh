@@ -64,6 +64,11 @@ struct RunResult
     std::uint64_t demotions = 0;
     std::uint64_t repromotions = 0;
 
+    /** true: the run was cancelled cooperatively (CancelToken) and
+     *  every aggregate below covers only the work done up to that
+     *  point. The run report surfaces this as "status": "cancelled". */
+    bool cancelled = false;
+
     /** Fault-injection attribution for chaos runs: every fault the
      *  installed FaultPlan fired, plus the plan's spec count and the
      *  seed that made the run repeatable (0 = no plan installed). */

@@ -14,6 +14,7 @@
 #include "obs/obs_session.hh"
 #include "obs/profiler.hh"
 #include "obs/tracer.hh"
+#include "util/cancel.hh"
 #include "util/logging.hh"
 
 namespace slacksim {
@@ -100,8 +101,15 @@ SerialEngine::run()
     std::uint64_t last_committed = 0;
     Tick committed_stale_since = 0;
     bool warmup_pending = engine_.warmupUops > 0;
+    bool cancelled = false;
     std::uint64_t round = 0;
     for (;;) {
+        // Single host thread, never parked: polling once per round is
+        // enough for prompt cooperative cancellation.
+        if (engine_.cancel && engine_.cancel->cancelled()) {
+            cancelled = true;
+            break;
+        }
         updatePacing(true);
 
         bool progress = false;
@@ -309,6 +317,7 @@ SerialEngine::run()
     const double wall =
         std::chrono::duration<double>(clock::now() - t0).count();
     RunResult r = collectResult(wall);
+    r.cancelled = cancelled;
     r.forensics = session.takeForensics();
     return r;
 }

@@ -21,6 +21,10 @@
 
 namespace slacksim {
 
+namespace fault {
+class FaultPlan;
+}
+
 /** The target machine + workload instantiated and ready to run. */
 class SimSystem : public Snapshotable
 {
@@ -71,8 +75,31 @@ class SimSystem : public Snapshotable
     void save(SnapshotWriter &writer) const override;
     void restore(SnapshotReader &reader) override;
 
+    /**
+     * Bind this world to its run: the token runSimulation() minted
+     * and the (possibly null) fault plan it installed. The engines
+     * read the binding to replicate both onto every worker thread
+     * they borrow (ScopedRunToken + ScopedFaultPlan), which is what
+     * keeps concurrent runs in one process from cross-registering
+     * obs threads or firing each other's faults.
+     */
+    void
+    setRunBinding(std::uint64_t token, fault::FaultPlan *plan)
+    {
+        runToken_ = token;
+        faultPlan_ = plan;
+    }
+
+    /** @return the run token bound by runSimulation() (0: unbound). */
+    std::uint64_t runToken() const { return runToken_; }
+
+    /** @return the fault plan of this run, or nullptr. */
+    fault::FaultPlan *faultPlan() const { return faultPlan_; }
+
   private:
     SimConfig config_;
+    std::uint64_t runToken_ = 0;
+    fault::FaultPlan *faultPlan_ = nullptr;
     Workload workload_;
     UncoreStats uncoreStats_;
     ViolationStats violations_;

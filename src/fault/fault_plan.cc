@@ -13,7 +13,7 @@
 namespace slacksim {
 namespace fault {
 
-std::atomic<FaultPlan *> FaultPlan::activePlan_{nullptr};
+thread_local FaultPlan *FaultPlan::activePlan_ = nullptr;
 
 namespace {
 
@@ -168,22 +168,18 @@ FaultPlan::FaultPlan(std::vector<FaultSpec> specs, std::uint64_t seed)
 void
 FaultPlan::install()
 {
-    FaultPlan *expected = nullptr;
-    if (!activePlan_.compare_exchange_strong(
-            expected, this, std::memory_order_release,
-            std::memory_order_relaxed)) {
-        SLACKSIM_FATAL("a FaultPlan is already installed; "
-                       "fault-injected runs cannot nest");
+    if (activePlan_ != nullptr && activePlan_ != this) {
+        SLACKSIM_FATAL("a FaultPlan is already installed on this "
+                       "thread; fault-injected runs cannot nest");
     }
+    activePlan_ = this;
 }
 
 void
 FaultPlan::uninstall()
 {
-    FaultPlan *expected = this;
-    activePlan_.compare_exchange_strong(expected, nullptr,
-                                        std::memory_order_release,
-                                        std::memory_order_relaxed);
+    if (activePlan_ == this)
+        activePlan_ = nullptr;
 }
 
 void

@@ -27,12 +27,18 @@
  *                                  rounds once global time reaches N
  *   io-fail@write:N               the Nth checked file open fails
  *
- * The plan is installed process-globally for the duration of one run:
- * the fork-checkpoint layer re-emerges in a *different process* after
- * a rollback and the I/O layer has no path to a per-run object, so a
- * single atomic pointer is the only handle every layer can share.
- * When no plan is installed every hook is one relaxed pointer load —
- * the zero-cost-when-disabled property perf_smoke asserts.
+ * The plan is installed per *host thread* for the duration of one
+ * run: layers with no path to a per-run object (the I/O layer's
+ * CheckedOfstream hook, the fork-checkpoint child) read the calling
+ * thread's binding. runSimulation binds the plan on its own (manager)
+ * thread and the engines re-bind it on every worker thread they
+ * borrow, so in a multi-tenant serve process job A's faults can never
+ * leak into job B's concurrently-running engine — which is exactly
+ * what a process-global slot used to allow. The fork-checkpoint
+ * child still sees the plan because fork() clones the calling thread
+ * together with its thread-locals. When no plan is installed every
+ * hook is one thread-local pointer load — the zero-cost-when-disabled
+ * property perf_smoke asserts.
  */
 
 #ifndef SLACKSIM_FAULT_FAULT_PLAN_HH
@@ -108,17 +114,18 @@ class FaultPlan
     static std::vector<FaultSpec>
     parseSpecList(const std::string &text);
 
-    /** @return the installed plan, or nullptr (the common case). */
+    /** @return the plan bound to the calling thread, or nullptr (the
+     *  common case). */
     static FaultPlan *
     active()
     {
-        return activePlan_.load(std::memory_order_relaxed);
+        return activePlan_;
     }
 
-    /** Install this plan as the process-global active plan. */
+    /** Bind this plan to the calling thread (fatal on nesting). */
     void install();
 
-    /** Remove this plan from the global slot (idempotent). */
+    /** Unbind this plan from the calling thread (idempotent). */
     void uninstall();
 
     // ---- injection hooks (each spec fires at most once) ----
@@ -183,7 +190,8 @@ class FaultPlan
 
     void record(const Slot &slot, Tick cycle, std::string detail);
 
-    static std::atomic<FaultPlan *> activePlan_;
+    friend class ScopedFaultPlan;
+    static thread_local FaultPlan *activePlan_;
 
     std::vector<FaultSpec> specs_;
     std::uint64_t seed_;
@@ -199,6 +207,32 @@ class FaultPlan
     std::atomic<std::uint32_t> pendingStalls_{0};
     std::atomic<std::uint32_t> pendingBackpressure_{0};
     std::atomic<std::uint32_t> pendingIoFails_{0};
+};
+
+/**
+ * Bind a (possibly null) plan to the calling thread for a scope,
+ * saving and restoring the previous binding. This is how the engines
+ * propagate the run's plan onto the worker threads they borrow from a
+ * pool — the pool thread may carry a stale binding from a previous
+ * task's crash-unwind, and restoring on exit keeps borrowed threads
+ * clean for the next job.
+ */
+class ScopedFaultPlan
+{
+  public:
+    explicit ScopedFaultPlan(FaultPlan *plan)
+        : prev_(FaultPlan::activePlan_)
+    {
+        FaultPlan::activePlan_ = plan;
+    }
+
+    ~ScopedFaultPlan() { FaultPlan::activePlan_ = prev_; }
+
+    ScopedFaultPlan(const ScopedFaultPlan &) = delete;
+    ScopedFaultPlan &operator=(const ScopedFaultPlan &) = delete;
+
+  private:
+    FaultPlan *prev_;
 };
 
 /**

@@ -10,6 +10,8 @@
 #include <cstdio>
 #include <ostream>
 
+#include "util/run_token.hh"
+
 namespace slacksim::obs {
 
 namespace {
@@ -175,6 +177,7 @@ Profiler::beginSession()
     if (epoch_.load(std::memory_order_relaxed) != 0)
         return false;
     slots_.clear();
+    ownerToken_ = currentRunToken();
     t0_ = std::chrono::steady_clock::now();
     t0Ticks_ = profTsc();
     epoch_.store(++nextEpoch_, std::memory_order_release);
@@ -189,6 +192,11 @@ Profiler::registerThread(const std::string &role)
     std::lock_guard<std::mutex> lk(registryMutex_);
     const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
     if (epoch == 0)
+        return;
+    // Multi-tenant gate (same rule as Tracer::registerThread): only
+    // threads of the run that owns the session may bind a slot; owner
+    // token 0 = session opened outside any run, accepts everyone.
+    if (ownerToken_ != 0 && currentRunToken() != ownerToken_)
         return;
     auto slot = std::make_unique<Slot>();
     slot->role = role;

@@ -231,6 +231,9 @@ class Profiler
 
     std::atomic<std::uint64_t> epoch_{0}; //!< 0 = inactive
     std::uint64_t nextEpoch_ = 0;
+    /** Run token that owns the session (0: not owned by any run —
+     *  every thread may register, the single-tenant behavior). */
+    std::uint64_t ownerToken_ = 0;
     std::uint64_t t0Ticks_ = 0;
     std::chrono::steady_clock::time_point t0_{};
 

@@ -300,6 +300,11 @@ writeRunReport(std::ostream &os, const SimConfig &config,
     JsonWriter w(os);
     w.beginObject();
     w.field("schema", runReportSchema);
+    // Additive v3 field: "ok" for a run that reached its stop
+    // condition, "cancelled" for a cooperative cancel (timeout,
+    // client cancel, daemon drain) — every aggregate then covers only
+    // the work done up to the cancel point.
+    w.field("status", result.cancelled ? "cancelled" : "ok");
     w.beginObject("generator");
     w.field("name", "slacksim");
     w.field("host_threads",

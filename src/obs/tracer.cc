@@ -7,6 +7,8 @@
 
 #include <algorithm>
 
+#include "util/run_token.hh"
+
 namespace slacksim::obs {
 
 namespace {
@@ -52,6 +54,7 @@ Tracer::activate(std::uint32_t ring_kb)
         return false; // one trace session per process
     slots_.clear();
     ringKb_ = ring_kb < 1 ? 1 : ring_kb;
+    ownerToken_ = currentRunToken();
     t0_ = std::chrono::steady_clock::now();
     epoch_.store(++nextEpoch_, std::memory_order_release);
     return true;
@@ -81,6 +84,12 @@ Tracer::registerThread(const std::string &role)
     if (e == 0)
         return;
     std::lock_guard<std::mutex> lock(registryMutex_);
+    // Multi-tenant gate: a concurrent run that lost the activate()
+    // race must not leak its threads into the owning run's trace.
+    // Owner token 0 = the session was opened outside any run
+    // (single-tenant tools, tests) and accepts every thread.
+    if (ownerToken_ != 0 && currentRunToken() != ownerToken_)
+        return;
     auto slot = std::make_unique<Slot>();
     slot->role = role;
     slot->tid = static_cast<std::uint32_t>(slots_.size());

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Job-server client implementation.
+ */
+
+#include "serve/client.hh"
+
+#include <sstream>
+
+#include "util/json.hh"
+
+namespace slacksim {
+namespace serve {
+
+namespace {
+
+/** Replies may take as long as a slow simulation keeps the daemon's
+ *  handler busy; be generous but never infinite. */
+constexpr int kReplyTimeoutMs = 120000;
+
+} // namespace
+
+Client::Client(const std::string &socketPath)
+    : conn_(UdsConn::connect(socketPath))
+{
+}
+
+bool
+Client::request(const std::string &frame, json::Value *reply,
+                std::string *error)
+{
+    if (!conn_.valid()) {
+        *error = "not connected";
+        return false;
+    }
+    if (!conn_.sendLine(frame)) {
+        *error = "send failed";
+        return false;
+    }
+    std::string line;
+    const UdsConn::Recv r = conn_.recvLine(line, kReplyTimeoutMs);
+    if (r != UdsConn::Recv::Line) {
+        *error = r == UdsConn::Recv::Timeout ? "reply timed out"
+                                             : "connection closed";
+        return false;
+    }
+    json::Value doc;
+    try {
+        doc = json::parse(line);
+        if (!doc.at("ok").asBool()) {
+            *error = doc.has("error") ? doc.at("error").asString()
+                                      : "request failed";
+            return false;
+        }
+    } catch (const json::ParseError &e) {
+        *error = std::string("bad reply: ") + e.what();
+        return false;
+    }
+    if (reply)
+        *reply = std::move(doc);
+    return true;
+}
+
+std::uint64_t
+Client::submit(const std::string &specJson, std::string *error)
+{
+    // The spec rides inside the frame as a JSON value, not a string:
+    // splice the already-serialized object in directly.
+    json::Value spec;
+    try {
+        spec = json::parse(specJson);
+        (void)spec;
+    } catch (const json::ParseError &e) {
+        *error = std::string("spec is not valid JSON: ") + e.what();
+        return 0;
+    }
+    // The wire is newline-framed; flatten the (multi-line) spec file.
+    // Strict JSON forbids raw newlines inside strings (they must be
+    // escaped as \n), so every newline here is layout whitespace.
+    std::string flat = specJson;
+    for (char &c : flat) {
+        if (c == '\n' || c == '\r')
+            c = ' ';
+    }
+    const std::string frame =
+        "{\"op\": \"submit\", \"spec\": " + flat + "}";
+    json::Value reply;
+    if (!request(frame, &reply, error))
+        return 0;
+    try {
+        return reply.at("id").asUint();
+    } catch (const json::ParseError &e) {
+        *error = std::string("bad reply: ") + e.what();
+        return 0;
+    }
+}
+
+bool
+Client::cancel(std::uint64_t id, std::string *error)
+{
+    return request("{\"op\": \"cancel\", \"id\": " +
+                       std::to_string(id) + "}",
+                   nullptr, error);
+}
+
+bool
+Client::status(std::uint64_t id, json::Value *reply,
+               std::string *error)
+{
+    std::string frame = "{\"op\": \"status\"";
+    if (id != 0)
+        frame += ", \"id\": " + std::to_string(id);
+    frame += "}";
+    return request(frame, reply, error);
+}
+
+bool
+Client::stats(json::Value *reply, std::string *error)
+{
+    return request("{\"op\": \"stats\"}", reply, error);
+}
+
+bool
+Client::shutdown(bool drain, std::string *error)
+{
+    return request(std::string("{\"op\": \"shutdown\", \"drain\": ") +
+                       (drain ? "true" : "false") + "}",
+                   nullptr, error);
+}
+
+bool
+Client::watch(std::uint64_t id,
+              const std::function<void(const json::Value &)> &onEvent,
+              std::string *error)
+{
+    if (!conn_.valid()) {
+        *error = "not connected";
+        return false;
+    }
+    if (!conn_.sendLine("{\"op\": \"watch\", \"id\": " +
+                        std::to_string(id) + "}")) {
+        *error = "send failed";
+        return false;
+    }
+    for (;;) {
+        std::string line;
+        const UdsConn::Recv r = conn_.recvLine(line, kReplyTimeoutMs);
+        if (r != UdsConn::Recv::Line) {
+            *error = r == UdsConn::Recv::Timeout
+                         ? "watch timed out"
+                         : "connection closed mid-watch";
+            return false;
+        }
+        json::Value event;
+        try {
+            event = json::parse(line);
+            if (!event.at("ok").asBool()) {
+                *error = event.has("error")
+                             ? event.at("error").asString()
+                             : "watch failed";
+                return false;
+            }
+            onEvent(event);
+            if (event.at("event").asString() == "end")
+                return true;
+        } catch (const json::ParseError &e) {
+            *error = std::string("bad event: ") + e.what();
+            return false;
+        }
+    }
+}
+
+} // namespace serve
+} // namespace slacksim

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Thin client for the slacksim job server.
+ *
+ * Wraps one socket connection and the newline-JSON protocol
+ * (serve/server.hh) so the slacksim-submit CLI and the end-to-end
+ * tests speak the wire format through one code path. Every call is
+ * synchronous; watch() streams events to a callback until the job's
+ * end event (or a transport error).
+ */
+
+#ifndef SLACKSIM_SERVE_CLIENT_HH
+#define SLACKSIM_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/json_parse.hh"
+#include "util/uds.hh"
+
+namespace slacksim {
+namespace serve {
+
+class Client
+{
+  public:
+    /** Connect to the daemon at @p socketPath; check valid(). */
+    explicit Client(const std::string &socketPath);
+
+    bool valid() const { return conn_.valid(); }
+
+    /**
+     * Send one request frame and decode one reply. @return false on
+     * transport failure or an {"ok": false} reply; @p *error then
+     * holds the reason. @p reply (nullable) receives the full decoded
+     * reply object on success.
+     */
+    bool request(const std::string &frame, json::Value *reply,
+                 std::string *error);
+
+    /** Submit a raw slacksim.job.v1 spec object (JSON text).
+     *  @return the job id, or 0 with @p *error set. */
+    std::uint64_t submit(const std::string &specJson,
+                         std::string *error);
+
+    bool cancel(std::uint64_t id, std::string *error);
+
+    /** One status reply ({"jobs": [...]}); id 0 = all jobs. */
+    bool status(std::uint64_t id, json::Value *reply,
+                std::string *error);
+
+    bool stats(json::Value *reply, std::string *error);
+
+    bool shutdown(bool drain, std::string *error);
+
+    /**
+     * Stream a job's watch events ("state", "report", "metrics",
+     * "end") to @p onEvent until the end event. The watch op consumes
+     * the connection; this Client is not reusable afterwards.
+     * @return true when the end event arrived.
+     */
+    bool watch(std::uint64_t id,
+               const std::function<void(const json::Value &)> &onEvent,
+               std::string *error);
+
+  private:
+    UdsConn conn_;
+};
+
+} // namespace serve
+} // namespace slacksim
+
+#endif // SLACKSIM_SERVE_CLIENT_HH

@@ -1,0 +1,322 @@
+/**
+ * @file
+ * JobQueue implementation.
+ */
+
+#include "serve/job_queue.hh"
+
+#include "util/logging.hh"
+
+namespace slacksim {
+namespace serve {
+
+namespace {
+
+double
+msBetween(std::chrono::steady_clock::time_point a,
+          std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+} // namespace
+
+const char *
+jobStateName(JobState state)
+{
+    switch (state) {
+      case JobState::Queued: return "queued";
+      case JobState::Running: return "running";
+      case JobState::Done: return "done";
+      case JobState::Failed: return "failed";
+      case JobState::Cancelled: return "cancelled";
+      case JobState::TimedOut: return "timeout";
+    }
+    return "?";
+}
+
+bool
+isTerminal(JobState state)
+{
+    return state != JobState::Queued && state != JobState::Running;
+}
+
+std::uint64_t
+JobQueue::submit(JobSpec spec)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t id = nextId_++;
+    auto job = std::make_unique<Job>();
+    job->id = id;
+    job->spec = std::move(spec);
+    if (job->spec.name.empty())
+        job->spec.name = "job-" + std::to_string(id);
+    job->submittedAt = std::chrono::steady_clock::now();
+    jobs_.emplace(id, std::move(job));
+    cv_.notify_all();
+    return id;
+}
+
+Job *
+JobQueue::admitNext(std::uint32_t freeThreads,
+                    std::uint64_t freeMemMb)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Job *best = nullptr;
+    // jobs_ iterates in id (submission) order, so within a priority
+    // the first fitting candidate seen is the FIFO head; across
+    // priorities a higher level always wins. Non-fitting jobs are
+    // skipped — the backfill policy in the header comment.
+    for (auto &[id, job] : jobs_) {
+        (void)id;
+        if (job->state != JobState::Queued)
+            continue;
+        if (job->spec.hostThreads() > freeThreads ||
+            job->spec.memEstimateMb() > freeMemMb) {
+            continue;
+        }
+        if (!best || job->spec.priority > best->spec.priority)
+            best = job.get();
+    }
+    if (best) {
+        best->state = JobState::Running;
+        best->startedAt = std::chrono::steady_clock::now();
+        cv_.notify_all();
+    }
+    return best;
+}
+
+void
+JobQueue::markFinished(std::uint64_t id, JobState state,
+                       const std::string &error)
+{
+    SLACKSIM_ASSERT(isTerminal(state),
+                    "markFinished with live state");
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    SLACKSIM_ASSERT(it != jobs_.end(), "markFinished: unknown job");
+    Job &job = *it->second;
+    if (isTerminal(job.state))
+        return; // queued-cancel raced with the scheduler; keep first
+    if (state == JobState::Cancelled && job.timedOut)
+        job.state = JobState::TimedOut;
+    else
+        job.state = state;
+    job.error = error;
+    job.endedAt = std::chrono::steady_clock::now();
+    cv_.notify_all();
+}
+
+void
+JobQueue::recordResult(std::uint64_t id, std::uint64_t committedUops,
+                       std::uint64_t simulatedCycles)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return;
+    it->second->committedUops = committedUops;
+    it->second->simulatedCycles = simulatedCycles;
+}
+
+void
+JobQueue::setOutDir(std::uint64_t id, const std::string &dir)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    if (it != jobs_.end())
+        it->second->outDir = dir;
+}
+
+bool
+JobQueue::requestCancel(std::uint64_t id, std::string *error)
+{
+    Job *running = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = jobs_.find(id);
+        if (it == jobs_.end()) {
+            *error = "no such job: " + std::to_string(id);
+            return false;
+        }
+        Job &job = *it->second;
+        if (isTerminal(job.state)) {
+            *error = "job " + std::to_string(id) + " already " +
+                     jobStateName(job.state);
+            return false;
+        }
+        if (job.state == JobState::Queued) {
+            job.state = JobState::Cancelled;
+            job.endedAt = std::chrono::steady_clock::now();
+            cv_.notify_all();
+            return true;
+        }
+        running = &job;
+    }
+    // Fire outside the queue lock: the token runs its wakers inline
+    // and those touch engine-side synchronization.
+    running->cancel->requestCancel();
+    return true;
+}
+
+std::uint32_t
+JobQueue::checkDeadlines()
+{
+    std::vector<CancelToken *> fire;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto now = std::chrono::steady_clock::now();
+        for (auto &[id, job] : jobs_) {
+            (void)id;
+            if (job->state != JobState::Running ||
+                job->spec.timeoutMs == 0 || job->timedOut) {
+                continue;
+            }
+            if (msBetween(job->startedAt, now) >=
+                static_cast<double>(job->spec.timeoutMs)) {
+                job->timedOut = true;
+                fire.push_back(job->cancel.get());
+            }
+        }
+    }
+    for (CancelToken *token : fire)
+        token->requestCancel();
+    return static_cast<std::uint32_t>(fire.size());
+}
+
+void
+JobQueue::cancelQueued()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto now = std::chrono::steady_clock::now();
+    for (auto &[id, job] : jobs_) {
+        (void)id;
+        if (job->state == JobState::Queued) {
+            job->state = JobState::Cancelled;
+            job->endedAt = now;
+        }
+    }
+    cv_.notify_all();
+}
+
+void
+JobQueue::cancelRunning()
+{
+    std::vector<CancelToken *> fire;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (auto &[id, job] : jobs_) {
+            (void)id;
+            if (job->state == JobState::Running)
+                fire.push_back(job->cancel.get());
+        }
+    }
+    for (CancelToken *token : fire)
+        token->requestCancel();
+}
+
+Job *
+JobQueue::get(std::uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    return it == jobs_.end() ? nullptr : it->second.get();
+}
+
+JobView
+JobQueue::viewLocked(const Job &job) const
+{
+    const auto now = std::chrono::steady_clock::now();
+    JobView v;
+    v.id = job.id;
+    v.name = job.spec.name;
+    v.kernel = job.spec.kernel;
+    v.state = job.state;
+    v.priority = job.spec.priority;
+    v.hostThreads = job.spec.hostThreads();
+    v.error = job.error;
+    v.outDir = job.outDir;
+    v.timedOut = job.timedOut;
+    v.committedUops = job.committedUops;
+    v.simulatedCycles = job.simulatedCycles;
+    switch (job.state) {
+      case JobState::Queued:
+        v.queueMs = msBetween(job.submittedAt, now);
+        break;
+      case JobState::Running:
+        v.queueMs = msBetween(job.submittedAt, job.startedAt);
+        v.runMs = msBetween(job.startedAt, now);
+        break;
+      default:
+        // Queued-cancelled jobs never started; report zero run time.
+        if (job.startedAt.time_since_epoch().count() != 0) {
+            v.queueMs = msBetween(job.submittedAt, job.startedAt);
+            v.runMs = msBetween(job.startedAt, job.endedAt);
+        } else {
+            v.queueMs = msBetween(job.submittedAt, job.endedAt);
+        }
+        break;
+    }
+    return v;
+}
+
+std::vector<JobView>
+JobQueue::snapshot(std::uint64_t id) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<JobView> out;
+    if (id != 0) {
+        auto it = jobs_.find(id);
+        if (it != jobs_.end())
+            out.push_back(viewLocked(*it->second));
+        return out;
+    }
+    out.reserve(jobs_.size());
+    for (const auto &[jid, job] : jobs_) {
+        (void)jid;
+        out.push_back(viewLocked(*job));
+    }
+    return out;
+}
+
+QueueStats
+JobQueue::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    QueueStats s;
+    s.submitted = jobs_.size();
+    for (const auto &[id, job] : jobs_) {
+        (void)id;
+        switch (job->state) {
+          case JobState::Queued: ++s.queued; break;
+          case JobState::Running: ++s.running; break;
+          case JobState::Done: ++s.done; break;
+          case JobState::Failed: ++s.failed; break;
+          case JobState::Cancelled: ++s.cancelled; break;
+          case JobState::TimedOut: ++s.timedOut; break;
+        }
+    }
+    return s;
+}
+
+bool
+JobQueue::idle() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &[id, job] : jobs_) {
+        (void)id;
+        if (!isTerminal(job->state))
+            return false;
+    }
+    return true;
+}
+
+void
+JobQueue::waitChanged(int timeoutMs)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, std::chrono::milliseconds(timeoutMs));
+}
+
+} // namespace serve
+} // namespace slacksim

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Multi-tenant job queue with priority scheduling and resource-budget
+ * admission control.
+ *
+ * The queue is the server's single source of truth for job state. It
+ * is deliberately passive — no threads of its own — so the scheduler
+ * loop (serve/server.cc) and the unit tests drive exactly the same
+ * code: submit() enqueues, admitNext() picks what runs next under the
+ * current budgets, markFinished() retires.
+ *
+ * Scheduling policy:
+ *  - strict priority (7 highest .. 0 lowest),
+ *  - FIFO within a priority level (submission order),
+ *  - first-fit backfill: a job that does not fit the remaining
+ *    host-thread or memory budget is skipped, and later (lower-rank)
+ *    jobs that do fit may start ahead of it. The skipped job keeps
+ *    its rank and runs as soon as the budget frees up — big jobs are
+ *    delayed, never starved, because backfilled jobs can only consume
+ *    budget the big job could not use anyway.
+ *
+ * Cancellation: a queued job cancels instantly (terminal state, never
+ * ran); a running job gets its CancelToken fired and reaches the
+ * Cancelled state when the engine returns its partial result. The
+ * scheduler uses the same token for per-job timeouts; checkDeadlines()
+ * distinguishes the two via the timedOut flag.
+ *
+ * Jobs are never erased, so Job pointers handed out by get() stay
+ * valid for the queue's lifetime; mutable fields are protected by the
+ * queue mutex except the CancelToken (internally synchronized).
+ */
+
+#ifndef SLACKSIM_SERVE_JOB_QUEUE_HH
+#define SLACKSIM_SERVE_JOB_QUEUE_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/job_spec.hh"
+#include "util/cancel.hh"
+
+namespace slacksim {
+namespace serve {
+
+/** Job lifecycle. Queued/Running are live; the rest are terminal. */
+enum class JobState : std::uint8_t {
+    Queued,
+    Running,
+    Done,      //!< ran to completion
+    Failed,    //!< could not run (setup error after admission)
+    Cancelled, //!< client cancel or shutdown drain
+    TimedOut,  //!< per-job deadline fired
+};
+
+/** @return printable state name ("queued", "running", ...). */
+const char *jobStateName(JobState state);
+
+/** @return true for states no transition can leave. */
+bool isTerminal(JobState state);
+
+/** One job owned by the queue. */
+struct Job
+{
+    std::uint64_t id = 0;
+    JobSpec spec;
+    JobState state = JobState::Queued;
+    std::string error;  //!< reason for Failed
+    std::string outDir; //!< per-job output directory (set at admit)
+    bool timedOut = false; //!< deadline (not client) fired the token
+    /** Fired on client cancel, timeout, or shutdown. */
+    std::unique_ptr<CancelToken> cancel =
+        std::make_unique<CancelToken>();
+    std::chrono::steady_clock::time_point submittedAt;
+    std::chrono::steady_clock::time_point startedAt;
+    std::chrono::steady_clock::time_point endedAt;
+    /** Result summary for status/stats (valid once terminal). */
+    std::uint64_t committedUops = 0;
+    std::uint64_t simulatedCycles = 0;
+};
+
+/** Copyable job snapshot for status reporting. */
+struct JobView
+{
+    std::uint64_t id = 0;
+    std::string name;
+    std::string kernel;
+    JobState state = JobState::Queued;
+    std::uint32_t priority = 0;
+    std::uint32_t hostThreads = 0;
+    std::string error;
+    std::string outDir;
+    bool timedOut = false;
+    std::uint64_t committedUops = 0;
+    std::uint64_t simulatedCycles = 0;
+    double queueMs = 0.0; //!< submit -> start (or now while queued)
+    double runMs = 0.0;   //!< start -> end (or now while running)
+};
+
+/** Aggregate counters for the stats op and the server report. */
+struct QueueStats
+{
+    std::uint64_t submitted = 0;
+    std::uint64_t queued = 0;
+    std::uint64_t running = 0;
+    std::uint64_t done = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t timedOut = 0;
+};
+
+class JobQueue
+{
+  public:
+    JobQueue() = default;
+    JobQueue(const JobQueue &) = delete;
+    JobQueue &operator=(const JobQueue &) = delete;
+
+    /** Enqueue a validated spec; @return the new job id (>= 1). */
+    std::uint64_t submit(JobSpec spec);
+
+    /**
+     * Pick the next job to run under the remaining budgets (see file
+     * comment for the policy) and transition it Queued -> Running.
+     * @return the admitted job, or nullptr when nothing fits.
+     */
+    Job *admitNext(std::uint32_t freeThreads, std::uint64_t freeMemMb);
+
+    /**
+     * Retire a Running job. @p state must be terminal; Cancelled is
+     * upgraded to TimedOut when the deadline (not a client) fired the
+     * token.
+     */
+    void markFinished(std::uint64_t id, JobState state,
+                      const std::string &error = "");
+
+    /** Record result aggregates on a finished job. */
+    void recordResult(std::uint64_t id, std::uint64_t committedUops,
+                      std::uint64_t simulatedCycles);
+
+    /** Record the per-job output directory (set at admission). */
+    void setOutDir(std::uint64_t id, const std::string &dir);
+
+    /**
+     * Cancel a job. Queued: terminal immediately. Running: fires the
+     * token; the job stays Running until the engine hands back its
+     * partial result. @return false (with @p *error set) when the id
+     * is unknown or already terminal.
+     */
+    bool requestCancel(std::uint64_t id, std::string *error);
+
+    /** Fire the deadline of every Running job whose timeout_ms has
+     *  elapsed; marks them timedOut. @return jobs newly fired. */
+    std::uint32_t checkDeadlines();
+
+    /** Cancel every Queued job (shutdown without drain). */
+    void cancelQueued();
+
+    /** Fire every Running job's token (shutdown deadline). */
+    void cancelRunning();
+
+    /** @return the job, or nullptr. The pointer stays valid forever;
+     *  lock-free access is limited to the CancelToken. */
+    Job *get(std::uint64_t id);
+
+    /** @return a snapshot of one job, or of all jobs (id 0), newest
+     *  first. */
+    std::vector<JobView> snapshot(std::uint64_t id = 0) const;
+
+    QueueStats stats() const;
+
+    /** @return true when no job is Queued or Running. */
+    bool idle() const;
+
+    /**
+     * Block until the queue changes (submit/cancel/finish) or
+     * @p timeoutMs elapses. The scheduler's wait primitive.
+     */
+    void waitChanged(int timeoutMs);
+
+  private:
+    JobView viewLocked(const Job &job) const;
+
+    mutable std::mutex mu_;
+    mutable std::condition_variable cv_;
+    std::uint64_t nextId_ = 1;
+    /** Jobs by id; never erased (pointer stability, audit trail). */
+    std::map<std::uint64_t, std::unique_ptr<Job>> jobs_;
+};
+
+} // namespace serve
+} // namespace slacksim
+
+#endif // SLACKSIM_SERVE_JOB_QUEUE_HH

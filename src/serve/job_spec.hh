@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The versioned job specification (`slacksim.job.v1`) and its
+ * validator.
+ *
+ * A job spec is the JSON object a client submits over the socket:
+ * which workload to run, on what simulated machine, under which slack
+ * scheme, with what seed and fault/recovery policy, plus the serve-
+ * level knobs (priority, timeout, memory estimate). One flat object,
+ * all keys optional except "kernel":
+ *
+ *   {
+ *     "version":       "slacksim.job.v1"   (optional, checked if set)
+ *     "name":          string   job label (default "job-<id>")
+ *     "kernel":        string   workload kernel (workloadNames())
+ *     "cores":         uint     target cores, 1..64 (default 8)
+ *     "scheme":        string   cc|quantum|bounded|unbounded|
+ *                               adaptive|laxp2p (default "bounded")
+ *     "slack":         uint     slack bound, >=1 (default 10)
+ *     "quantum":       uint     quantum period, >=1 (default 8)
+ *     "seed":          uint     workload + p2p seed (default 42)
+ *     "max_uops":      uint     committed-uop budget (0 = to end)
+ *     "warmup_uops":   uint     warmup discard budget (default 0)
+ *     "checkpoint":    string   off|measure|speculative (default off)
+ *     "checkpoint_interval": uint  cycles, >=100 (default 50000)
+ *     "parallel_host": bool     threaded engine (default true)
+ *     "clusters":      uint     relay threads (default 0)
+ *     "priority":      uint     0..7, higher runs first (default 3)
+ *     "timeout_ms":    uint     per-job host deadline (0 = none)
+ *     "fault_spec":    string   fault/fault_plan.hh grammar
+ *     "fault_seed":    uint     fault randomness seed (default 1)
+ *     "mem_mb":        uint     admission memory estimate override
+ *   }
+ *
+ * Validation philosophy: the engine's own SimConfig::validate() and
+ * makeWorkload() are fatal() on user error — correct for a CLI, an
+ * instant daemon-killer for a server. parse() therefore pre-checks
+ * everything those layers would die on and returns a protocol-level
+ * error string instead, with did-you-mean diagnostics for unknown
+ * keys, kernels and schemes (same editDistance helper the CLI flag
+ * parser uses).
+ */
+
+#ifndef SLACKSIM_SERVE_JOB_SPEC_HH
+#define SLACKSIM_SERVE_JOB_SPEC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/config.hh"
+#include "util/json_parse.hh"
+
+namespace slacksim {
+namespace serve {
+
+/** The spec version this daemon accepts. */
+inline constexpr const char *jobSpecVersion = "slacksim.job.v1";
+
+/** One validated job submission. */
+struct JobSpec
+{
+    std::string name;
+    std::string kernel = "fft";
+    std::uint32_t cores = 8;
+    std::string scheme = "bounded";
+    std::uint64_t slack = 10;
+    std::uint64_t quantum = 8;
+    std::uint64_t seed = 42;
+    std::uint64_t maxUops = 0;
+    std::uint64_t warmupUops = 0;
+    std::string checkpoint = "off";
+    std::uint64_t checkpointInterval = 50000;
+    bool parallelHost = true;
+    std::uint32_t clusters = 0;
+    std::uint32_t priority = 3;
+    std::uint64_t timeoutMs = 0;
+    std::string faultSpec;
+    std::uint64_t faultSeed = 1;
+    std::uint64_t memMb = 0; //!< 0 = use the built-in estimate
+
+    /**
+     * Validate and decode @p doc into @p out. @return true on
+     * success; on failure @p error receives one human-readable line
+     * (unknown keys/kernels/schemes come with did-you-mean hints).
+     */
+    static bool parse(const json::Value &doc, JobSpec *out,
+                      std::string *error);
+
+    /** Build the SimConfig this spec describes. The spec is already
+     *  validated, so the config passes SimConfig::validate(). */
+    SimConfig toConfig() const;
+
+    /**
+     * Host threads the job occupies while running: the manager plus,
+     * on the parallel engine, one per simulated core and relay. This
+     * is the quantity admission control reserves against the global
+     * core budget.
+     */
+    std::uint32_t
+    hostThreads() const
+    {
+        return parallelHost ? 1 + cores + clusters : 1;
+    }
+
+    /** Admission memory estimate (MiB): the override when given,
+     *  else a coarse per-core model of the simulated state. */
+    std::uint64_t
+    memEstimateMb() const
+    {
+        return memMb ? memMb : 8 + std::uint64_t{2} * cores;
+    }
+
+    /** Re-encode as a compact slacksim.job.v1 JSON object. */
+    std::string toJson() const;
+};
+
+} // namespace serve
+} // namespace slacksim
+
+#endif // SLACKSIM_SERVE_JOB_SPEC_HH

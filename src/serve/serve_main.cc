@@ -1,0 +1,92 @@
+/**
+ * @file
+ * slacksim-serve: the simulation-as-a-service daemon.
+ *
+ * Opens a Unix domain socket, accepts slacksim.job.v1 submissions,
+ * and runs them on a persistent worker pool under a global host-
+ * thread and memory budget (see serve/server.hh for the protocol).
+ * SIGINT/SIGTERM stop accepting and drain the queue against
+ * --drain-deadline-ms, then flush artifacts and exit; a second signal
+ * escalates to cancel-everything. On shutdown the server report
+ * (pool-reuse proof, job outcome counters) is written to
+ * <out-root>/server_report.json.
+ */
+
+#include <atomic>
+#include <csignal>
+#include <string>
+#include <vector>
+
+#include "serve/server.hh"
+#include "util/io.hh"
+#include "util/logging.hh"
+#include "util/options.hh"
+
+namespace {
+
+std::atomic<int> g_signal{0};
+
+void
+onSignal(int sig)
+{
+    // Second signal: skip the drain, cancel everything.
+    g_signal.fetch_add(1, std::memory_order_relaxed);
+    (void)sig;
+}
+
+const std::vector<slacksim::OptionSpec> kFlags = {
+    {"socket", "PATH", "socket path (default slacksim.sock)"},
+    {"out-root", "DIR",
+     "per-job output directories live here (default serve-out)"},
+    {"threads", "N",
+     "global host-thread budget / pool size (default: hardware)"},
+    {"mem-budget-mb", "N",
+     "global admission memory budget in MiB (default 16384)"},
+    {"drain-deadline-ms", "N",
+     "graceful-shutdown drain deadline (default 60000)"},
+    {"quiet", "", "suppress inform/warn output"},
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace slacksim;
+
+    Options opts(argc, argv);
+    opts.enforceKnown(
+        "slacksim-serve: multi-tenant simulation job server", kFlags);
+    if (opts.getBool("quiet", false))
+        setQuietLogging(true);
+
+    serve::Server::Options server_opts;
+    server_opts.socketPath = opts.get("socket", "slacksim.sock");
+    server_opts.outRoot = opts.get("out-root", "serve-out");
+    server_opts.threadBudget =
+        static_cast<std::uint32_t>(opts.getUint("threads", 0));
+    server_opts.memBudgetMb = opts.getUint("mem-budget-mb", 16384);
+    server_opts.drainDeadlineMs =
+        opts.getUint("drain-deadline-ms", 60000);
+
+    serve::Server server(server_opts);
+    if (!server.start())
+        SLACKSIM_FATAL("could not open ", server_opts.socketPath);
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    // A dying client mid-send must not kill the daemon; sends already
+    // use MSG_NOSIGNAL, this covers any stray writes.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    server.run(&g_signal);
+
+    const std::string report_path =
+        server_opts.outRoot + "/server_report.json";
+    CheckedOfstream os(report_path, "server report");
+    if (os.ok())
+        server.writeServerReport(os.stream());
+    if (os.finish())
+        SLACKSIM_INFORM("server report -> ", report_path);
+    return 0;
+}

@@ -1,0 +1,537 @@
+/**
+ * @file
+ * Job server implementation.
+ */
+
+#include "serve/server.hh"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include "core/run.hh"
+#include "util/io.hh"
+#include "util/json.hh"
+#include "util/json_parse.hh"
+#include "util/logging.hh"
+#include "util/options.hh"
+
+namespace slacksim {
+namespace serve {
+
+namespace {
+
+/** mkdir -p for the two-level out-root/job-N layout. */
+bool
+ensureDir(const std::string &path)
+{
+    if (::mkdir(path.c_str(), 0775) == 0 || errno == EEXIST)
+        return true;
+    SLACKSIM_WARN("serve: mkdir(", path,
+                  ") failed: ", std::strerror(errno));
+    return false;
+}
+
+/** Slurp a small artifact file; "" when missing. */
+std::string
+readFileOrEmpty(const std::string &path)
+{
+    std::ifstream in(path, std::ios::in | std::ios::binary);
+    if (!in.is_open())
+        return "";
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+void
+writeJobView(JsonWriter &w, const JobView &view)
+{
+    w.beginObject();
+    w.field("id", view.id);
+    w.field("name", view.name);
+    w.field("kernel", view.kernel);
+    w.field("state", jobStateName(view.state));
+    w.field("priority", static_cast<std::uint64_t>(view.priority));
+    w.field("host_threads",
+            static_cast<std::uint64_t>(view.hostThreads));
+    if (!view.error.empty())
+        w.field("error", view.error);
+    if (!view.outDir.empty())
+        w.field("out_dir", view.outDir);
+    w.field("queue_ms", view.queueMs);
+    w.field("run_ms", view.runMs);
+    w.field("committed_uops", view.committedUops);
+    w.field("simulated_cycles", view.simulatedCycles);
+    w.endObject();
+}
+
+} // namespace
+
+Server::Server(Options opts)
+    : opts_(std::move(opts))
+{
+    std::uint32_t budget = opts_.threadBudget;
+    if (budget == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        budget = hw < 8 ? 8 : hw;
+    }
+    pool_ = std::make_unique<WorkerPool>(budget);
+}
+
+Server::~Server()
+{
+    if (!started_)
+        return;
+    // run() normally does the orderly teardown; this is the fallback
+    // for callers (tests) that tore down without a shutdown op.
+    requestShutdown(false);
+    if (scheduler_.joinable()) {
+        schedulerStop_.store(true, std::memory_order_release);
+        scheduler_.join();
+    }
+    handlersStop_.store(true, std::memory_order_release);
+    for (auto &t : handlers_) {
+        if (t.joinable())
+            t.join();
+    }
+    listener_.close();
+}
+
+bool
+Server::start()
+{
+    if (!ensureDir(opts_.outRoot))
+        return false;
+    if (!listener_.open(opts_.socketPath))
+        return false;
+    started_ = true;
+    scheduler_ = std::thread([this] { schedulerMain(); });
+    SLACKSIM_INFORM("serve: listening on ", opts_.socketPath, " (",
+                    pool_->size(), " pool threads, ",
+                    opts_.memBudgetMb, " MiB)");
+    return true;
+}
+
+void
+Server::run(const std::atomic<int> *stopSignal)
+{
+    SLACKSIM_ASSERT(started_, "Server::run before start");
+    while (!shutdownRequested_.load(std::memory_order_acquire)) {
+        if (stopSignal &&
+            stopSignal->load(std::memory_order_relaxed) != 0) {
+            SLACKSIM_INFORM("serve: signal received, draining");
+            requestShutdown(true);
+            break;
+        }
+        UdsConn conn = listener_.accept(200);
+        if (!conn.valid())
+            continue;
+        std::lock_guard<std::mutex> lock(handlersMu_);
+        handlers_.emplace_back(
+            [this, c = std::move(conn)]() mutable {
+                handleConn(std::move(c));
+            });
+    }
+
+    // Shutdown: the listener stays open (clients may still watch jobs
+    // finish) but nothing new is admitted unless draining.
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(opts_.drainDeadlineMs);
+    if (!drain_.load(std::memory_order_acquire)) {
+        queue_.cancelQueued();
+        queue_.cancelRunning();
+    }
+    while (!queue_.idle()) {
+        const bool escalated =
+            stopSignal &&
+            stopSignal->load(std::memory_order_relaxed) >= 2;
+        if (escalated || std::chrono::steady_clock::now() >= deadline) {
+            SLACKSIM_WARN("serve: ",
+                          escalated ? "second signal"
+                                    : "drain deadline expired",
+                          ", cancelling remaining jobs");
+            queue_.cancelQueued();
+            queue_.cancelRunning();
+            // Cancelled engines return promptly; wait them out.
+            while (!queue_.idle())
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(20));
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+
+    schedulerStop_.store(true, std::memory_order_release);
+    scheduler_.join();
+    handlersStop_.store(true, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lock(handlersMu_);
+        for (auto &t : handlers_)
+            t.join();
+        handlers_.clear();
+    }
+    listener_.close();
+
+    const QueueStats s = queue_.stats();
+    SLACKSIM_INFORM("serve: shut down (", s.done, " done, ", s.failed,
+                    " failed, ", s.cancelled, " cancelled, ",
+                    s.timedOut, " timed out; ", pool_->tasksRun(),
+                    " tasks on ", pool_->threadsSpawned(),
+                    " host threads)");
+}
+
+void
+Server::requestShutdown(bool drain)
+{
+    drain_.store(drain, std::memory_order_release);
+    shutdownRequested_.store(true, std::memory_order_release);
+}
+
+void
+Server::schedulerMain()
+{
+    while (!schedulerStop_.load(std::memory_order_acquire)) {
+        queue_.checkDeadlines();
+        reapFinished(false);
+        // Admission stops at shutdown unless draining: a drain runs
+        // the queue dry, a cancel-shutdown has nothing left to admit.
+        const bool admitting =
+            !shutdownRequested_.load(std::memory_order_acquire) ||
+            drain_.load(std::memory_order_acquire);
+        if (admitting) {
+            while (Job *job = queue_.admitNext(
+                       pool_->size() - reservedThreads_,
+                       opts_.memBudgetMb - reservedMemMb_)) {
+                startJob(job);
+            }
+        }
+        queue_.waitChanged(50);
+    }
+    // All jobs are terminal by the time run() stops the scheduler;
+    // join every outstanding handle and release the budgets.
+    reapFinished(true);
+}
+
+void
+Server::reapFinished(bool joinAll)
+{
+    for (auto it = running_.begin(); it != running_.end();) {
+        Job *job = queue_.get(it->id);
+        const bool terminal = job && isTerminal(job->state);
+        if (terminal || joinAll) {
+            it->handle->join();
+            reservedThreads_ -= it->threads;
+            reservedMemMb_ -= it->memMb;
+            it = running_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+Server::startJob(Job *job)
+{
+    const std::uint32_t threads = job->spec.hostThreads();
+    const std::uint64_t mem = job->spec.memEstimateMb();
+    reservedThreads_ += threads;
+    reservedMemMb_ += mem;
+
+    const std::string out_dir =
+        opts_.outRoot + "/job-" + std::to_string(job->id);
+    ensureDir(out_dir);
+    queue_.setOutDir(job->id, out_dir);
+
+    SimConfig config = job->spec.toConfig();
+    config.engine.obs.reportOut = out_dir + "/report.json";
+    config.engine.obs.metricsOut = out_dir + "/metrics.csv";
+    config.engine.cancel = job->cancel.get();
+    config.engine.runner = pool_.get();
+
+    const std::uint64_t id = job->id;
+    running_.push_back(RunningJob{
+        id, threads, mem,
+        pool_->launch([this, id, config] { jobBody(id, config); })});
+}
+
+void
+Server::jobBody(std::uint64_t id, const SimConfig &config)
+{
+    const RunResult result = runSimulation(config);
+    queue_.recordResult(id, result.committedUops, result.execCycles);
+    // markFinished upgrades Cancelled to TimedOut when the deadline
+    // (not a client) fired the token.
+    queue_.markFinished(id, result.cancelled ? JobState::Cancelled
+                                             : JobState::Done);
+}
+
+void
+Server::handleConn(UdsConn conn)
+{
+    std::string line;
+    while (!handlersStop_.load(std::memory_order_acquire)) {
+        const UdsConn::Recv r = conn.recvLine(line, 200);
+        if (r == UdsConn::Recv::Timeout)
+            continue;
+        if (r != UdsConn::Recv::Line)
+            return;
+        if (!handleRequest(conn, line))
+            return;
+    }
+}
+
+bool
+Server::sendError(UdsConn &conn, const std::string &error)
+{
+    std::ostringstream os;
+    JsonWriter w(os, 0);
+    w.beginObject();
+    w.field("ok", false);
+    w.field("error", error);
+    w.endObject();
+    return conn.sendLine(os.str());
+}
+
+bool
+Server::handleRequest(UdsConn &conn, const std::string &line)
+{
+    json::Value doc;
+    try {
+        doc = json::parse(line);
+    } catch (const json::ParseError &e) {
+        return sendError(conn, std::string("bad frame: ") + e.what());
+    }
+
+    std::string op;
+    try {
+        if (!doc.isObject() || !doc.has("op"))
+            return sendError(conn, "frame needs an \"op\" key");
+        op = doc.at("op").asString();
+
+        if (op == "submit") {
+            if (!doc.has("spec"))
+                return sendError(conn, "submit needs a \"spec\" key");
+            JobSpec spec;
+            std::string error;
+            if (!JobSpec::parse(doc.at("spec"), &spec, &error))
+                return sendError(conn, error);
+            if (spec.hostThreads() > pool_->size()) {
+                return sendError(
+                    conn, "job needs " +
+                              std::to_string(spec.hostThreads()) +
+                              " host threads but the budget is " +
+                              std::to_string(pool_->size()));
+            }
+            if (shutdownRequested_.load(std::memory_order_acquire))
+                return sendError(conn, "server is shutting down");
+            const std::uint64_t id = queue_.submit(std::move(spec));
+            std::ostringstream os;
+            JsonWriter w(os, 0);
+            w.beginObject();
+            w.field("ok", true);
+            w.field("id", id);
+            w.endObject();
+            return conn.sendLine(os.str());
+        }
+
+        if (op == "status") {
+            const std::uint64_t id =
+                doc.has("id") ? doc.at("id").asUint() : 0;
+            const std::vector<JobView> views = queue_.snapshot(id);
+            if (id != 0 && views.empty()) {
+                return sendError(conn, "no such job: " +
+                                           std::to_string(id));
+            }
+            std::ostringstream os;
+            JsonWriter w(os, 0);
+            w.beginObject();
+            w.field("ok", true);
+            w.beginArray("jobs");
+            for (const JobView &view : views)
+                writeJobView(w, view);
+            w.endArray();
+            w.endObject();
+            return conn.sendLine(os.str());
+        }
+
+        if (op == "cancel") {
+            if (!doc.has("id"))
+                return sendError(conn, "cancel needs an \"id\" key");
+            std::string error;
+            if (!queue_.requestCancel(doc.at("id").asUint(), &error))
+                return sendError(conn, error);
+            return conn.sendLine("{\"ok\": true}");
+        }
+
+        if (op == "watch") {
+            if (!doc.has("id"))
+                return sendError(conn, "watch needs an \"id\" key");
+            const std::uint64_t id = doc.at("id").asUint();
+            if (queue_.snapshot(id).empty()) {
+                return sendError(conn, "no such job: " +
+                                           std::to_string(id));
+            }
+            handleWatch(conn, id);
+            return false; // watch is terminal for the connection
+        }
+
+        if (op == "stats") {
+            const QueueStats s = queue_.stats();
+            std::ostringstream os;
+            JsonWriter w(os, 0);
+            w.beginObject();
+            w.field("ok", true);
+            w.field("accepting",
+                    !shutdownRequested_.load(
+                        std::memory_order_acquire));
+            w.beginObject("pool");
+            w.field("size", static_cast<std::uint64_t>(pool_->size()));
+            w.field("tasks_run", pool_->tasksRun());
+            w.field("threads_spawned", pool_->threadsSpawned());
+            w.field("overflow_spawns", pool_->overflowSpawns());
+            w.endObject();
+            w.beginObject("queue");
+            w.field("submitted", s.submitted);
+            w.field("queued", s.queued);
+            w.field("running", s.running);
+            w.field("done", s.done);
+            w.field("failed", s.failed);
+            w.field("cancelled", s.cancelled);
+            w.field("timeout", s.timedOut);
+            w.endObject();
+            w.field("mem_budget_mb", opts_.memBudgetMb);
+            w.endObject();
+            return conn.sendLine(os.str());
+        }
+
+        if (op == "shutdown") {
+            const bool drain =
+                doc.has("drain") ? doc.at("drain").asBool() : true;
+            if (!conn.sendLine("{\"ok\": true}"))
+                return false;
+            requestShutdown(drain);
+            return false;
+        }
+
+        if (op == "ping")
+            return conn.sendLine("{\"ok\": true}");
+
+        const std::string hint = didYouMean(
+            op, {"submit", "status", "cancel", "watch", "stats",
+                 "shutdown", "ping"});
+        std::string error = "unknown op '" + op + "'";
+        if (!hint.empty())
+            error += " (did you mean '" + hint + "'?)";
+        return sendError(conn, error);
+    } catch (const json::ParseError &e) {
+        // Wrong-typed fields surface here (asString on a number...).
+        return sendError(conn, std::string("bad frame: ") + e.what());
+    }
+}
+
+void
+Server::handleWatch(UdsConn &conn, std::uint64_t id)
+{
+    JobState last = JobState::Queued;
+    bool first = true;
+    for (;;) {
+        const std::vector<JobView> views = queue_.snapshot(id);
+        if (views.empty())
+            return;
+        const JobView &view = views.front();
+        if (first || view.state != last) {
+            first = false;
+            last = view.state;
+            std::ostringstream os;
+            JsonWriter w(os, 0);
+            w.beginObject();
+            w.field("ok", true);
+            w.field("event", "state");
+            w.field("state", jobStateName(view.state));
+            w.endObject();
+            if (!conn.sendLine(os.str()))
+                return;
+        }
+        if (isTerminal(view.state)) {
+            // Stream the per-job artifacts, then the end event.
+            const std::string report =
+                readFileOrEmpty(view.outDir + "/report.json");
+            if (!report.empty()) {
+                std::ostringstream os;
+                JsonWriter w(os, 0);
+                w.beginObject();
+                w.field("ok", true);
+                w.field("event", "report");
+                w.field("json", report);
+                w.endObject();
+                if (!conn.sendLine(os.str()))
+                    return;
+            }
+            const std::string metrics =
+                readFileOrEmpty(view.outDir + "/metrics.csv");
+            if (!metrics.empty()) {
+                std::ostringstream os;
+                JsonWriter w(os, 0);
+                w.beginObject();
+                w.field("ok", true);
+                w.field("event", "metrics");
+                w.field("csv", metrics);
+                w.endObject();
+                if (!conn.sendLine(os.str()))
+                    return;
+            }
+            std::ostringstream os;
+            JsonWriter w(os, 0);
+            w.beginObject();
+            w.field("ok", true);
+            w.field("event", "end");
+            w.field("state", jobStateName(view.state));
+            if (!view.error.empty())
+                w.field("error", view.error);
+            w.endObject();
+            conn.sendLine(os.str());
+            return;
+        }
+        if (handlersStop_.load(std::memory_order_acquire))
+            return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+}
+
+void
+Server::writeServerReport(std::ostream &os) const
+{
+    const QueueStats s = queue_.stats();
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "slacksim.server_report.v1");
+    w.beginObject("pool");
+    w.field("size", static_cast<std::uint64_t>(pool_->size()));
+    w.field("tasks_run", pool_->tasksRun());
+    w.field("threads_spawned", pool_->threadsSpawned());
+    w.field("overflow_spawns", pool_->overflowSpawns());
+    w.endObject();
+    w.beginObject("jobs");
+    w.field("submitted", s.submitted);
+    w.field("done", s.done);
+    w.field("failed", s.failed);
+    w.field("cancelled", s.cancelled);
+    w.field("timeout", s.timedOut);
+    w.endObject();
+    w.beginObject("budget");
+    w.field("host_threads",
+            static_cast<std::uint64_t>(pool_->size()));
+    w.field("mem_mb", opts_.memBudgetMb);
+    w.endObject();
+    w.endObject();
+    os << "\n";
+}
+
+} // namespace serve
+} // namespace slacksim

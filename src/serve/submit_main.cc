@@ -1,0 +1,181 @@
+/**
+ * @file
+ * slacksim-submit: client CLI for the slacksim job server.
+ *
+ * Modes (first matching flag wins):
+ *   --spec=FILE [--watch] submit a slacksim.job.v1 spec; with
+ *                         --watch (default on) stream the job's state
+ *                         changes and save its run report and metrics
+ *                         CSV under --out=DIR as they land
+ *   --status[=ID]         print the queue (or one job) as JSON
+ *   --cancel=ID           cancel a queued or running job
+ *   --stats               print server statistics as JSON
+ *   --shutdown            graceful shutdown (--no-drain cancels)
+ *
+ * Exit status: 0 on success (a watched job must end "done"), 1 on
+ * protocol/transport errors or a job that ended any other way.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/client.hh"
+#include "serve/job_queue.hh"
+#include "util/io.hh"
+#include "util/logging.hh"
+#include "util/options.hh"
+
+namespace {
+
+const std::vector<slacksim::OptionSpec> kFlags = {
+    {"socket", "PATH", "daemon socket (default slacksim.sock)"},
+    {"spec", "FILE", "submit this slacksim.job.v1 JSON spec"},
+    {"watch", "", "stream the submitted job to completion (default)"},
+    {"no-watch", "", "submit, print the id, exit"},
+    {"out", "DIR",
+     "where --watch saves report.json / metrics.csv (default '.')"},
+    {"status", "ID", "print queue state (or one job); ID optional"},
+    {"cancel", "ID", "cancel a job"},
+    {"stats", "", "print server statistics"},
+    {"shutdown", "", "ask the daemon to shut down"},
+    {"no-drain", "", "with --shutdown: cancel instead of draining"},
+};
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::in | std::ios::binary);
+    if (!in.is_open())
+        SLACKSIM_FATAL("cannot read spec file ", path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+bool
+saveArtifact(const std::string &dir, const char *name,
+             const std::string &content)
+{
+    slacksim::CheckedOfstream os(dir + "/" + name, name);
+    if (os.ok())
+        os.stream() << content;
+    return os.finish();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace slacksim;
+
+    Options opts(argc, argv);
+    opts.enforceKnown("slacksim-submit: job server client", kFlags);
+    const std::string socket = opts.get("socket", "slacksim.sock");
+
+    serve::Client client(socket);
+    if (!client.valid())
+        SLACKSIM_FATAL("cannot connect to ", socket,
+                       " — is slacksim-serve running?");
+    std::string error;
+
+    if (opts.has("spec")) {
+        const std::string spec = readFile(opts.get("spec"));
+        const std::uint64_t id = client.submit(spec, &error);
+        if (id == 0)
+            SLACKSIM_FATAL("submit rejected: ", error);
+        std::cout << "job " << id << " queued\n";
+        if (opts.has("no-watch"))
+            return 0;
+
+        const std::string out_dir = opts.get("out", ".");
+        std::string end_state;
+        const bool watched = client.watch(
+            id,
+            [&](const json::Value &event) {
+                const std::string &kind =
+                    event.at("event").asString();
+                if (kind == "state") {
+                    std::cout << "job " << id << " "
+                              << event.at("state").asString() << "\n";
+                } else if (kind == "report") {
+                    saveArtifact(out_dir, "report.json",
+                                 event.at("json").asString());
+                } else if (kind == "metrics") {
+                    saveArtifact(out_dir, "metrics.csv",
+                                 event.at("csv").asString());
+                } else if (kind == "end") {
+                    end_state = event.at("state").asString();
+                }
+            },
+            &error);
+        if (!watched)
+            SLACKSIM_FATAL("watch failed: ", error);
+        std::cout << "job " << id << " ended: " << end_state << "\n";
+        return end_state == "done" ? 0 : 1;
+    }
+
+    if (opts.has("status")) {
+        // Bare --status (empty value) means the whole queue (id 0).
+        const std::uint64_t id = opts.get("status", "").empty()
+                                     ? 0
+                                     : opts.getUint("status", 0);
+        json::Value reply;
+        if (!client.status(id, &reply, &error))
+            SLACKSIM_FATAL("status failed: ", error);
+        // Re-print the jobs array verbatim-ish: one line per job.
+        const json::Value &jobs = reply.at("jobs");
+        for (std::size_t i = 0; i < jobs.array.size(); ++i) {
+            const json::Value &job = jobs.item(i);
+            std::cout << "job " << job.at("id").asUint() << " "
+                      << job.at("state").asString() << " "
+                      << job.at("name").asString() << " ("
+                      << job.at("kernel").asString() << ", prio "
+                      << job.at("priority").asUint() << ")\n";
+        }
+        return 0;
+    }
+
+    if (opts.has("cancel")) {
+        const std::uint64_t id = opts.getUint("cancel", 0);
+        if (!client.cancel(id, &error))
+            SLACKSIM_FATAL("cancel failed: ", error);
+        std::cout << "job " << id << " cancel requested\n";
+        return 0;
+    }
+
+    if (opts.has("stats")) {
+        json::Value reply;
+        if (!client.stats(&reply, &error))
+            SLACKSIM_FATAL("stats failed: ", error);
+        const json::Value &pool = reply.at("pool");
+        const json::Value &queue = reply.at("queue");
+        std::cout << "pool: " << pool.at("size").asUint()
+                  << " threads, " << pool.at("tasks_run").asUint()
+                  << " tasks run, "
+                  << pool.at("threads_spawned").asUint()
+                  << " threads ever spawned\n"
+                  << "jobs: " << queue.at("queued").asUint()
+                  << " queued, " << queue.at("running").asUint()
+                  << " running, " << queue.at("done").asUint()
+                  << " done, " << queue.at("cancelled").asUint()
+                  << " cancelled, " << queue.at("failed").asUint()
+                  << " failed, " << queue.at("timeout").asUint()
+                  << " timed out\n";
+        return 0;
+    }
+
+    if (opts.has("shutdown")) {
+        const bool drain = !opts.has("no-drain");
+        if (!client.shutdown(drain, &error))
+            SLACKSIM_FATAL("shutdown failed: ", error);
+        std::cout << (drain ? "draining\n" : "cancelling\n");
+        return 0;
+    }
+
+    opts.printUsage("slacksim-submit: job server client", kFlags);
+    return 1;
+}

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * WorkerPool implementation.
+ */
+
+#include "serve/worker_pool.hh"
+
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace slacksim {
+namespace serve {
+
+/** Handle for a task executing on a persistent pool thread. */
+class WorkerPool::PooledHandle final : public TaskRunner::Handle
+{
+  public:
+    explicit PooledHandle(std::shared_ptr<TaskState> state)
+        : state_(std::move(state))
+    {
+    }
+
+    ~PooledHandle() override
+    {
+        SLACKSIM_ASSERT(joined_, "pool handle dropped unjoined");
+    }
+
+    void
+    join() override
+    {
+        std::unique_lock<std::mutex> lock(state_->mu);
+        state_->cv.wait(lock, [this] { return state_->done; });
+        joined_ = true;
+    }
+
+  private:
+    std::shared_ptr<TaskState> state_;
+    bool joined_ = false;
+};
+
+/** Handle for an overflow task on its own spawned thread. */
+class WorkerPool::OverflowHandle final : public TaskRunner::Handle
+{
+  public:
+    explicit OverflowHandle(std::function<void()> fn)
+        : thread_(std::move(fn))
+    {
+    }
+
+    ~OverflowHandle() override
+    {
+        SLACKSIM_ASSERT(!thread_.joinable(),
+                        "overflow handle dropped unjoined");
+    }
+
+    void join() override { thread_.join(); }
+
+  private:
+    std::thread thread_;
+};
+
+WorkerPool::WorkerPool(std::uint32_t threads)
+    : size_(threads < 1 ? 1 : threads)
+{
+    // Every worker is born claimable: a claim is a queue slot, not a
+    // scheduled thread, so launch() may claim before the OS has even
+    // started the worker.
+    free_ = size_;
+    workers_.reserve(size_);
+    for (std::uint32_t i = 0; i < size_; ++i)
+        workers_.emplace_back([this] { workerMain(); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        SLACKSIM_ASSERT(queue_.empty(),
+                        "worker pool destroyed with queued tasks");
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+std::uint32_t
+WorkerPool::freeThreads() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_;
+}
+
+std::unique_ptr<TaskRunner::Handle>
+WorkerPool::launch(std::function<void()> fn)
+{
+    tasksRun_.fetch_add(1, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (free_ > 0) {
+            // Claim one parked worker for this task. The claim (not
+            // the dequeue) decrements free_, so a burst of launches
+            // can never queue more tasks than there are workers to
+            // take them — queued engine workers behind a blocked one
+            // would deadlock the run.
+            --free_;
+            auto state = std::make_shared<TaskState>();
+            queue_.push_back(PooledTask{std::move(fn), state});
+            cv_.notify_one();
+            return std::make_unique<PooledHandle>(std::move(state));
+        }
+    }
+    // Safety net, not the governed path (see header).
+    overflowSpawns_.fetch_add(1, std::memory_order_relaxed);
+    SLACKSIM_WARN("worker pool overflow: no free pool thread, ",
+                  "spawning (admission accounting bug?)");
+    return std::make_unique<OverflowHandle>(std::move(fn));
+}
+
+void
+WorkerPool::workerMain()
+{
+    for (;;) {
+        PooledTask task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock,
+                     [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty()) // stop_ and drained: retire
+                return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task.fn();
+        // Re-register as claimable BEFORE signaling completion, so a
+        // caller that joins the handle and immediately launches again
+        // is guaranteed to find this slot free — otherwise admission
+        // done strictly against the budget could still hit the
+        // overflow path in the done-to-repark window.
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++free_;
+        }
+        {
+            std::lock_guard<std::mutex> lock(task.state->mu);
+            task.state->done = true;
+        }
+        task.state->cv.notify_all();
+    }
+}
+
+} // namespace serve
+} // namespace slacksim

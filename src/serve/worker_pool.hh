@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Persistent worker pool: the serve subsystem's TaskRunner.
+ *
+ * The engines' historical thread model was spawn-and-join per run —
+ * fine for one simulation per process, pure overhead for a daemon
+ * running thousands. The pool keeps a fixed set of host threads alive
+ * for the life of the server; an engine's launch() hands its worker
+ * body to a parked pool thread and Handle::join() waits for the body
+ * to return without tearing the thread down. Reuse is observable:
+ * threadsSpawned() stays flat across jobs while tasksRun() grows —
+ * the "no per-run spawn/join on the pool path" acceptance proof.
+ *
+ * Engine worker tasks occupy their thread for the entire run, so a
+ * launch() burst larger than the free-thread count would deadlock a
+ * job against itself (its manager waits for core workers that never
+ * start). Admission control (serve/job_queue.hh) reserves a job's
+ * full host-thread need against the pool before the job starts, so
+ * the governed path never overflows; as a safety net launch() falls
+ * back to spawning a fresh tracked thread when no pool thread is
+ * free, and counts it in overflowSpawns() — a nonzero value in the
+ * server report means admission accounting is wrong, not that work
+ * was lost.
+ */
+
+#ifndef SLACKSIM_SERVE_WORKER_POOL_HH
+#define SLACKSIM_SERVE_WORKER_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/task_runner.hh"
+
+namespace slacksim {
+namespace serve {
+
+/** Fixed-size pool of reusable host threads. */
+class WorkerPool final : public TaskRunner
+{
+  public:
+    /** Spawn @p threads persistent workers (at least 1). */
+    explicit WorkerPool(std::uint32_t threads);
+
+    /** Joins every worker; pending tasks must have completed. */
+    ~WorkerPool() override;
+
+    std::unique_ptr<Handle> launch(std::function<void()> fn) override;
+
+    const char *name() const override { return "worker-pool"; }
+
+    /** Pool size chosen at construction. */
+    std::uint32_t size() const { return size_; }
+
+    /** Pool threads currently parked, ready for a task. */
+    std::uint32_t freeThreads() const;
+
+    /** Tasks completed + started over the pool's lifetime. */
+    std::uint64_t tasksRun() const
+    {
+        return tasksRun_.load(std::memory_order_relaxed);
+    }
+
+    /** Host threads created beyond the persistent pool (see file
+     *  comment: 0 on the governed path). */
+    std::uint64_t overflowSpawns() const
+    {
+        return overflowSpawns_.load(std::memory_order_relaxed);
+    }
+
+    /** Total host threads ever created (pool + overflow). */
+    std::uint64_t threadsSpawned() const
+    {
+        return size_ + overflowSpawns();
+    }
+
+  private:
+    /** Completion state shared between a task and its Handle. */
+    struct TaskState
+    {
+        std::mutex mu;
+        std::condition_variable cv;
+        bool done = false;
+    };
+
+    struct PooledTask
+    {
+        std::function<void()> fn;
+        std::shared_ptr<TaskState> state;
+    };
+
+    class PooledHandle;
+    class OverflowHandle;
+
+    void workerMain();
+
+    const std::uint32_t size_;
+    std::atomic<std::uint64_t> tasksRun_{0};
+    std::atomic<std::uint64_t> overflowSpawns_{0};
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    /** Workers parked (or about to park) with no task claimed against
+     *  them yet; launch() decrements when it enqueues. */
+    std::uint32_t free_ = 0;
+    std::deque<PooledTask> queue_;
+    bool stop_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace serve
+} // namespace slacksim
+
+#endif // SLACKSIM_SERVE_WORKER_POOL_HH

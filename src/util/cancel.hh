@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Cooperative cancellation for long-running simulations.
+ *
+ * A CancelToken is the handle a controller (the job server, a
+ * timeout watchdog, a signal handler's drain loop) uses to ask a
+ * running engine to stop early. Cancellation is cooperative: the
+ * engines poll cancelled() at their manager-loop boundary, tear down
+ * cleanly (joining workers, draining queues) and return a partial
+ * RunResult with `cancelled = true`, which the run report surfaces
+ * as `"status": "cancelled"`.
+ *
+ * Because the parallel engine's manager can be asleep on its progress
+ * board when the request arrives, the token carries a small waker
+ * registry: the engine registers a callback that kicks its futexes,
+ * requestCancel() invokes every registered waker, and the engine
+ * removes the waker before tearing its wait structures down. Wakers
+ * must be safe to invoke from any thread.
+ */
+
+#ifndef SLACKSIM_UTIL_CANCEL_HH
+#define SLACKSIM_UTIL_CANCEL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace slacksim {
+
+/** One cancellation request channel (controller -> engine). */
+class CancelToken
+{
+  public:
+    CancelToken() = default;
+
+    CancelToken(const CancelToken &) = delete;
+    CancelToken &operator=(const CancelToken &) = delete;
+
+    /** @return true once cancellation has been requested. */
+    bool
+    cancelled() const
+    {
+        return flag_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Request cancellation (idempotent) and invoke every waker.
+     * Wakers run under the registry lock, so removeWaker() returning
+     * guarantees the waker is not (and will never again be) running —
+     * the property the engine's teardown depends on. Wakers must
+     * therefore be non-blocking kicks (futex notifies), never work.
+     */
+    void
+    requestCancel()
+    {
+        flag_.store(true, std::memory_order_release);
+        std::lock_guard<std::mutex> lock(mu_);
+        for (auto &entry : wakers_)
+            entry.second();
+    }
+
+    /**
+     * Register a waker invoked on requestCancel(). If cancellation
+     * was already requested the waker fires immediately (so a late
+     * registration cannot sleep through an earlier request).
+     * @return an id for removeWaker().
+     */
+    std::uint64_t
+    addWaker(std::function<void()> wake)
+    {
+        std::uint64_t id;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            id = nextWaker_++;
+            wakers_.emplace_back(id, wake);
+        }
+        if (cancelled())
+            wake();
+        return id;
+    }
+
+    /** Remove a waker; after return it will never be invoked again. */
+    void
+    removeWaker(std::uint64_t id)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (auto it = wakers_.begin(); it != wakers_.end(); ++it) {
+            if (it->first == id) {
+                wakers_.erase(it);
+                return;
+            }
+        }
+    }
+
+    /** Re-arm a token for reuse (test helper; never mid-run). */
+    void
+    reset()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        flag_.store(false, std::memory_order_release);
+        wakers_.clear();
+    }
+
+  private:
+    std::atomic<bool> flag_{false};
+    mutable std::mutex mu_;
+    std::uint64_t nextWaker_ = 1;
+    std::vector<std::pair<std::uint64_t, std::function<void()>>>
+        wakers_;
+};
+
+/** RAII waker registration. */
+class ScopedWaker
+{
+  public:
+    ScopedWaker(CancelToken *token, std::function<void()> wake)
+        : token_(token)
+    {
+        if (token_)
+            id_ = token_->addWaker(std::move(wake));
+    }
+
+    ~ScopedWaker()
+    {
+        if (token_)
+            token_->removeWaker(id_);
+    }
+
+    ScopedWaker(const ScopedWaker &) = delete;
+    ScopedWaker &operator=(const ScopedWaker &) = delete;
+
+  private:
+    CancelToken *token_ = nullptr;
+    std::uint64_t id_ = 0;
+};
+
+} // namespace slacksim
+
+#endif // SLACKSIM_UTIL_CANCEL_HH

@@ -14,9 +14,7 @@
 
 namespace slacksim {
 
-namespace {
-
-/** Classic dynamic-programming edit distance (two rolling rows). */
+/** Two rolling rows of the classic dynamic program. */
 std::size_t
 editDistance(const std::string &a, const std::string &b)
 {
@@ -36,24 +34,35 @@ editDistance(const std::string &a, const std::string &b)
     return prev[b.size()];
 }
 
-/** Closest known flag to @p key, or "" when nothing is plausibly a
- *  typo (distance above max(2, len/3) reads as a different word). */
+std::string
+didYouMean(const std::string &word,
+           const std::vector<std::string> &candidates)
+{
+    std::string best;
+    std::size_t best_d = std::max<std::size_t>(2, word.size() / 3) + 1;
+    for (const auto &cand : candidates) {
+        const std::size_t d = editDistance(word, cand);
+        if (d < best_d) {
+            best_d = d;
+            best = cand;
+        }
+    }
+    return best;
+}
+
+namespace {
+
+/** Closest known flag to @p key (including "help"), or "". */
 std::string
 closestKnown(const std::string &key,
              const std::vector<OptionSpec> &known)
 {
-    std::string best;
-    std::size_t best_d = std::max<std::size_t>(2, key.size() / 3) + 1;
-    for (const auto &spec : known) {
-        const std::size_t d = editDistance(key, spec.key);
-        if (d < best_d) {
-            best_d = d;
-            best = spec.key;
-        }
-    }
-    if (editDistance(key, "help") < best_d)
-        best = "help";
-    return best;
+    std::vector<std::string> candidates;
+    candidates.reserve(known.size() + 1);
+    for (const auto &spec : known)
+        candidates.emplace_back(spec.key);
+    candidates.emplace_back("help");
+    return didYouMean(key, candidates);
 }
 
 } // namespace

@@ -15,6 +15,19 @@
 
 namespace slacksim {
 
+/** Classic dynamic-programming edit distance between two words. */
+std::size_t editDistance(const std::string &a, const std::string &b);
+
+/**
+ * Closest plausible match to @p word among @p candidates, or "" when
+ * nothing is close enough to read as a typo (distance above
+ * max(2, len/3) reads as a different word). Shared by the CLI flag
+ * validator and the serve job-spec validator so both reject unknown
+ * names with the same did-you-mean diagnostics.
+ */
+std::string didYouMean(const std::string &word,
+                       const std::vector<std::string> &candidates);
+
 /** One documented command-line flag (for --help and validation). */
 struct OptionSpec
 {

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Host-thread ownership abstraction.
+ *
+ * The engines used to spawn-and-join a std::thread per simulated core
+ * per run. Under the serve subsystem the same process runs thousands
+ * of simulations, and paying thread creation plus teardown for every
+ * core of every job is pure overhead — so engines now launch their
+ * workers through a TaskRunner. The default ThreadSpawnRunner keeps
+ * the historical behavior (one fresh thread per task); the serve
+ * worker pool (serve/worker_pool.hh) implements the same interface on
+ * persistent, reusable threads, where Handle::join() waits for task
+ * completion without destroying the thread underneath it.
+ *
+ * Contract: launch() begins executing @p fn on some host thread,
+ * concurrently with the caller. Handle::join() blocks until fn has
+ * returned; destroying a Handle without join() is a bug (enforced by
+ * the implementations). Tasks must not assume anything about the
+ * hosting thread beyond "it is not the caller" — per-thread state
+ * (log context, trace rings, fault bindings) is bound and unbound by
+ * the task body itself.
+ */
+
+#ifndef SLACKSIM_UTIL_TASK_RUNNER_HH
+#define SLACKSIM_UTIL_TASK_RUNNER_HH
+
+#include <functional>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace slacksim {
+
+/** Where engine worker tasks execute. */
+class TaskRunner
+{
+  public:
+    /** A joinable handle to one launched task. */
+    class Handle
+    {
+      public:
+        virtual ~Handle() = default;
+        /** Block until the task body returned. Call exactly once. */
+        virtual void join() = 0;
+    };
+
+    virtual ~TaskRunner() = default;
+
+    /** Start @p fn on a host thread; never blocks on fn itself. */
+    virtual std::unique_ptr<Handle>
+    launch(std::function<void()> fn) = 0;
+
+    /** Short implementation name for logs/reports. */
+    virtual const char *name() const = 0;
+};
+
+/** The classic one-thread-per-task runner (spawn/join per run). */
+class ThreadSpawnRunner final : public TaskRunner
+{
+  public:
+    std::unique_ptr<Handle>
+    launch(std::function<void()> fn) override
+    {
+        class ThreadHandle final : public Handle
+        {
+          public:
+            explicit ThreadHandle(std::function<void()> fn)
+                : thread_(std::move(fn))
+            {
+            }
+
+            ~ThreadHandle() override
+            {
+                SLACKSIM_ASSERT(!thread_.joinable(),
+                                "TaskRunner handle dropped unjoined");
+            }
+
+            void join() override { thread_.join(); }
+
+          private:
+            std::thread thread_;
+        };
+        return std::make_unique<ThreadHandle>(std::move(fn));
+    }
+
+    const char *name() const override { return "thread-spawn"; }
+};
+
+} // namespace slacksim
+
+#endif // SLACKSIM_UTIL_TASK_RUNNER_HH

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Unix-domain socket implementation.
+ */
+
+#include "util/uds.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/logging.hh"
+
+namespace slacksim {
+
+namespace {
+
+/** Fill a sockaddr_un; AF_UNIX paths are hard-capped at ~107 bytes. */
+bool
+makeAddr(const std::string &path, sockaddr_un &addr)
+{
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        SLACKSIM_WARN("uds: socket path too long (", path.size(),
+                     " bytes): ", path);
+        return false;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+} // namespace
+
+UdsConn::UdsConn(UdsConn &&other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      buf_(std::move(other.buf_))
+{
+}
+
+UdsConn &
+UdsConn::operator=(UdsConn &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+        buf_ = std::move(other.buf_);
+    }
+    return *this;
+}
+
+UdsConn
+UdsConn::connect(const std::string &path)
+{
+    sockaddr_un addr;
+    if (!makeAddr(path, addr))
+        return UdsConn();
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        SLACKSIM_WARN("uds: socket() failed: ",
+                     std::strerror(errno));
+        return UdsConn();
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        SLACKSIM_WARN("uds: connect(", path,
+                     ") failed: ", std::strerror(errno));
+        ::close(fd);
+        return UdsConn();
+    }
+    return UdsConn(fd);
+}
+
+bool
+UdsConn::sendLine(const std::string &line)
+{
+    if (fd_ < 0)
+        return false;
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t off = 0;
+    while (off < framed.size()) {
+        const ssize_t n = ::send(fd_, framed.data() + off,
+                                 framed.size() - off, MSG_NOSIGNAL);
+        if (n > 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+UdsConn::Recv
+UdsConn::recvLine(std::string &out, int timeoutMs)
+{
+    if (fd_ < 0)
+        return Recv::Error;
+    for (;;) {
+        // Serve a buffered line before touching the socket: one recv
+        // can deliver several protocol frames.
+        const auto nl = buf_.find('\n');
+        if (nl != std::string::npos) {
+            out = buf_.substr(0, nl);
+            buf_.erase(0, nl + 1);
+            return Recv::Line;
+        }
+
+        pollfd pfd{fd_, POLLIN, 0};
+        const int pr = ::poll(&pfd, 1, timeoutMs);
+        if (pr == 0)
+            return Recv::Timeout;
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            return Recv::Error;
+        }
+
+        char chunk[4096];
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+            buf_.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n == 0) {
+            // A half line at EOF is a truncated frame, not a frame.
+            return Recv::Closed;
+        }
+        if (errno == EINTR)
+            continue;
+        return Recv::Error;
+    }
+}
+
+void
+UdsConn::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    buf_.clear();
+}
+
+bool
+UdsListener::open(const std::string &path, int backlog)
+{
+    SLACKSIM_ASSERT(fd_ < 0, "UdsListener::open called twice");
+    sockaddr_un addr;
+    if (!makeAddr(path, addr))
+        return false;
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        SLACKSIM_WARN("uds: socket() failed: ",
+                     std::strerror(errno));
+        return false;
+    }
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        SLACKSIM_WARN("uds: bind(", path,
+                     ") failed: ", std::strerror(errno));
+        ::close(fd);
+        return false;
+    }
+    if (::listen(fd, backlog) != 0) {
+        SLACKSIM_WARN("uds: listen(", path,
+                     ") failed: ", std::strerror(errno));
+        ::close(fd);
+        ::unlink(path.c_str());
+        return false;
+    }
+    fd_ = fd;
+    path_ = path;
+    return true;
+}
+
+UdsConn
+UdsListener::accept(int timeoutMs)
+{
+    if (fd_ < 0)
+        return UdsConn();
+    pollfd pfd{fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, timeoutMs);
+    if (pr <= 0)
+        return UdsConn();
+    const int cfd = ::accept(fd_, nullptr, nullptr);
+    if (cfd < 0) {
+        if (errno != EINTR) {
+            SLACKSIM_WARN("uds: accept() failed: ",
+                         std::strerror(errno));
+        }
+        return UdsConn();
+    }
+    return UdsConn(cfd);
+}
+
+void
+UdsListener::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+        ::unlink(path_.c_str());
+        path_.clear();
+    }
+}
+
+} // namespace slacksim

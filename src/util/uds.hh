@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unix-domain stream sockets with newline framing.
+ *
+ * The serve protocol (serve/job_spec.hh documents the payloads) is
+ * newline-delimited JSON over an AF_UNIX SOCK_STREAM socket: one JSON
+ * object per line, no embedded newlines (the JsonWriter never emits
+ * raw newlines inside a compact document). This header wraps the
+ * socket plumbing the daemon and client share:
+ *
+ *  - UdsListener: bind/listen/accept with poll()-based timeouts so
+ *    the accept loop can notice shutdown requests promptly.
+ *  - UdsConn: a connected endpoint with sendLine()/recvLine(); reads
+ *    are buffered and writes loop over partial send()s. All sends use
+ *    MSG_NOSIGNAL — a peer hanging up surfaces as an error return,
+ *    never SIGPIPE.
+ *
+ * Everything reports failure by return value; the daemon must outlive
+ * misbehaving clients, so nothing in here is fatal().
+ */
+
+#ifndef SLACKSIM_UTIL_UDS_HH
+#define SLACKSIM_UTIL_UDS_HH
+
+#include <string>
+
+namespace slacksim {
+
+/** One connected Unix-domain stream endpoint. */
+class UdsConn
+{
+  public:
+    /** Outcome of a recvLine() call. */
+    enum class Recv {
+        Line,    //!< a full line was read into @p out
+        Timeout, //!< no full line within the timeout (retryable)
+        Closed,  //!< peer closed cleanly (buffer drained)
+        Error,   //!< socket error; the connection is dead
+    };
+
+    UdsConn() = default;
+    /** Adopt an already-connected fd (from accept or connect). */
+    explicit UdsConn(int fd)
+        : fd_(fd)
+    {
+    }
+
+    ~UdsConn() { close(); }
+
+    UdsConn(UdsConn &&other) noexcept;
+    UdsConn &operator=(UdsConn &&other) noexcept;
+    UdsConn(const UdsConn &) = delete;
+    UdsConn &operator=(const UdsConn &) = delete;
+
+    /** Connect to the daemon socket at @p path. */
+    static UdsConn connect(const std::string &path);
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /**
+     * Send @p line plus a trailing '\n', looping over partial writes.
+     * @return false when the peer is gone or the socket errored.
+     */
+    bool sendLine(const std::string &line);
+
+    /**
+     * Read the next '\n'-terminated line (terminator stripped).
+     * @param timeoutMs poll timeout per read; <0 blocks indefinitely.
+     */
+    Recv recvLine(std::string &out, int timeoutMs);
+
+    /** Close the socket (idempotent). */
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::string buf_; //!< bytes received but not yet returned
+};
+
+/** A listening Unix-domain socket owning its filesystem path. */
+class UdsListener
+{
+  public:
+    UdsListener() = default;
+    ~UdsListener() { close(); }
+
+    UdsListener(const UdsListener &) = delete;
+    UdsListener &operator=(const UdsListener &) = delete;
+
+    /**
+     * Bind and listen on @p path. Any stale socket file at the path
+     * is unlinked first (the daemon owns its socket path).
+     * @return false on any syscall failure (errno in the log).
+     */
+    bool open(const std::string &path, int backlog = 16);
+
+    bool valid() const { return fd_ >= 0; }
+    const std::string &path() const { return path_; }
+
+    /**
+     * Accept one connection, waiting up to @p timeoutMs.
+     * @return an invalid conn on timeout or error (the caller's loop
+     *         distinguishes by checking valid() and retrying).
+     */
+    UdsConn accept(int timeoutMs);
+
+    /** Close the socket and unlink its path (idempotent). */
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::string path_;
+};
+
+} // namespace slacksim
+
+#endif // SLACKSIM_UTIL_UDS_HH

@@ -1,0 +1,361 @@
+/**
+ * @file
+ * End-to-end job server tests: a real daemon (in-process) behind a
+ * real Unix socket, driven through the Client protocol layer — mixed
+ * concurrent jobs under the thread budget, bit-identical results vs
+ * standalone runs, mid-run cancellation with a partial report, spec
+ * rejection over the wire, and graceful drain shutdown.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/run.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+#include "util/json_parse.hh"
+
+using namespace slacksim;
+using namespace slacksim::serve;
+
+namespace {
+
+/** One in-process daemon per test, torn down by drain shutdown. */
+class ServerHarness
+{
+  public:
+    explicit ServerHarness(const std::string &tag,
+                           std::uint32_t threads)
+    {
+        opts_.socketPath = tag + ".sock";
+        opts_.outRoot = tag + "-out";
+        opts_.threadBudget = threads;
+        opts_.drainDeadlineMs = 120000;
+        server_ = std::make_unique<Server>(opts_);
+        EXPECT_TRUE(server_->start());
+        runner_ = std::thread([this] { server_->run(); });
+    }
+
+    ~ServerHarness()
+    {
+        if (runner_.joinable()) {
+            std::string error;
+            Client(opts_.socketPath).shutdown(true, &error);
+            runner_.join();
+        }
+    }
+
+    Server &server() { return *server_; }
+    const std::string &socket() const { return opts_.socketPath; }
+    const std::string &outRoot() const { return opts_.outRoot; }
+
+  private:
+    Server::Options opts_;
+    std::unique_ptr<Server> server_;
+    std::thread runner_;
+};
+
+std::string
+specJson(const std::string &kernel, unsigned cores,
+         const std::string &extra = "")
+{
+    std::ostringstream os;
+    os << "{\"version\": \"slacksim.job.v1\", \"kernel\": \"" << kernel
+       << "\", \"cores\": " << cores
+       << ", \"scheme\": \"quantum\", \"quantum\": 16"
+       << ", \"max_uops\": 80000";
+    if (!extra.empty())
+        os << ", " << extra;
+    os << "}";
+    return os.str();
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/** Poll the daemon until every job is terminal (or 60s pass). */
+bool
+waitAllTerminal(Client &client)
+{
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(60);
+    std::string error;
+    while (std::chrono::steady_clock::now() < deadline) {
+        json::Value reply;
+        if (!client.stats(&reply, &error))
+            return false;
+        const json::Value &queue = reply.at("queue");
+        if (queue.at("queued").asUint() == 0 &&
+            queue.at("running").asUint() == 0) {
+            return true;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    }
+    return false;
+}
+
+} // namespace
+
+TEST(ServeE2ETest, EightMixedJobsUnderBudgetAllComplete)
+{
+    // 16 pool threads; each 4-core parallel job reserves 5, so at
+    // most three run concurrently and the rest queue behind them.
+    ServerHarness harness("serve_e2e_mixed", 16);
+    Client client(harness.socket());
+    ASSERT_TRUE(client.valid());
+
+    const std::vector<std::string> kernels = {
+        "fft", "radix", "pingpong", "stream",
+        "falseshare", "uniform", "syncstorm", "fft"};
+    std::string error;
+    std::vector<std::uint64_t> ids;
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        // One job carries a fault spec (host-timing perturbation
+        // only) and one runs on the serial engine.
+        std::string extra = "\"seed\": " + std::to_string(100 + i);
+        if (i == 2)
+            extra += ", \"fault_spec\": \"worker-stall@cycle:500:2\"";
+        if (i == 5)
+            extra += ", \"parallel_host\": false";
+        const std::uint64_t id =
+            client.submit(specJson(kernels[i], 4, extra), &error);
+        ASSERT_NE(id, 0u) << error;
+        ids.push_back(id);
+    }
+
+    ASSERT_TRUE(waitAllTerminal(client));
+
+    json::Value reply;
+    ASSERT_TRUE(client.stats(&reply, &error)) << error;
+    EXPECT_EQ(reply.at("queue").at("done").asUint(), kernels.size());
+    EXPECT_EQ(reply.at("queue").at("failed").asUint(), 0u);
+
+    // The tentpole acceptance proof: every job ran on the persistent
+    // pool — threads were reused, none spawned per run.
+    const json::Value &pool = reply.at("pool");
+    EXPECT_EQ(pool.at("threads_spawned").asUint(), 16u);
+    EXPECT_EQ(pool.at("overflow_spawns").asUint(), 0u);
+    // 7 parallel jobs x 5 tasks + 1 serial job x 1 task.
+    EXPECT_EQ(pool.at("tasks_run").asUint(), 36u);
+
+    // Every job produced a schema-valid report in its own directory.
+    for (const std::uint64_t id : ids) {
+        const std::string report = slurp(
+            harness.outRoot() + "/job-" + std::to_string(id) +
+            "/report.json");
+        ASSERT_FALSE(report.empty()) << "job " << id;
+        const json::Value doc = json::parse(report);
+        EXPECT_EQ(doc.at("schema").asString(),
+                  "slacksim.run_report.v3");
+        EXPECT_EQ(doc.at("status").asString(), "ok");
+    }
+}
+
+TEST(ServeE2ETest, DaemonResultsBitIdenticalToStandaloneRun)
+{
+    ServerHarness harness("serve_e2e_ident", 8);
+    Client client(harness.socket());
+    ASSERT_TRUE(client.valid());
+
+    // Cycle-by-cycle service: the one scheme whose simulated cycle
+    // count is bit-deterministic on the threaded host, so daemon and
+    // standalone runs are comparable exactly (slack schemes keep uop
+    // counts stable but their cycle counts shift with host timing).
+    std::string error;
+    const std::string spec_json =
+        R"({"version": "slacksim.job.v1", "kernel": "radix",
+            "cores": 4, "scheme": "cc", "max_uops": 30000,
+            "seed": 1234})";
+    const std::uint64_t id = client.submit(spec_json, &error);
+    ASSERT_NE(id, 0u) << error;
+    ASSERT_TRUE(waitAllTerminal(client));
+
+    json::Value reply;
+    ASSERT_TRUE(client.status(id, &reply, &error)) << error;
+    const json::Value &job = reply.at("jobs").item(0);
+    ASSERT_EQ(job.at("state").asString(), "done");
+
+    // Same spec, standalone path: spawn/join threads, no pool, no
+    // daemon — committed work and simulated time must match exactly.
+    JobSpec spec;
+    ASSERT_TRUE(
+        JobSpec::parse(json::parse(spec_json), &spec, &error))
+        << error;
+    const RunResult solo = runSimulation(spec.toConfig());
+    EXPECT_EQ(job.at("committed_uops").asUint(), solo.committedUops);
+    EXPECT_EQ(job.at("simulated_cycles").asUint(), solo.execCycles);
+}
+
+TEST(ServeE2ETest, CancelMidRunYieldsPartialCancelledReport)
+{
+    ServerHarness harness("serve_e2e_cancel", 16);
+    Client client(harness.socket());
+    ASSERT_TRUE(client.valid());
+
+    // Uncapped lu runs for seconds — a wide window to cancel into.
+    std::string error;
+    const std::uint64_t id = client.submit(
+        R"({"kernel": "lu", "cores": 8, "scheme": "bounded",
+            "slack": 16})",
+        &error);
+    ASSERT_NE(id, 0u) << error;
+
+    // Wait until it is actually running, then cancel.
+    for (int i = 0; i < 500; ++i) {
+        json::Value reply;
+        ASSERT_TRUE(client.status(id, &reply, &error)) << error;
+        const std::string state =
+            reply.at("jobs").item(0).at("state").asString();
+        ASSERT_NE(state, "done") << "job finished before cancel";
+        if (state == "running")
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_TRUE(client.cancel(id, &error)) << error;
+    ASSERT_TRUE(waitAllTerminal(client));
+
+    json::Value reply;
+    ASSERT_TRUE(client.status(id, &reply, &error)) << error;
+    EXPECT_EQ(reply.at("jobs").item(0).at("state").asString(),
+              "cancelled");
+
+    // The partial run still flushed a report, marked cancelled.
+    const std::string report = slurp(harness.outRoot() + "/job-" +
+                                     std::to_string(id) +
+                                     "/report.json");
+    ASSERT_FALSE(report.empty());
+    EXPECT_EQ(json::parse(report).at("status").asString(),
+              "cancelled");
+}
+
+TEST(ServeE2ETest, WatchStreamsStatesAndArtifacts)
+{
+    ServerHarness harness("serve_e2e_watch", 8);
+    Client submit_client(harness.socket());
+    ASSERT_TRUE(submit_client.valid());
+
+    std::string error;
+    const std::uint64_t id = submit_client.submit(
+        specJson("fft", 4, "\"seed\": 5"), &error);
+    ASSERT_NE(id, 0u) << error;
+
+    // Watch on a second connection (watch consumes its connection).
+    Client watcher(harness.socket());
+    ASSERT_TRUE(watcher.valid());
+    std::vector<std::string> states;
+    bool saw_report = false, saw_metrics = false;
+    std::string end_state;
+    ASSERT_TRUE(watcher.watch(
+        id,
+        [&](const json::Value &event) {
+            const std::string &kind = event.at("event").asString();
+            if (kind == "state")
+                states.push_back(event.at("state").asString());
+            else if (kind == "report") {
+                saw_report = true;
+                // The streamed report is the real artifact.
+                EXPECT_EQ(json::parse(event.at("json").asString())
+                              .at("status")
+                              .asString(),
+                          "ok");
+            } else if (kind == "metrics")
+                saw_metrics = true;
+            else if (kind == "end")
+                end_state = event.at("state").asString();
+        },
+        &error))
+        << error;
+
+    EXPECT_EQ(end_state, "done");
+    EXPECT_TRUE(saw_report);
+    EXPECT_TRUE(saw_metrics);
+    ASSERT_FALSE(states.empty());
+    EXPECT_EQ(states.back(), "done");
+}
+
+TEST(ServeE2ETest, ProtocolRejectsBadInput)
+{
+    ServerHarness harness("serve_e2e_reject", 8);
+    Client client(harness.socket());
+    ASSERT_TRUE(client.valid());
+
+    std::string error;
+    // Typoed kernel: rejected with a did-you-mean, nothing enqueued.
+    EXPECT_EQ(client.submit(R"({"kernel": "fftt"})", &error), 0u);
+    EXPECT_NE(error.find("did you mean 'fft'"), std::string::npos);
+
+    // A job wider than the whole budget can never run: refused at
+    // submit rather than queued forever.
+    EXPECT_EQ(client.submit(R"({"kernel": "fft", "cores": 64})",
+                            &error),
+              0u);
+    EXPECT_NE(error.find("budget"), std::string::npos);
+
+    // Unknown op with a hint; unknown job id.
+    json::Value reply;
+    EXPECT_FALSE(
+        client.request("{\"op\": \"sumbit\"}", &reply, &error));
+    EXPECT_NE(error.find("did you mean 'submit'"), std::string::npos);
+    EXPECT_FALSE(client.cancel(999, &error));
+    EXPECT_NE(error.find("no such job"), std::string::npos);
+
+    // Garbage frame: a readable error, and the connection survives
+    // for the next request.
+    EXPECT_FALSE(client.request("not json at all", &reply, &error));
+    EXPECT_NE(error.find("bad frame"), std::string::npos);
+    EXPECT_TRUE(client.stats(&reply, &error)) << error;
+
+    json::Value stats_reply;
+    ASSERT_TRUE(client.stats(&stats_reply, &error));
+    EXPECT_EQ(stats_reply.at("queue").at("submitted").asUint(), 0u);
+}
+
+TEST(ServeE2ETest, DrainShutdownFinishesQueuedJobs)
+{
+    ServerHarness harness("serve_e2e_drain", 8);
+    Client client(harness.socket());
+    ASSERT_TRUE(client.valid());
+
+    // More jobs than can run at once (each reserves 5 of 8 threads,
+    // so they serialize), then an immediate drain shutdown: every
+    // queued job must still complete.
+    std::string error;
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 4; ++i) {
+        const std::uint64_t id = client.submit(
+            specJson("pingpong", 4,
+                     "\"seed\": " + std::to_string(i)),
+            &error);
+        ASSERT_NE(id, 0u) << error;
+        ids.push_back(id);
+    }
+    ASSERT_TRUE(client.shutdown(true, &error)) << error;
+
+    // The harness's server thread returns once the drain completes.
+    // Verify outcome from the server object directly (the socket is
+    // gone after shutdown).
+    // Note: ~ServerHarness would also shut down; join here instead.
+    const QueueStats stats = [&] {
+        // Wait for run() to return via the harness destructor path:
+        // poll the queue until idle, then check outcomes.
+        while (!harness.server().queue().idle())
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+        return harness.server().queue().stats();
+    }();
+    EXPECT_EQ(stats.done, ids.size());
+    EXPECT_EQ(stats.cancelled, 0u);
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * WorkerPool unit tests: thread reuse, claim accounting, overflow
+ * fallback, and the join-then-relaunch guarantee admission control
+ * depends on.
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/worker_pool.hh"
+
+using slacksim::TaskRunner;
+using slacksim::serve::WorkerPool;
+
+namespace {
+
+/** Gate that holds tasks in-flight until released. */
+struct Gate
+{
+    std::mutex mu;
+    std::condition_variable cv;
+    bool open = false;
+
+    void
+    release()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            open = true;
+        }
+        cv.notify_all();
+    }
+
+    void
+    wait()
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [this] { return open; });
+    }
+};
+
+} // namespace
+
+TEST(WorkerPoolTest, ReusesThreadsAcrossManyTasks)
+{
+    WorkerPool pool(4);
+    std::atomic<int> ran{0};
+
+    // 10 waves of up-to-pool-size tasks: 40 tasks, 4 threads, ever.
+    for (int wave = 0; wave < 10; ++wave) {
+        std::vector<std::unique_ptr<TaskRunner::Handle>> handles;
+        for (int i = 0; i < 4; ++i) {
+            handles.push_back(pool.launch(
+                [&ran] { ran.fetch_add(1); }));
+        }
+        for (auto &h : handles)
+            h->join();
+    }
+
+    EXPECT_EQ(ran.load(), 40);
+    EXPECT_EQ(pool.tasksRun(), 40u);
+    // The reuse proof: no thread was created beyond the initial pool.
+    EXPECT_EQ(pool.threadsSpawned(), 4u);
+    EXPECT_EQ(pool.overflowSpawns(), 0u);
+    EXPECT_EQ(pool.freeThreads(), 4u);
+}
+
+TEST(WorkerPoolTest, LaunchClaimsSlotImmediately)
+{
+    WorkerPool pool(2);
+    Gate gate;
+    auto h1 = pool.launch([&gate] { gate.wait(); });
+    auto h2 = pool.launch([&gate] { gate.wait(); });
+    // Both slots claimed even if the workers have not dequeued yet.
+    EXPECT_EQ(pool.freeThreads(), 0u);
+    gate.release();
+    h1->join();
+    h2->join();
+    EXPECT_EQ(pool.freeThreads(), 2u);
+}
+
+TEST(WorkerPoolTest, OverflowSpawnsFreshThreadWhenPoolExhausted)
+{
+    WorkerPool pool(2);
+    Gate gate;
+    auto h1 = pool.launch([&gate] { gate.wait(); });
+    auto h2 = pool.launch([&gate] { gate.wait(); });
+
+    // Third task has no free pool thread: must still run (overflow).
+    std::atomic<bool> third_ran{false};
+    auto h3 = pool.launch([&third_ran] { third_ran.store(true); });
+    h3->join();
+    EXPECT_TRUE(third_ran.load());
+    EXPECT_EQ(pool.overflowSpawns(), 1u);
+    EXPECT_EQ(pool.threadsSpawned(), 3u);
+
+    gate.release();
+    h1->join();
+    h2->join();
+}
+
+TEST(WorkerPoolTest, JoinGuaranteesSlotIsReclaimable)
+{
+    // Regression: join() must not return before the worker re-registers
+    // as free, or a joiner that immediately launches (the scheduler's
+    // reap-then-admit cycle) would hit the overflow path despite
+    // perfect budget accounting.
+    WorkerPool pool(1);
+    for (int i = 0; i < 200; ++i) {
+        auto h = pool.launch([] {});
+        h->join();
+    }
+    EXPECT_EQ(pool.tasksRun(), 200u);
+    EXPECT_EQ(pool.overflowSpawns(), 0u);
+    EXPECT_EQ(pool.threadsSpawned(), 1u);
+}
