@@ -103,6 +103,17 @@ struct CheckpointParams
      * forever, the pre-fault-tolerance behavior).
      */
     std::uint64_t childTimeoutMs = 0;
+
+    /**
+     * Memory technology only: seal the serialized arena (integrity
+     * trailer + emulated extra-copy cost) on a background host thread
+     * so forward simulation overlaps with it. The serialization itself
+     * stays synchronous (it reads live quiesced state); only the work
+     * on the immutable arena moves off the critical path, and it is
+     * reported as background host time (checkpointAsyncSeconds), not
+     * critical-path checkpoint_seconds.
+     */
+    bool asyncSeal = true;
 };
 
 /**
@@ -177,6 +188,29 @@ struct EngineConfig
 
     /** Cycles a core may run per scheduling burst (parallel host). */
     std::uint32_t burstCycles = 64;
+
+    /**
+     * Host threads the parallel engine may occupy, *including* the
+     * manager thread: N-1 worker threads are launched and the
+     * simulated cores are partitioned across them (parti-gem5-style
+     * partitioned event servicing). 1 = inline mode: no workers at
+     * all, the manager drives every core burst itself (the honest
+     * configuration for a single-CPU host, where extra threads only
+     * buy context switches). 0 = auto-size from
+     * std::thread::hardware_concurrency().
+     */
+    std::uint32_t hostThreads = 0;
+
+    /**
+     * Manager service banks: the manager's staging runs and the
+     * global cache map are split into this many per-address-range
+     * banks (ROADMAP item 2's sharded-manager groundwork). Service
+     * order stays the exact global (ts, src, seq) order — the k-way
+     * tournament runs per bank with a top-level selection over bank
+     * heads — so CC results are bit-identical for every bank count.
+     * 0 or 1 = single bank (the classic layout).
+     */
+    std::uint32_t managerBanks = 0;
 
     /**
      * Hierarchical manager (paper Section 2: "if the manager thread

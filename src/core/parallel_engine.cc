@@ -31,13 +31,18 @@ secondsSince(std::chrono::steady_clock::time_point t0)
         .count();
 }
 
-// core-park span arg: why the core thread went to sleep.
+// core-park span arg: why the worker went to sleep.
 constexpr std::int64_t parkPaced = 0;   //!< at the pacing limit
 constexpr std::int64_t parkInbound = 1; //!< inert, awaiting delivery
 
 // Park spans shorter than this are dropped: an atomic wait that
 // returned immediately is scheduler noise, not a park worth a record.
 constexpr std::uint64_t parkSpanMinNs = 1000;
+
+// Idle scans a worker yields through before parking. On an
+// oversubscribed host the yield usually schedules the manager, whose
+// next service round unblocks us without any futex round trip.
+constexpr std::uint32_t spinRoundsBeforePark = 4;
 
 } // namespace
 
@@ -46,7 +51,8 @@ ParallelEngine::ParallelEngine(SimSystem &sys)
       engine_(sys.config().engine),
       pacer_(engine_, sys.numCores(), &host_),
       mgr_(sys, engine_, &host_),
-      ckpt_(sys, pacer_, mgr_, engine_, &host_)
+      ckpt_(sys, pacer_, mgr_, engine_, &host_),
+      wakePending_(sys.numCores())
 {
     for (CoreId c = 0; c < sys_.numCores(); ++c)
         controls_.push_back(std::make_unique<CoreControl>());
@@ -67,141 +73,153 @@ ParallelEngine::ParallelEngine(SimSystem &sys)
     }
     board_ = std::make_unique<ProgressBoard>(
         sys_.numCores() + static_cast<std::uint32_t>(relays_.size()));
+
+    // Worker topology. EngineConfig::hostThreads counts the manager,
+    // so W = hostThreads - 1 workers share the simulated cores; the
+    // auto policy (hostThreads = 0) sizes from the machine so a
+    // single-CPU host lands in inline mode (W = 0) where concurrency
+    // could only ever add park/wake overhead.
+    std::uint32_t requested = engine_.hostThreads;
+    if (requested == 0) {
+        requested =
+            std::max(1u, std::thread::hardware_concurrency());
+    }
+    const std::uint32_t want =
+        std::min<std::uint32_t>(sys_.numCores(), requested - 1);
+    if (want > 0) {
+        const CoreId per = (sys_.numCores() + want - 1) / want;
+        for (std::uint32_t w = 0; w < want; ++w) {
+            auto wc = std::make_unique<WorkerControl>();
+            wc->first = static_cast<CoreId>(w * per);
+            wc->last = static_cast<CoreId>(
+                std::min<std::uint64_t>(sys_.numCores(),
+                                        std::uint64_t{w + 1} * per));
+            if (wc->first < wc->last)
+                workers_.push_back(std::move(wc));
+        }
+    }
+    workerCount_ = static_cast<std::uint32_t>(workers_.size());
+    workerOf_.assign(sys_.numCores(), 0);
+    for (std::uint32_t w = 0; w < workerCount_; ++w)
+        for (CoreId c = workers_[w]->first; c < workers_[w]->last; ++c)
+            workerOf_[c] = w;
+    workerWoken_.assign(workerCount_, 0);
+    lastRun_.assign(sys_.numCores(),
+                    static_cast<std::uint8_t>(CoreRun::Progress));
+    inlineLean_ = workerCount_ == 0 && relays_.empty();
 }
 
 void
-ParallelEngine::wakeCore(CoreId c)
+ParallelEngine::requestWake(CoreId c)
 {
-    controls_[c]->wakeWord.fetch_add(1, std::memory_order_release);
-    controls_[c]->wakeWord.notify_one();
+    wakePending_.set(c);
 }
 
 void
-ParallelEngine::coreThreadMain(CoreId c)
+ParallelEngine::wakeWorkerNow(std::uint32_t w)
+{
+    WorkerControl &wc = *workers_[w];
+    wc.wakeWord.fetch_add(1, std::memory_order_seq_cst);
+    // Skip the futex syscall for a running worker. Store-buffering
+    // argument for why the skip cannot lose a wake: the worker stores
+    // `parked = true` (seq_cst) *before* re-reading the wake word it
+    // captured ahead of its scan. If we read `parked == false` here,
+    // our word bump is ordered before the worker's parked-store in
+    // the single total order, so coherence forces the worker's
+    // subsequent word read (the atomic-wait value check) to observe
+    // the bump and return immediately.
+    if (wc.parked.load(std::memory_order_seq_cst))
+        wc.wakeWord.notify_one();
+}
+
+void
+ParallelEngine::flushWakes()
+{
+    if (!wakePending_.any())
+        return;
+    if (workerCount_ == 0) {
+        // Inline mode: the manager is the "worker"; just clear.
+        wakePending_.drain([](std::uint32_t) {});
+        return;
+    }
+    std::fill(workerWoken_.begin(), workerWoken_.end(), 0);
+    wakePending_.drain([this](std::uint32_t c) {
+        const std::uint32_t w = workerOf_[c];
+        if (!workerWoken_[w]) {
+            workerWoken_[w] = 1;
+            wakeWorkerNow(w);
+        }
+    });
+}
+
+ParallelEngine::CoreRun
+ParallelEngine::runCoreBurst(CoreId c)
 {
     CoreComplex &cc = sys_.core(c);
     CoreControl &ctl = *controls_[c];
-    std::uint32_t acked_gen = 0;
 
-    // Adopt the run's identity on this (possibly pool-borrowed) host
-    // thread: the token gates obs registration to our own run's
-    // sessions, the fault-plan binding scopes injected faults to us.
-    ScopedRunToken token_scope(sys_.runToken());
-    fault::ScopedFaultPlan plan_scope(sys_.faultPlan());
-
-    const std::string role = "core " + std::to_string(c);
-    setLogThreadContext(role, &cc.localClock());
-    obs::Tracer::instance().registerThread(role);
-    obs::Profiler::instance().registerThread(role);
-
-    while (!stop_.load(std::memory_order_acquire)) {
-        if (phase_.load(std::memory_order_acquire) != phaseRunning) {
-            // Stop-the-world pause: acknowledge exactly once per
-            // pause generation (atomic waits may wake spuriously),
-            // then sleep until resumed.
-            const std::uint32_t gen =
-                pauseGen_.load(std::memory_order_acquire);
-            if (gen != acked_gen) {
-                acked_gen = gen;
-                ackCount_.fetch_add(1, std::memory_order_seq_cst);
-                ackCount_.notify_one();
-                if (watchdog_)
-                    watchdog_->note(c, "pause-ack", cc.localTime());
-            }
-            const std::uint32_t e =
-                resumeEpoch_.load(std::memory_order_acquire);
-            if (phase_.load(std::memory_order_acquire) !=
-                    phaseRunning &&
-                !stop_.load(std::memory_order_acquire)) {
-                obs::PhaseScope barrier(obs::Phase::Barrier);
-                resumeEpoch_.wait(e, std::memory_order_acquire);
-            }
-            continue;
-        }
-
-        if (cc.finished()) {
-            if (!ctl.finished.load(std::memory_order_relaxed)) {
-                ctl.finished.store(true, std::memory_order_release);
-                ctl.committed.store(cc.committedUops(),
-                                    std::memory_order_release);
+    if (cc.finished()) {
+        if (!ctl.finished.load(std::memory_order_relaxed)) {
+            ctl.finished.store(true, std::memory_order_release);
+            ctl.committed.store(cc.committedUops(),
+                                std::memory_order_release);
+            if (inlineLean_) {
+                // Final drain at the transition; a finished core
+                // emits nothing more, so later rounds skip it
+                // entirely (the serial engine rescans every round).
+                mgr_.pumpCore(c);
+            } else {
                 board_->bump(c);
-                if (watchdog_)
-                    watchdog_->note(c, "finished", cc.localTime());
             }
-            // Dormant until something changes (stop, pause, restore).
-            const std::uint32_t w =
-                ctl.wakeWord.load(std::memory_order_acquire);
-            if (cc.finished() &&
-                phase_.load(std::memory_order_acquire) == phaseRunning &&
-                !stop_.load(std::memory_order_acquire)) {
-                obs::PhaseScope wait(obs::Phase::WaitInbound);
-                ctl.wakeWord.wait(w, std::memory_order_acquire);
-            }
-            continue;
+            if (watchdog_)
+                watchdog_->note(c, "finished", cc.localTime());
         }
-        ctl.finished.store(false, std::memory_order_relaxed);
+        return CoreRun::Finished;
+    }
+    ctl.finished.store(false, std::memory_order_relaxed);
 
-        const Tick local = cc.localTime();
-        const std::uint32_t w =
-            ctl.wakeWord.load(std::memory_order_acquire);
-        if (local > ctl.maxLocal.load(std::memory_order_acquire)) {
-            board_->bump(c);
-            // Re-check after loading the wake word (the manager bumps
-            // it after every pacing change, so no wakeup can be lost).
-            if (cc.localTime() >
-                    ctl.maxLocal.load(std::memory_order_acquire) &&
-                phase_.load(std::memory_order_acquire) == phaseRunning &&
-                !stop_.load(std::memory_order_acquire)) {
-                if (watchdog_)
-                    watchdog_->note(c, "park-paced", local);
-                const std::uint64_t park_wall = obs::traceWallNs();
-                {
-                    obs::PhaseScope wait(obs::Phase::WaitSlack);
-                    ctl.wakeWord.wait(w, std::memory_order_acquire);
-                }
-                if (watchdog_)
-                    watchdog_->note(c, "resume", cc.localTime());
-                // Retroactive span, skipping waits that returned at
-                // once — futex misses would otherwise flood the ring.
-                if (obs::traceWallNs() - park_wall >= parkSpanMinNs) {
-                    obs::traceSpanAt(park_wall,
-                                     obs::TraceCategory::Core,
-                                     "core-park", local, cc.localTime(),
-                                     parkPaced);
-                }
-            }
-            continue;
+    const Tick local = cc.localTime();
+    if (local > ctl.maxLocal.load(std::memory_order_acquire))
+        return CoreRun::Paced;
+
+    if (auto *plan = fault::FaultPlan::active()) {
+        if (const std::uint64_t ms =
+                plan->fireWorkerStall(c, cc.localTime())) {
+            // Injected wedge: this worker goes dark for a while.
+            // The stall watchdog (if armed) is what notices.
+            if (watchdog_)
+                watchdog_->note(c, "fault-stall", cc.localTime());
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(ms));
+            plan->markLastHandled(watchdog_ ? "stall-watchdog"
+                                            : "bounded-stall");
         }
+    }
 
-        if (auto *plan = fault::FaultPlan::active()) {
-            if (const std::uint64_t ms =
-                    plan->fireWorkerStall(c, cc.localTime())) {
-                // Injected wedge: this worker goes dark for a while.
-                // The stall watchdog (if armed) is what notices.
-                if (watchdog_)
-                    watchdog_->note(c, "fault-stall", cc.localTime());
-                std::this_thread::sleep_for(
-                    std::chrono::milliseconds(ms));
-                plan->markLastHandled(watchdog_ ? "stall-watchdog"
-                                                : "bounded-stall");
-            }
-        }
-
-        bool backpressured = false;
-        bool wait_inbound = false;
-        Tick advanced = 0;
-        const std::uint64_t burst_wall = obs::traceWallNs();
-        {
+    bool backpressured = false;
+    bool wait_inbound = false;
+    Tick advanced = 0;
+    const std::uint64_t burst_wall = obs::traceWallNs();
+    {
         obs::PhaseScope simulate(obs::Phase::Simulate);
+        // Inline mode: the manager is the only writer of maxLocal and
+        // phase/stop, and it cannot change them mid-burst — load once
+        // and run the same tight loop the serial engine runs.
+        const Tick pinned_max_local =
+            ctl.maxLocal.load(std::memory_order_acquire);
         while (advanced < engine_.burstCycles) {
-            const Tick max_local =
-                ctl.maxLocal.load(std::memory_order_acquire);
+            Tick max_local = pinned_max_local;
+            if (!inlineLean_) {
+                max_local =
+                    ctl.maxLocal.load(std::memory_order_acquire);
+                if (phase_.load(std::memory_order_relaxed) !=
+                        phaseRunning ||
+                    stop_.load(std::memory_order_relaxed)) {
+                    break;
+                }
+            }
             if (cc.localTime() > max_local)
                 break;
-            if (phase_.load(std::memory_order_relaxed) != phaseRunning ||
-                stop_.load(std::memory_order_relaxed)) {
-                break;
-            }
             const Tick before = cc.localTime();
             const auto outcome = cc.cycle(
                 max_local,
@@ -219,48 +237,189 @@ ParallelEngine::coreThreadMain(CoreId c)
             if (cc.finished())
                 break;
         }
-        }
-        ctl.committed.store(cc.committedUops(),
-                            std::memory_order_release);
-        if (advanced > 0) {
-            obs::traceSpanAt(burst_wall, obs::TraceCategory::Core,
-                             "core-run", local, cc.localTime(),
-                             static_cast<std::int64_t>(advanced));
-        }
-        if (advanced > 0 || backpressured || wait_inbound)
-            board_->bump(c);
-        if (backpressured) {
-            // Give the manager a chance to drain our OutQ.
+    }
+    ctl.committed.store(cc.committedUops(),
+                        std::memory_order_release);
+    if (advanced > 0) {
+        obs::traceSpanAt(burst_wall, obs::TraceCategory::Core,
+                         "core-run", local, cc.localTime(),
+                         static_cast<std::int64_t>(advanced));
+    }
+    if (inlineLean_) {
+        // Single-thread run: pump this core's OutQ while its lines
+        // are cache-hot, exactly the serial engine's queue-push
+        // cadence. A burst that advanced nothing emitted nothing
+        // (backpressure excepted: there the queue is *full*), so the
+        // pump is skipped where the serial engine rescans. Nobody
+        // sleeps on the board, so skip the bump too.
+        if (advanced > 0 || backpressured) {
             obs::PhaseScope push(obs::Phase::QueuePush);
-            std::this_thread::yield();
-        } else if (wait_inbound) {
-            // Inert free-running core: sleep until the manager
-            // delivers something (it bumps our wake word after every
-            // delivery) or the world changes.
-            const std::uint32_t w =
-                ctl.wakeWord.load(std::memory_order_acquire);
-            if (cc.inQ().empty() &&
-                phase_.load(std::memory_order_acquire) ==
+            mgr_.pumpCore(c);
+        }
+    } else if (advanced > 0 || backpressured || wait_inbound) {
+        board_->bump(c);
+    }
+
+    if (advanced > 0)
+        return CoreRun::Progress;
+    if (backpressured)
+        return CoreRun::Backpressure;
+    if (wait_inbound)
+        return CoreRun::Inbound;
+    return CoreRun::Paced;
+}
+
+bool
+ParallelEngine::driveInline()
+{
+    const CoreId n = sys_.numCores();
+    const CoreId start = inlineRotate_;
+    inlineRotate_ = (inlineRotate_ + 1) % n;
+    bool progress = false;
+    for (CoreId i = 0; i < n; ++i) {
+        const CoreId c = static_cast<CoreId>((start + i) % n);
+        const CoreRun r = runCoreBurst(c);
+        lastRun_[c] = static_cast<std::uint8_t>(r);
+        if (r == CoreRun::Progress)
+            progress = true;
+    }
+    return progress;
+}
+
+void
+ParallelEngine::workerThreadMain(std::uint32_t w)
+{
+    WorkerControl &wc = *workers_[w];
+    std::uint32_t acked_gen = 0;
+    std::uint32_t idle_rounds = 0;
+
+    // Adopt the run's identity on this (possibly pool-borrowed) host
+    // thread: the token gates obs registration to our own run's
+    // sessions, the fault-plan binding scopes injected faults to us.
+    ScopedRunToken token_scope(sys_.runToken());
+    fault::ScopedFaultPlan plan_scope(sys_.faultPlan());
+
+    const std::string role = "worker " + std::to_string(w);
+    setLogThreadContext(role, &sys_.core(wc.first).localClock());
+    obs::Tracer::instance().registerThread(role);
+    obs::Profiler::instance().registerThread(role);
+
+    while (!stop_.load(std::memory_order_acquire)) {
+        if (phase_.load(std::memory_order_acquire) != phaseRunning) {
+            // Stop-the-world pause: acknowledge exactly once per
+            // pause generation (atomic waits may wake spuriously),
+            // then sleep until resumed.
+            const std::uint32_t gen =
+                pauseGen_.load(std::memory_order_acquire);
+            if (gen != acked_gen) {
+                acked_gen = gen;
+                ackCount_.fetch_add(1, std::memory_order_seq_cst);
+                ackCount_.notify_one();
+                if (watchdog_)
+                    watchdog_->note(wc.first, "pause-ack", 0);
+            }
+            const std::uint32_t e =
+                resumeEpoch_.load(std::memory_order_acquire);
+            if (phase_.load(std::memory_order_acquire) !=
                     phaseRunning &&
                 !stop_.load(std::memory_order_acquire)) {
-                if (watchdog_)
-                    watchdog_->note(c, "park-inbound", cc.localTime());
-                const std::uint64_t park_wall = obs::traceWallNs();
-                const Tick park_cycle = cc.localTime();
-                {
-                    obs::PhaseScope wait(obs::Phase::WaitInbound);
-                    ctl.wakeWord.wait(w, std::memory_order_acquire);
-                }
-                if (watchdog_)
-                    watchdog_->note(c, "resume", cc.localTime());
-                if (obs::traceWallNs() - park_wall >= parkSpanMinNs) {
-                    obs::traceSpanAt(park_wall,
-                                     obs::TraceCategory::Core,
-                                     "core-park", park_cycle,
-                                     cc.localTime(), parkInbound);
-                }
+                obs::PhaseScope barrier(obs::Phase::Barrier);
+                resumeEpoch_.wait(e, std::memory_order_acquire);
+            }
+            continue;
+        }
+
+        // Capture the wake word *before* scanning: every manager-side
+        // state change after this point bumps the word, so the park
+        // below cannot sleep through it.
+        const std::uint32_t word =
+            wc.wakeWord.load(std::memory_order_acquire);
+
+        bool progress = false;
+        bool retry = false;
+        bool any_paced = false;
+        for (CoreId c = wc.first;
+             c < wc.last &&
+             phase_.load(std::memory_order_relaxed) == phaseRunning &&
+             !stop_.load(std::memory_order_relaxed);
+             ++c) {
+            const CoreRun r = runCoreBurst(c);
+            lastRun_[c] = static_cast<std::uint8_t>(r);
+            if (r == CoreRun::Progress)
+                progress = true;
+            else if (r == CoreRun::Backpressure)
+                retry = true;
+            else if (r == CoreRun::Paced)
+                any_paced = true;
+        }
+        if (progress) {
+            idle_rounds = 0;
+            continue;
+        }
+        if (retry || ++idle_rounds <= spinRoundsBeforePark) {
+            // Backpressure wants the manager scheduled to drain our
+            // OutQs; a freshly idle scan usually resolves within a
+            // service round or two. Either way, yield beats a futex.
+            obs::PhaseScope wait(any_paced ? obs::Phase::WaitSlack
+                                           : obs::Phase::WaitInbound);
+            std::this_thread::yield();
+            continue;
+        }
+        idle_rounds = 0;
+
+        // Every owned core is blocked: announce the park, then
+        // re-verify blockage *and* the wake word. The manager's
+        // paired load in wakeWorkerNow() makes the announce-first
+        // order lost-wake-free.
+        wc.parked.store(true, std::memory_order_seq_cst);
+        bool still_blocked = true;
+        for (CoreId c = wc.first; c < wc.last; ++c) {
+            CoreComplex &cc = sys_.core(c);
+            if (cc.finished())
+                continue;
+            if (cc.localTime() >
+                controls_[c]->maxLocal.load(std::memory_order_seq_cst))
+                continue;
+            if (lastRun_[c] ==
+                    static_cast<std::uint8_t>(CoreRun::Inbound) &&
+                cc.inQ().empty())
+                continue;
+            still_blocked = false;
+            break;
+        }
+        if (still_blocked &&
+            wc.wakeWord.load(std::memory_order_seq_cst) == word &&
+            phase_.load(std::memory_order_acquire) == phaseRunning &&
+            !stop_.load(std::memory_order_acquire)) {
+            const Tick park_cycle = sys_.core(wc.first).localTime();
+            if (watchdog_) {
+                watchdog_->note(wc.first,
+                                any_paced ? "park-paced"
+                                          : "park-inbound",
+                                park_cycle);
+            }
+            const std::uint64_t park_wall = obs::traceWallNs();
+            {
+                obs::PhaseScope wait(any_paced
+                                         ? obs::Phase::WaitSlack
+                                         : obs::Phase::WaitInbound);
+                wc.wakeWord.wait(word, std::memory_order_acquire);
+            }
+            ++wc.parks;
+            if (watchdog_) {
+                watchdog_->note(wc.first, "resume",
+                                sys_.core(wc.first).localTime());
+            }
+            // Retroactive span, skipping waits that returned at
+            // once — futex misses would otherwise flood the ring.
+            if (obs::traceWallNs() - park_wall >= parkSpanMinNs) {
+                obs::traceSpanAt(park_wall, obs::TraceCategory::Core,
+                                 "core-park", park_cycle,
+                                 sys_.core(wc.first).localTime(),
+                                 any_paced ? parkPaced : parkInbound);
             }
         }
+        wc.parked.store(false, std::memory_order_seq_cst);
     }
 
     obs::Profiler::instance().unregisterThread();
@@ -415,10 +574,20 @@ ParallelEngine::updatePacing(bool monotone, const ClockSample &sample)
         CoreControl &ctl = *controls_[c];
         const Tick cur = ctl.maxLocal.load(std::memory_order_relaxed);
         if (monotone ? target > cur : target != cur) {
-            ctl.maxLocal.store(target, std::memory_order_seq_cst);
-            wakeCore(c);
+            // With no worker threads the store has no reader to race
+            // with; seq_cst (needed for the parked-recheck protocol)
+            // would cost a full fence per core per iteration.
+            ctl.maxLocal.store(target, inlineLean_
+                                           ? std::memory_order_relaxed
+                                           : std::memory_order_seq_cst);
+            if (!inlineLean_)
+                requestWake(c);
         }
     }
+    // One coalesced sweep covers the pacing changes above *and* the
+    // deliveries drainDelivered() marked earlier in the iteration:
+    // at most one bump + futex per worker per manager round.
+    flushWakes();
 }
 
 void
@@ -449,14 +618,14 @@ ParallelEngine::pauseWorld()
     obs::PhaseScope barrier(obs::Phase::Barrier);
     pauseGen_.fetch_add(1, std::memory_order_seq_cst);
     phase_.store(phasePaused, std::memory_order_seq_cst);
-    for (CoreId c = 0; c < sys_.numCores(); ++c)
-        wakeCore(c);
+    for (std::uint32_t w = 0; w < workerCount_; ++w)
+        wakeWorkerNow(w);
     // Wake any relay sleeping on the progress board so it sees the
     // pause promptly.
     board_->wakeAll();
-    // Wait until every core thread and relay acknowledged the pause.
+    // Wait until every worker thread and relay acknowledged the pause.
     const std::uint32_t expected =
-        sys_.numCores() + static_cast<std::uint32_t>(relays_.size());
+        workerCount_ + static_cast<std::uint32_t>(relays_.size());
     std::uint32_t acked = ackCount_.load(std::memory_order_acquire);
     while (acked < expected) {
         ackCount_.wait(acked, std::memory_order_acquire);
@@ -530,13 +699,15 @@ ParallelEngine::run()
 
     TaskRunner &runner =
         engine_.runner ? *engine_.runner : fallbackRunner_;
-    threads_.reserve(sys_.numCores());
-    for (CoreId c = 0; c < sys_.numCores(); ++c)
+    threads_.reserve(workerCount_);
+    for (std::uint32_t w = 0; w < workerCount_; ++w)
         threads_.push_back(
-            runner.launch([this, c] { coreThreadMain(c); }));
+            runner.launch([this, w] { workerThreadMain(w); }));
     for (std::uint32_t r = 0; r < relays_.size(); ++r)
         relayThreads_.push_back(
             runner.launch([this, r] { relayThreadMain(r); }));
+    host_.hostThreadsUsed = 1 + workerCount_ +
+                            static_cast<std::uint32_t>(relays_.size());
 
     // A cancel request may arrive while the manager is parked on the
     // progress board; the waker is a pure futex kick (wakers must not
@@ -554,7 +725,9 @@ ParallelEngine::run()
             cancelled = true;
             break;
         }
-        const std::uint64_t p0 = board_->sum();
+        // The board only matters as a sleep/wake channel; a lean
+        // inline run never sleeps, so skip the two sharded sums.
+        const std::uint64_t p0 = inlineLean_ ? 0 : board_->sum();
 
         // Read local clocks *before* pumping: every event with a
         // timestamp below the resulting safe time is then guaranteed
@@ -563,10 +736,37 @@ ParallelEngine::run()
         // a hierarchical manager the relays publish the equivalent
         // per-cluster watermark. One scan serves the safe time, the
         // pacing targets, and the slack-spread stat below.
-        const ClockSample clocks = sampleClocks();
+        //
+        // Inline mode drives the core bursts *after* this sample, so
+        // every event a burst emits carries a timestamp at or above
+        // its core's sampled clock — the same safe-time invariant,
+        // with zero cross-thread handoff.
+        ClockSample clocks;
+        std::size_t activity = 0;
+        if (inlineLean_) {
+            // Lean inline runs burst-then-sample, the serial engine's
+            // own cadence: the bursts pump their OutQs synchronously,
+            // so sampling *after* them is just as safe (any future
+            // event from a core is stamped at or above that core's
+            // current clock) — and it paces the next round a full
+            // slack window ahead of where the cores actually are, not
+            // where they were a round ago. One scan per round, like
+            // the serial engine.
+            if (driveInline())
+                ++activity;
+            clocks = sampleClocks();
+        } else {
+            clocks = sampleClocks();
+            if (workerCount_ == 0) {
+                // Inline with relays: the relays pump asynchronously,
+                // so the safe time must come from the pre-burst
+                // sample, same as the threaded topologies.
+                if (driveInline())
+                    ++activity;
+            }
+        }
         const Tick global = clocks.global;
         Tick safe = global;
-        std::size_t activity = 0;
         if (auto *plan = fault::FaultPlan::active()) {
             if (const std::uint64_t rounds =
                     plan->fireBackpressure(global)) {
@@ -589,7 +789,10 @@ ParallelEngine::run()
         } else {
             obs::PhaseScope drain(obs::Phase::Drain);
             const std::uint64_t service_wall = obs::traceWallNs();
-            if (relays_.empty()) {
+            if (inlineLean_) {
+                // The bursts pumped their own OutQs already; a second
+                // all-core scan would find them empty.
+            } else if (relays_.empty()) {
                 activity += mgr_.pumpAll();
             } else {
                 safe = maxTick;
@@ -615,10 +818,17 @@ ParallelEngine::run()
                                  "manager-service", global, safe,
                                  static_cast<std::int64_t>(activity));
             }
-            // Wake any core that just received a delivery: inert
-            // free-running cores sleep until their InQ gets
-            // something.
-            mgr_.drainDelivered([this](CoreId c) { wakeCore(c); });
+            // Mark any core that just received a delivery for the
+            // coalesced wake sweep: inert free-running cores sleep
+            // until their InQ gets something. updatePacing() below
+            // flushes the sweep. Inline mode has nobody to wake; the
+            // marks still need clearing.
+            if (inlineLean_)
+                mgr_.drainDelivered([](CoreId) {});
+            else
+                mgr_.drainDelivered([this](CoreId c) {
+                    requestWake(c);
+                });
         }
         pacer_.observe(global, sys_.violations());
         recovery_.observe(global, sys_.violations());
@@ -735,7 +945,18 @@ ParallelEngine::run()
                            " scheme=", schemeName(engine_.scheme));
         }
 
-        if (activity == 0 && board_->sum() == p0) {
+        if (activity == 0 && (inlineLean_ || board_->sum() == p0)) {
+            // Inline mode: the manager itself is the only thread that
+            // drives the cores, so sleeping on the board would
+            // deadlock — any relays downstream only forward events
+            // this thread produces. Yield so relay threads get a
+            // chance to advance their watermarks, then re-drive (the
+            // stalled-global watchdog above still catches a true
+            // deadlock).
+            if (workerCount_ == 0) {
+                std::this_thread::yield();
+                continue;
+            }
             obs::PhaseScope wait(obs::Phase::WaitInbound);
             // The eligibility re-check (after sleeper registration)
             // closes the race with a cancel that fired its wakeAll
@@ -747,19 +968,21 @@ ParallelEngine::run()
         }
     }
 
-    // Shut the core and relay threads down.
+    // Shut the worker and relay threads down.
     stop_.store(true, std::memory_order_seq_cst);
     resumeEpoch_.fetch_add(1, std::memory_order_seq_cst);
     resumeEpoch_.notify_all();
     board_->wakeAll();
-    for (CoreId c = 0; c < sys_.numCores(); ++c)
-        wakeCore(c);
+    for (std::uint32_t w = 0; w < workerCount_; ++w)
+        wakeWorkerNow(w);
     for (auto &t : threads_)
         t->join();
     threads_.clear();
     for (auto &t : relayThreads_)
         t->join();
     relayThreads_.clear();
+    for (const auto &wc : workers_)
+        host_.coreParkEvents += wc->parks;
     // Drain any events still in transit (relay queues, popped-but-
     // unpushed carry tails, and OutQs the relays had not pumped when
     // they stopped) so final statistics match the flat manager's.
@@ -777,6 +1000,7 @@ ParallelEngine::run()
         mgr_.flushOverflow();
     }
 
+    ckpt_.finalizeHostStats();
     session.finish(computeGlobal());
     watchdog_ = nullptr; // owned by the session; run is over
     clearLogThreadContext();

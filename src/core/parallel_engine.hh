@@ -1,16 +1,36 @@
 /**
  * @file
- * The threaded SlackSim engine: one host thread per simulated core
- * plus the simulation manager on the calling thread (paper Section 2).
+ * The threaded SlackSim engine: worker host threads driving the
+ * simulated cores plus the simulation manager on the calling thread
+ * (paper Section 2, generalized to host-topology-aware scheduling).
+ *
+ * Host-thread multiplexing: instead of the paper's fixed one-thread-
+ * per-core mapping, the simulated cores are partitioned across
+ * EngineConfig::hostThreads - 1 worker threads (auto-sized from the
+ * host when 0), parti-gem5-style. Each worker round-robins bursts
+ * over its owned cores and only parks when *every* owned core is
+ * blocked, which collapses the per-core park/wake storms the profiler
+ * attributed most parallel host time to. The degenerate inline mode
+ * (hostThreads = 1, or an auto-detected single-CPU host) launches no
+ * workers at all: the manager drives every core burst itself, so a
+ * host with nothing to gain from concurrency pays zero park/wake
+ * cost — the honest configuration in which parallel >= serial.
  *
  * Pacing protocol: each core owns an atomic local clock; the manager
- * publishes a per-core max-local-time. A core runs bursts while
- * local <= max and parks on a per-core wake word (C++20 atomic wait)
- * otherwise; the manager bumps the wake word whenever it raises the
- * limit. Progress notifications flow the other way through a global
- * progress counter the manager can sleep on. Checkpoints are taken
- * when all unfinished cores quiesce at the boundary (pacing clamps
- * them there); rollbacks use a stop-the-world pause handshake.
+ * publishes a per-core max-local-time. Wakes are coalesced: pacing
+ * changes and deliveries mark pending cores in a bitset, and one
+ * sweep per manager iteration bumps each affected worker's wake word
+ * once. A worker announces itself in a `parked` flag before waiting,
+ * so the sweep skips the futex syscall entirely for running workers
+ * (the Dekker-style store-buffering argument in wakeWorker() makes
+ * the skip lost-wake-free). Workers spin/yield a few idle rounds
+ * before parking — on oversubscribed hosts the yield usually hands
+ * the CPU to the manager, whose next service round unblocks them
+ * without any futex round trip. Progress notifications flow the other
+ * way through a sharded progress board the manager can sleep on.
+ * Checkpoints are taken when all unfinished cores quiesce at the
+ * boundary (pacing clamps them there); rollbacks use a stop-the-world
+ * pause handshake acknowledged once per worker.
  */
 
 #ifndef SLACKSIM_CORE_PARALLEL_ENGINE_HH
@@ -28,6 +48,7 @@
 #include "core/run_result.hh"
 #include "core/sim_system.hh"
 #include "fault/recovery_policy.hh"
+#include "util/core_bitset.hh"
 #include "util/progress_board.hh"
 #include "util/spsc_queue.hh"
 #include "util/task_runner.hh"
@@ -47,17 +68,43 @@ class ParallelEngine
     /** Run to completion (or to the configured uop budget). */
     RunResult run();
 
+    /** @return worker threads the run will use (0 = inline mode:
+     *  the manager drives every core burst itself). */
+    std::uint32_t workerCount() const { return workerCount_; }
+
   private:
-    /** Per-core shared control block (core thread <-> manager). */
+    /** Per-core shared control block (worker <-> manager). */
     struct CoreControl
     {
         alignas(64) std::atomic<Tick> maxLocal{0};
-        alignas(64) std::atomic<std::uint32_t> wakeWord{0};
         alignas(64) std::atomic<bool> finished{false};
         std::atomic<std::uint64_t> committed{0};
     };
 
+    /** Per-worker park/wake block. One wake word per *worker*: a
+     *  worker parks only when all its owned cores are blocked, and
+     *  the manager's coalesced sweep bumps it at most once per
+     *  iteration regardless of how many owned cores changed. */
+    struct WorkerControl
+    {
+        alignas(64) std::atomic<std::uint32_t> wakeWord{0};
+        alignas(64) std::atomic<bool> parked{false};
+        CoreId first = 0;
+        CoreId last = 0; //!< exclusive
+        std::uint64_t parks = 0; //!< futex parks (worker-local)
+    };
+
     enum Phase : std::uint32_t { phaseRunning = 0, phasePaused = 1 };
+
+    /** What one core's burst attempt amounted to (worker + inline). */
+    enum class CoreRun : std::uint8_t
+    {
+        Progress,     //!< advanced >= 1 cycle (or just finished)
+        Paced,        //!< at the pacing limit
+        Inbound,      //!< inert, awaiting an InQ delivery
+        Backpressure, //!< OutQ full, needs a manager drain
+        Finished      //!< trace complete
+    };
 
     /** One consistent pass over every core clock (see sampleClocks). */
     struct ClockSample
@@ -67,9 +114,22 @@ class ParallelEngine
         Tick maxUnfinished = 0;
     };
 
-    void coreThreadMain(CoreId c);
+    void workerThreadMain(std::uint32_t w);
     void relayThreadMain(std::uint32_t cluster);
-    void wakeCore(CoreId c);
+    /** Run one burst for core @p c (worker threads and inline mode
+     *  share this path). Updates the core's control block, progress
+     *  board and trace spans. */
+    CoreRun runCoreBurst(CoreId c);
+    /** Drive every core one scan in inline mode. @return true when
+     *  any core advanced. */
+    bool driveInline();
+    /** Mark core @p c's worker for the next coalesced wake sweep. */
+    void requestWake(CoreId c);
+    /** Bump + (if parked) futex-wake every marked worker, at most
+     *  once each, then clear the marks. */
+    void flushWakes();
+    /** Unconditionally bump + wake one worker (pause/shutdown). */
+    void wakeWorkerNow(std::uint32_t w);
     /**
      * Scan every core clock exactly once: fills localsScratch_ and
      * returns the global time plus the unfinished min/max (slack
@@ -77,7 +137,8 @@ class ParallelEngine
      * rescans the manager loop used to do per iteration.
      */
     ClockSample sampleClocks();
-    /** Publish new pacing limits from an existing clock sample. */
+    /** Publish new pacing limits from an existing clock sample and
+     *  flush the coalesced wake sweep. */
     void updatePacing(bool monotone, const ClockSample &sample);
     /** Publish new pacing limits from a fresh scan; @p monotone false
      *  only while the cores are paused (rollback). */
@@ -116,6 +177,24 @@ class ParallelEngine
     };
 
     std::vector<std::unique_ptr<CoreControl>> controls_;
+    std::vector<std::unique_ptr<WorkerControl>> workers_;
+    std::uint32_t workerCount_ = 0; //!< 0 = inline mode
+    /** Core -> owning worker (meaningless in inline mode). */
+    std::vector<std::uint32_t> workerOf_;
+    /** Coalesced wake sweep: cores marked since the last flush. */
+    CoreBitset wakePending_;
+    /** Scratch: workers already bumped in the current flush. */
+    std::vector<std::uint8_t> workerWoken_;
+    /** Last burst outcome per core (worker park recheck). */
+    std::vector<std::uint8_t> lastRun_;
+    /** Inline-mode scan start, rotated like the serial engine's so no
+     *  core is systematically serviced first. */
+    CoreId inlineRotate_ = 0;
+    /** Inline mode with no relays: the manager is the only thread in
+     *  the run, so cross-thread signalling (board bumps, seq_cst
+     *  pacing stores, wake bookkeeping) is pure overhead and skipped
+     *  on the hot path. */
+    bool inlineLean_ = false;
     std::vector<std::unique_ptr<Relay>> relays_;
     std::vector<Tick> localsScratch_;
     /** Worker handles from the configured TaskRunner: pool threads

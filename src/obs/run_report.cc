@@ -119,12 +119,18 @@ writeResultSection(JsonWriter &w, const RunResult &r)
     w.field("checkpoints", r.host.checkpointsTaken);
     w.field("checkpoint_bytes", r.host.checkpointBytes);
     w.field("checkpoint_seconds", r.host.checkpointSeconds);
+    // Seal/copy work a background thread absorbed while the cores
+    // kept simulating — overlapped host time, deliberately *not* part
+    // of the critical-path checkpoint_seconds above.
+    w.field("checkpoint_async_seconds", r.host.checkpointAsyncSeconds);
     w.field("rollbacks", r.host.rollbacks);
     w.field("wasted_cycles", r.host.wastedCycles);
     w.field("replay_cycles", r.host.replayCycles);
     w.field("slack_adjustments", r.host.slackAdjustments);
     w.field("manager_wakeups", r.host.managerWakeups);
     w.field("max_observed_slack", r.host.maxObservedSlack);
+    w.field("host_threads_used",
+            static_cast<std::uint64_t>(r.host.hostThreadsUsed));
     w.endObject();
     w.field("final_slack_bound", r.finalSlackBound);
     w.field("intervals",

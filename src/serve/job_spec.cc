@@ -29,8 +29,9 @@ knownKeys()
         "quantum",       "seed",
         "max_uops",      "warmup_uops",
         "checkpoint",    "checkpoint_interval",
-        "parallel_host", "clusters",
-        "priority",      "timeout_ms",
+        "parallel_host", "host_threads",
+        "clusters",      "priority",
+        "timeout_ms",
         "fault_spec",    "fault_seed",
         "mem_mb",
     };
@@ -292,6 +293,19 @@ JobSpec::parse(const json::Value &doc, JobSpec *out,
         }
         spec.parallelHost = v.boolean;
     }
+    if (doc.has("host_threads")) {
+        if (!getUint(doc, "host_threads", &u, error))
+            return false;
+        if (u > 0 && !spec.parallelHost) {
+            *error = "host_threads requires parallel_host";
+            return false;
+        }
+        if (u > std::uint64_t{spec.cores} + 1) {
+            *error = "host_threads must be in [0, cores + 1]";
+            return false;
+        }
+        spec.hostThreadsOverride = static_cast<std::uint32_t>(u);
+    }
     if (doc.has("clusters")) {
         if (!getUint(doc, "clusters", &u, error))
             return false;
@@ -355,6 +369,7 @@ JobSpec::toConfig() const
     config.engine.maxCommittedUops = maxUops;
     config.engine.warmupUops = warmupUops;
     config.engine.parallelHost = parallelHost;
+    config.engine.hostThreads = hostThreadsOverride;
     config.engine.managerClusters = clusters;
     if (checkpoint == "measure")
         config.engine.checkpoint.mode = CheckpointMode::Measure;
@@ -387,6 +402,10 @@ JobSpec::toJson() const
     w.field("checkpoint", checkpoint);
     w.field("checkpoint_interval", checkpointInterval);
     w.field("parallel_host", parallelHost);
+    if (hostThreadsOverride) {
+        w.field("host_threads",
+                static_cast<std::uint64_t>(hostThreadsOverride));
+    }
     w.field("clusters", static_cast<std::uint64_t>(clusters));
     w.field("priority", static_cast<std::uint64_t>(priority));
     w.field("timeout_ms", timeoutMs);

@@ -24,6 +24,9 @@
  *     "checkpoint":    string   off|measure|speculative (default off)
  *     "checkpoint_interval": uint  cycles, >=100 (default 50000)
  *     "parallel_host": bool     threaded engine (default true)
+ *     "host_threads":  uint     total host threads incl. the manager
+ *                               (0 = auto-size from the machine;
+ *                               1 = inline mode; parallel only)
  *     "clusters":      uint     relay threads (default 0)
  *     "priority":      uint     0..7, higher runs first (default 3)
  *     "timeout_ms":    uint     per-job host deadline (0 = none)
@@ -71,6 +74,9 @@ struct JobSpec
     std::string checkpoint = "off";
     std::uint64_t checkpointInterval = 50000;
     bool parallelHost = true;
+    /** EngineConfig::hostThreads: total host threads including the
+     *  manager; 0 = auto-size from the machine. */
+    std::uint32_t hostThreadsOverride = 0;
     std::uint32_t clusters = 0;
     std::uint32_t priority = 3;
     std::uint64_t timeoutMs = 0;
@@ -92,14 +98,24 @@ struct JobSpec
 
     /**
      * Host threads the job occupies while running: the manager plus,
-     * on the parallel engine, one per simulated core and relay. This
-     * is the quantity admission control reserves against the global
-     * core budget.
+     * on the parallel engine, the worker threads and relays. With no
+     * host_threads override the engine auto-sizes its workers from
+     * the machine, so admission reserves the one-per-core worst case.
+     * This is the quantity admission control reserves against the
+     * global core budget.
      */
     std::uint32_t
     hostThreads() const
     {
-        return parallelHost ? 1 + cores + clusters : 1;
+        if (!parallelHost)
+            return 1;
+        const std::uint32_t workers =
+            hostThreadsOverride
+                ? (hostThreadsOverride > cores + 1
+                       ? cores
+                       : hostThreadsOverride - 1)
+                : cores;
+        return 1 + workers + clusters;
     }
 
     /** Admission memory estimate (MiB): the override when given,

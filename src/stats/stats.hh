@@ -123,7 +123,10 @@ struct ViolationStats
 struct HostStats
 {
     double wallSeconds = 0.0;           //!< engine run wall-clock time
-    double checkpointSeconds = 0.0;     //!< time spent taking snapshots
+    double checkpointSeconds = 0.0;     //!< critical-path snapshot time
+    /** Snapshot seal/copy time overlapped with forward simulation on
+     *  the async checkpoint thread; never on the critical path. */
+    double checkpointAsyncSeconds = 0.0;
     std::uint64_t checkpointsTaken = 0;
     std::uint64_t checkpointBytes = 0;  //!< size of the last snapshot
     std::uint64_t rollbacks = 0;
@@ -132,6 +135,9 @@ struct HostStats
     std::uint64_t slackAdjustments = 0; //!< adaptive bound changes
     std::uint64_t managerWakeups = 0;
     std::uint64_t coreParkEvents = 0;
+    /** Host threads the run actually used (manager + workers +
+     *  relays); 1 for the serial engine and parallel inline mode. */
+    std::uint32_t hostThreadsUsed = 1;
     Tick maxObservedSlack = 0;          //!< max clock spread seen
 };
 

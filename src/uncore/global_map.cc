@@ -14,36 +14,40 @@ namespace slacksim {
 MapEntry &
 GlobalCacheMap::entry(Addr line)
 {
-    return map_[line];
+    return map_[bankOf(line)][line];
 }
 
 const MapEntry *
 GlobalCacheMap::find(Addr line) const
 {
-    auto it = map_.find(line);
-    return it == map_.end() ? nullptr : &it->second;
+    const auto &bank = map_[bankOf(line)];
+    auto it = bank.find(line);
+    return it == bank.end() ? nullptr : &it->second;
 }
 
 void
 GlobalCacheMap::eraseIfEmpty(Addr line)
 {
-    auto it = map_.find(line);
-    if (it != map_.end() && it->second.empty())
-        map_.erase(it);
+    auto &bank = map_[bankOf(line)];
+    auto it = bank.find(line);
+    if (it != bank.end() && it->second.empty())
+        bank.erase(it);
 }
 
 void
 GlobalCacheMap::checkInvariants() const
 {
-    for (const auto &[line, e] : map_) {
-        if (e.owner != invalidCore) {
-            const std::uint64_t owner_bit = 1ull << e.owner;
-            SLACKSIM_ASSERT((e.dSharers & ~owner_bit) == 0,
-                            "owned line ", line,
-                            " has foreign D sharers");
-            SLACKSIM_ASSERT((e.dSharers & owner_bit) != 0,
-                            "owner of line ", line,
-                            " missing from sharer mask");
+    for (const auto &bank : map_) {
+        for (const auto &[line, e] : bank) {
+            if (e.owner != invalidCore) {
+                const std::uint64_t owner_bit = 1ull << e.owner;
+                SLACKSIM_ASSERT((e.dSharers & ~owner_bit) == 0,
+                                "owned line ", line,
+                                " has foreign D sharers");
+                SLACKSIM_ASSERT((e.dSharers & owner_bit) != 0,
+                                "owner of line ", line,
+                                " missing from sharer mask");
+            }
         }
     }
 }
@@ -52,18 +56,19 @@ void
 GlobalCacheMap::save(SnapshotWriter &writer) const
 {
     writer.putMarker(0x6d41);
-    // Serialize in sorted address order so identical logical states
-    // always produce identical snapshot bytes (unordered_map
-    // iteration order is not stable across rebuilds).
+    // Serialize all banks in one globally sorted address order so
+    // identical logical states always produce identical snapshot
+    // bytes — across unordered_map rebuilds *and* bank counts.
     std::vector<Addr> lines;
-    lines.reserve(map_.size());
-    for (const auto &[line, e] : map_)
-        lines.push_back(line);
+    lines.reserve(size());
+    for (const auto &bank : map_)
+        for (const auto &[line, e] : bank)
+            lines.push_back(line);
     std::sort(lines.begin(), lines.end());
     writer.put<std::uint64_t>(lines.size());
     for (const Addr line : lines) {
         writer.put(line);
-        writer.put(map_.at(line));
+        writer.put(map_[bankOf(line)].at(line));
     }
 }
 
@@ -71,12 +76,14 @@ void
 GlobalCacheMap::restore(SnapshotReader &reader)
 {
     reader.checkMarker(0x6d41);
-    map_.clear();
     const auto count = reader.get<std::uint64_t>();
-    map_.reserve(count);
+    for (auto &bank : map_) {
+        bank.clear();
+        bank.reserve(count / banks_ + 1);
+    }
     for (std::uint64_t i = 0; i < count; ++i) {
         const Addr line = reader.get<Addr>();
-        map_[line] = reader.get<MapEntry>();
+        map_[bankOf(line)][line] = reader.get<MapEntry>();
     }
 }
 

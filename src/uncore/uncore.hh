@@ -47,6 +47,9 @@ struct UncoreParams
     Tick busResponseCycles = 2;  //!< response-bus occupancy per data
     std::uint32_t numLocks = 0;
     std::uint32_t numBarriers = 0;
+    /** Address-range banks of the global cache status map (>= 1);
+     *  mirrors EngineConfig::managerBanks. */
+    std::uint32_t mapBanks = 1;
 };
 
 /** A message the uncore wants delivered to a core's InQ. */

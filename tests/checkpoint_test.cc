@@ -134,6 +134,66 @@ TEST(Speculative, SerialSpeculativeIsDeterministic)
     EXPECT_EQ(a.host.wastedCycles, b.host.wastedCycles);
 }
 
+TEST(Speculative, AsyncSealMatchesSyncSealExactly)
+{
+    // Moving the seal (integrity trailer + emulated extra copy) to a
+    // background thread must be invisible to the simulation: the
+    // pending generation promotes at the next checkpoint, rollback or
+    // finalize join, before anything can consume it.
+    SimConfig sync_cfg = measureConfig("falseshare", 1000, false);
+    sync_cfg.engine.checkpoint.mode = CheckpointMode::Speculative;
+    sync_cfg.engine.adaptive.initialBound = 32;
+    sync_cfg.engine.adaptive.targetViolationRate = 0.05;
+    SimConfig async_cfg = sync_cfg;
+    sync_cfg.engine.checkpoint.asyncSeal = false;
+    async_cfg.engine.checkpoint.asyncSeal = true;
+
+    const auto s = runSimulation(sync_cfg);
+    const auto a = runSimulation(async_cfg);
+    EXPECT_EQ(s.execCycles, a.execCycles);
+    EXPECT_EQ(s.committedUops, a.committedUops);
+    EXPECT_EQ(s.host.checkpointsTaken, a.host.checkpointsTaken);
+    EXPECT_EQ(s.host.rollbacks, a.host.rollbacks);
+    EXPECT_EQ(s.host.wastedCycles, a.host.wastedCycles);
+    EXPECT_EQ(s.host.replayCycles, a.host.replayCycles);
+}
+
+TEST(Speculative, AsyncSealReportsBackgroundTime)
+{
+    // The async run books the seal's busy time as background host
+    // time; the sync run books everything on the critical path and
+    // must report zero background seconds.
+    SimConfig config = measureConfig("falseshare", 1000, false);
+    config.engine.checkpoint.mode = CheckpointMode::Speculative;
+    config.engine.adaptive.initialBound = 32;
+    config.engine.adaptive.targetViolationRate = 0.05;
+
+    SimConfig sync_cfg = config;
+    sync_cfg.engine.checkpoint.asyncSeal = false;
+    const auto s = runSimulation(sync_cfg);
+    ASSERT_GT(s.host.checkpointsTaken, 1u);
+    EXPECT_EQ(s.host.checkpointAsyncSeconds, 0.0);
+    EXPECT_GT(s.host.checkpointSeconds, 0.0);
+
+    const auto a = runSimulation(config);
+    ASSERT_GT(a.host.checkpointsTaken, 1u);
+    EXPECT_GT(a.host.checkpointAsyncSeconds, 0.0);
+}
+
+TEST(Speculative, AsyncSealWorksOnParallelHost)
+{
+    SimConfig config = measureConfig("falseshare", 2000, true);
+    config.engine.checkpoint.mode = CheckpointMode::Speculative;
+    config.engine.checkpoint.asyncSeal = true;
+    config.engine.adaptive.initialBound = 64;
+    config.engine.adaptive.targetViolationRate = 0.05;
+    const Workload w = makeWorkload(config.workload);
+    const auto r = runSimulation(config);
+    EXPECT_GT(r.host.rollbacks, 0u);
+    EXPECT_EQ(r.committedUops, w.totalMicroOps());
+    EXPECT_GT(r.host.checkpointAsyncSeconds, 0.0);
+}
+
 TEST(Speculative, SelectiveRollbackOnMapOnlyRollsBackLess)
 {
     // The paper suggests ignoring bus violations and rolling back on

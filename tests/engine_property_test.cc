@@ -272,6 +272,86 @@ TEST(RunResultReport, JsonIsWellFormedAndComplete)
     EXPECT_EQ(json.back(), '}');
 }
 
+TEST(BankedManager, CcMatchesSingleBankExactly)
+{
+    // Sharding the manager's staging and the global cache map into
+    // per-address banks must be invisible to the gold standard: the
+    // per-bank tournament plus the top-level (ts, src, seq) selection
+    // reproduces the exact single-bank service order.
+    for (const std::string kernel : {"falseshare", "uniform"}) {
+        auto flat = smallConfig(kernel, SchemeKind::CycleByCycle, true);
+        for (const std::uint32_t banks : {1u, 2u, 4u, 16u}) {
+            auto banked = flat;
+            banked.engine.managerBanks = banks;
+            SCOPED_TRACE(kernel + " banks=" + std::to_string(banks));
+            expectSameSimulation(runSimulation(flat),
+                                 runSimulation(banked));
+        }
+    }
+}
+
+TEST(BankedManager, SlackSchemesMatchAcrossBankCounts)
+{
+    // Slack schemes service in the same order regardless of how the
+    // state is banked, so their (approximate) results must also be
+    // identical across bank counts — including the violation tallies
+    // the banked GlobalCacheMap detects.
+    for (const SchemeKind scheme :
+         {SchemeKind::Bounded, SchemeKind::Adaptive}) {
+        auto one = smallConfig("falseshare", scheme, true);
+        one.engine.slackBound = 16;
+        // Inline host: slack-scheme service order is arrival order,
+        // which only the single-threaded topology pins down — with
+        // real workers it is timing-dependent by design.
+        one.engine.hostThreads = 1;
+        one.engine.managerBanks = 1;
+        auto eight = one;
+        eight.engine.managerBanks = 8;
+        SCOPED_TRACE(schemeName(scheme));
+        const auto a = runSimulation(one);
+        const auto b = runSimulation(eight);
+        expectSameSimulation(a, b);
+        EXPECT_EQ(a.violations.busViolations,
+                  b.violations.busViolations);
+        EXPECT_EQ(a.violations.mapViolations,
+                  b.violations.mapViolations);
+    }
+}
+
+TEST(HostThreads, CcInvariantAcrossWorkerTopologies)
+{
+    // Worker multiplexing is a host-side scheduling choice: pinning
+    // the engine to 1 (inline), 2, 3 or 5 (one worker per core) host
+    // threads must not change cycle-by-cycle results.
+    const auto reference =
+        runSimulation(smallConfig("falseshare",
+                                  SchemeKind::CycleByCycle, true));
+    for (const std::uint32_t threads : {1u, 2u, 3u, 5u}) {
+        auto pinned = smallConfig("falseshare",
+                                  SchemeKind::CycleByCycle, true);
+        pinned.engine.hostThreads = threads;
+        SCOPED_TRACE(threads);
+        expectSameSimulation(reference, runSimulation(pinned));
+    }
+}
+
+TEST(HostThreads, SlackSchemesCompleteOnEveryTopology)
+{
+    for (const SchemeKind scheme :
+         {SchemeKind::Bounded, SchemeKind::Adaptive}) {
+        for (const std::uint32_t threads : {1u, 2u, 4u}) {
+            auto config = smallConfig("uniform", scheme, true);
+            config.engine.hostThreads = threads;
+            config.engine.slackBound = 16;
+            const Workload w = makeWorkload(config.workload);
+            SCOPED_TRACE(std::string(schemeName(scheme)) + " ht=" +
+                         std::to_string(threads));
+            const auto r = runSimulation(config);
+            EXPECT_EQ(r.committedUops, w.totalMicroOps());
+        }
+    }
+}
+
 TEST(HierarchicalManager, CcMatchesFlatManagerExactly)
 {
     // The paper's scaling suggestion: relay threads consolidating

@@ -98,6 +98,32 @@ TEST_P(GoldenRun, ParallelEngineReproducesGoldenValues)
     EXPECT_EQ(r.uncore.busRequests, expect.busRequests);
 }
 
+TEST_P(GoldenRun, BankedManagerReproducesGoldenValues)
+{
+    // The sharded manager must be bit-identical to the classic single-
+    // bank layout: same pinned goldens for every bank count, on both
+    // engines. 1 pins the degenerate banked layout, 3 exercises
+    // addresses wrapping unevenly, 8 the widest practical split.
+    const std::string kernel = GetParam();
+    const Golden &expect = goldenValues.at(kernel);
+    for (const std::uint32_t banks : {1u, 3u, 8u}) {
+        for (const bool parallel : {false, true}) {
+            SCOPED_TRACE(testing::Message()
+                         << "banks=" << banks
+                         << " parallel=" << parallel);
+            SimConfig config = goldenConfig(kernel);
+            config.engine.parallelHost = parallel;
+            config.engine.managerBanks = banks;
+            const RunResult r = runSimulation(config);
+            EXPECT_EQ(r.execCycles, expect.execCycles);
+            EXPECT_EQ(r.committedUops, expect.committedUops);
+            EXPECT_EQ(r.uncore.busRequests, expect.busRequests);
+            EXPECT_EQ(r.uncore.l2Misses, expect.l2Misses);
+            EXPECT_EQ(r.violations.total(), 0u);
+        }
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllKernels, GoldenRun,
     ::testing::Values("barnes", "fft", "lu", "water", "pingpong",

@@ -260,6 +260,52 @@ TEST(ForensicsRun, LedgerMatchesViolationStatsParallel)
     expectLedgerConsistent(r);
 }
 
+TEST(ForensicsRun, LedgerAttributionIdenticalAcrossManagerBanks)
+{
+    // Violations detected inside different global-map banks must land
+    // in the one shared ledger with the same attribution the single-
+    // bank layout produces: same totals, same (requester, prior)
+    // pairs, same deterministic top-offender order. Inline host
+    // pins the arrival order so the comparison is exact.
+    auto one = baseConfig("falseshare", SchemeKind::Bounded, true);
+    one.engine.slackBound = 256;
+    one.engine.maxCommittedUops = 40000;
+    one.engine.hostThreads = 1;
+    one.engine.managerBanks = 1;
+    auto four = one;
+    four.engine.managerBanks = 4;
+
+    const RunResult a = runSimulation(one);
+    const RunResult b = runSimulation(four);
+    EXPECT_GT(a.violations.total(), 0u)
+        << "config no longer produces violations; test is vacuous";
+    expectLedgerConsistent(a);
+    expectLedgerConsistent(b);
+    EXPECT_EQ(a.forensics.ledger.busTotal(),
+              b.forensics.ledger.busTotal());
+    EXPECT_EQ(a.forensics.ledger.mapTotal(),
+              b.forensics.ledger.mapTotal());
+
+    const auto pa = a.forensics.ledger.nonzeroPairs();
+    const auto pb = b.forensics.ledger.nonzeroPairs();
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+        EXPECT_EQ(pa[i].requester, pb[i].requester);
+        EXPECT_EQ(pa[i].prior, pb[i].prior);
+        EXPECT_EQ(pa[i].bus, pb[i].bus);
+        EXPECT_EQ(pa[i].map, pb[i].map);
+    }
+
+    const auto oa = a.forensics.ledger.topOffenders(8);
+    const auto ob = b.forensics.ledger.topOffenders(8);
+    ASSERT_EQ(oa.size(), ob.size());
+    for (std::size_t i = 0; i < oa.size(); ++i) {
+        EXPECT_EQ(oa[i].bucket, ob[i].bucket);
+        EXPECT_EQ(oa[i].bus, ob[i].bus);
+        EXPECT_EQ(oa[i].map, ob[i].map);
+    }
+}
+
 TEST(ForensicsRun, AdaptiveDecisionChainReplaysEveryBoundChange)
 {
     auto config = baseConfig("falseshare", SchemeKind::Adaptive, false);

@@ -368,6 +368,10 @@ TEST(ChromeTrace, GoldenSpansFromTinyEngineRun)
     config.engine.slackBound = 8;
     config.engine.maxCommittedUops = 6000;
     config.engine.parallelHost = true;
+    // Pin the host topology: the golden needles below assert on the
+    // worker thread names, which the auto policy would elide on a
+    // single-CPU host (inline mode).
+    config.engine.hostThreads = 3;
     config.engine.checkpoint.mode = CheckpointMode::Measure;
     config.engine.checkpoint.interval = 1000;
     config.engine.obs.traceOut = path;
@@ -386,7 +390,7 @@ TEST(ChromeTrace, GoldenSpansFromTinyEngineRun)
     for (const char *needle :
          {"\"traceEvents\"", "\"core-run\"", "\"manager-service\"",
           "\"checkpoint\"", "\"engine-run\"", "\"thread_name\"",
-          "\"manager\"", "\"core 0\""}) {
+          "\"manager\"", "\"worker 0\""}) {
         EXPECT_NE(json.find(needle), std::string::npos)
             << "missing " << needle;
     }

@@ -280,6 +280,88 @@ TEST(MergeTree, WatermarkedServiceMatchesGlobalSort)
     EXPECT_EQ(merged, sortedReference(all));
 }
 
+/**
+ * The banked manager's two-level selection (per-bank k-way tree, top-
+ * level scan over bank heads on the full (ts, src, seq) key) must
+ * reproduce the exact global sort for every bank count, even though a
+ * single source's events scatter across banks by address — the seq
+ * tie-break is what keeps two banks holding the same source at the
+ * same timestamp in original emission order.
+ */
+TEST(MergeTree, BankedSelectionMatchesGlobalSort)
+{
+    constexpr std::uint32_t sources = 5;
+    struct AddrEv
+    {
+        Ev ev;
+        std::uint64_t addr;
+    };
+
+    // One fixed event stream, reused for every bank count below.
+    std::mt19937 rng(41);
+    std::vector<AddrEv> all;
+    std::vector<Tick> clock(sources, 0);
+    std::vector<std::uint64_t> seq(sources, 0);
+    for (int i = 0; i < 4000; ++i) {
+        const std::uint32_t s = rng() % sources;
+        clock[s] += rng() % 3; // frequent ts collisions
+        all.push_back({{clock[s], s, seq[s]++},
+                       (static_cast<std::uint64_t>(rng()) % 97) * 64});
+    }
+    std::vector<Ev> keys;
+    for (const AddrEv &e : all)
+        keys.push_back(e.ev);
+    const auto ref = sortedReference(keys);
+
+    for (const std::uint32_t bank_count : {1u, 2u, 3u, 8u}) {
+        SCOPED_TRACE(bank_count);
+        std::vector<MergeTree<RunHeadLess>> trees;
+        std::vector<std::vector<std::deque<Ev>>> bank_runs(bank_count);
+        for (std::uint32_t b = 0; b < bank_count; ++b) {
+            bank_runs[b].resize(sources);
+            trees.emplace_back(sources, RunHeadLess{&bank_runs[b]});
+        }
+        std::vector<std::size_t> bank_staged(bank_count, 0);
+        for (const AddrEv &e : all) {
+            const std::uint32_t b =
+                static_cast<std::uint32_t>((e.addr >> 6) % bank_count);
+            const bool was_empty = bank_runs[b][e.ev.src].empty();
+            bank_runs[b][e.ev.src].push_back(e.ev);
+            ++bank_staged[b];
+            if (was_empty)
+                trees[b].update(e.ev.src);
+        }
+
+        std::vector<std::tuple<Tick, std::uint32_t, std::uint64_t>>
+            merged;
+        for (;;) {
+            std::uint32_t win_bank = bank_count;
+            const Ev *win = nullptr;
+            for (std::uint32_t b = 0; b < bank_count; ++b) {
+                if (bank_staged[b] == 0)
+                    continue;
+                const Ev &head =
+                    bank_runs[b][trees[b].winner()].front();
+                if (!win || head.ts < win->ts ||
+                    (head.ts == win->ts &&
+                     (head.src < win->src ||
+                      (head.src == win->src && head.seq < win->seq)))) {
+                    win = &head;
+                    win_bank = b;
+                }
+            }
+            if (!win)
+                break;
+            merged.emplace_back(win->ts, win->src, win->seq);
+            const std::uint32_t s = win->src;
+            bank_runs[win_bank][s].pop_front();
+            --bank_staged[win_bank];
+            trees[win_bank].update(s);
+        }
+        EXPECT_EQ(merged, ref);
+    }
+}
+
 /** The Dekker sleep/wake protocol must not lose the final wakeup. */
 TEST(ProgressBoard, SleepWakesOnBump)
 {

@@ -105,9 +105,9 @@ expectSchemaComplete(const jsonlite::Value &doc)
         EXPECT_TRUE(result.at("violations").has(key));
     for (const char *key :
          {"checkpoints", "checkpoint_bytes", "checkpoint_seconds",
-          "rollbacks", "wasted_cycles", "replay_cycles",
-          "slack_adjustments", "manager_wakeups",
-          "max_observed_slack"}) {
+          "checkpoint_async_seconds", "rollbacks", "wasted_cycles",
+          "replay_cycles", "slack_adjustments", "manager_wakeups",
+          "max_observed_slack", "host_threads_used"}) {
         EXPECT_TRUE(result.at("host").has(key)) << "result.host." << key;
     }
 
@@ -399,13 +399,17 @@ TEST(RunReport, ParallelProfileCoversEveryHostThread)
     config.engine.adaptive.targetViolationRate = 0.002;
     config.engine.adaptive.epochCycles = 500;
     config.engine.obs.profile = true;
+    // Pin the topology: the auto policy would run inline (manager
+    // only) on a single-CPU host, and this test is about covering
+    // multiple host threads.
+    config.engine.hostThreads = 3;
 
     const auto doc =
         runAndParse(config, "report_profile_parallel.json");
     expectSchemaComplete(doc);
     expectProfileCoherent(doc);
-    // Parallel host: one slot per core thread plus the relay and the
-    // manager — strictly more workers than the serial run's one.
+    // Parallel host: the manager plus the two pinned workers —
+    // strictly more profile slots than the serial run's one.
     EXPECT_GT(doc.at("profile").at("workers").array.size(), 1u);
 }
 

@@ -124,12 +124,16 @@ TEST(ServeE2ETest, EightMixedJobsUnderBudgetAllComplete)
     std::vector<std::uint64_t> ids;
     for (std::size_t i = 0; i < kernels.size(); ++i) {
         // One job carries a fault spec (host-timing perturbation
-        // only) and one runs on the serial engine.
+        // only) and one runs on the serial engine. The parallel jobs
+        // pin host_threads so the task accounting below is exact on
+        // any machine (auto topology sizes from the host CPU count).
         std::string extra = "\"seed\": " + std::to_string(100 + i);
         if (i == 2)
             extra += ", \"fault_spec\": \"worker-stall@cycle:500:2\"";
         if (i == 5)
             extra += ", \"parallel_host\": false";
+        else
+            extra += ", \"host_threads\": 5";
         const std::uint64_t id =
             client.submit(specJson(kernels[i], 4, extra), &error);
         ASSERT_NE(id, 0u) << error;
