@@ -21,7 +21,9 @@
  *                     "threads_spawned" },
  *     "daemon":     { "wall_seconds", "jobs_per_min",
  *                     "threads_spawned", "tasks_run",
- *                     "overflow_spawns" },
+ *                     "overflow_spawns",
+ *                     "queue_wait_ms":   { count, p50, p95, p99 },
+ *                     "run_duration_ms": { count, p50, p95, p99 } },
  *     "speedup": S
  *   }
  *
@@ -224,6 +226,22 @@ main(int argc, char **argv)
     w.field("threads_spawned", server.pool().threadsSpawned());
     w.field("tasks_run", server.pool().tasksRun());
     w.field("overflow_spawns", server.pool().overflowSpawns());
+    // Fleet latency distribution under the sweep load: how long jobs
+    // queued behind the budget and how long they ran (bucketed
+    // percentiles from the server's own telemetry registry).
+    const ServerTelemetry &tel = server.telemetry();
+    w.beginObject("queue_wait_ms");
+    w.field("count", tel.queueWaitMs.count());
+    w.field("p50", tel.queueWaitMs.percentile(50));
+    w.field("p95", tel.queueWaitMs.percentile(95));
+    w.field("p99", tel.queueWaitMs.percentile(99));
+    w.endObject();
+    w.beginObject("run_duration_ms");
+    w.field("count", tel.runDurationMs.count());
+    w.field("p50", tel.runDurationMs.percentile(50));
+    w.field("p95", tel.runDurationMs.percentile(95));
+    w.field("p99", tel.runDurationMs.percentile(99));
+    w.endObject();
     w.endObject();
     w.field("speedup", speedup);
     w.endObject();

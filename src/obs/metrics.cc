@@ -64,7 +64,8 @@ MetricsSampler::push(Tick global, MetricsRow row)
 }
 
 void
-MetricsSampler::writeCsv(std::ostream &os) const
+MetricsSampler::writeCsv(std::ostream &os,
+                         const std::string &jobId) const
 {
     const std::size_t cores =
         rows_.empty() ? 0 : rows_.front().coreLocal.size();
@@ -87,7 +88,10 @@ MetricsSampler::writeCsv(std::ostream &os) const
     // '#' lines; parsers that check the schema string get a stable
     // anchor that survives column reorders.
     os << "# schema=" << csvSchema << " columns=" << columns.size()
-       << " rows=" << rows_.size() << "\n";
+       << " rows=" << rows_.size();
+    if (!jobId.empty())
+        os << " job_id=" << jobId;
+    os << "\n";
     for (std::size_t i = 0; i < columns.size(); ++i) {
         assert(validColumnName(columns[i]));
         if (!validColumnName(columns[i])) {

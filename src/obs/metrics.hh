@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "util/types.hh"
@@ -67,8 +68,10 @@ class MetricsSampler
     /** Write the whole series as CSV: a `# schema=` comment line, a
      *  validated header, then one line per row. Every header token is
      *  checked against [a-z0-9_] so downstream parsers can key on
-     *  column names instead of positions. */
-    void writeCsv(std::ostream &os) const;
+     *  column names instead of positions. A non-empty @p jobId is
+     *  stamped into the schema comment (`job_id=...`) so the CSV can
+     *  be joined back to the server event log. */
+    void writeCsv(std::ostream &os, const std::string &jobId = {}) const;
 
     /** The CSV schema identifier emitted in the comment line. */
     static constexpr const char *csvSchema = "slacksim.metrics.v2";

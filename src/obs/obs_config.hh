@@ -14,6 +14,10 @@
 
 namespace slacksim {
 
+namespace obs {
+struct RunProgress;
+} // namespace obs
+
 /** Per-run observability knobs (all off by default). */
 struct ObsConfig
 {
@@ -53,6 +57,17 @@ struct ObsConfig
      *  keeps the profile in the run report only. Setting this implies
      *  profile=true at the flag layer. */
     std::string profileOut;
+
+    /** Correlation id stamped into every artifact this run emits
+     *  (run report, metrics CSV schema line, forensics section). The
+     *  job server sets it to "job-<id>"; "" for standalone runs. */
+    std::string jobId;
+
+    /** Live progress mailbox (obs/progress.hh). When non-null the
+     *  epoch sampler publishes a snapshot after every sample so an
+     *  external observer (the serve heartbeat loop) can poll the run
+     *  without touching engine state. Must outlive the run. */
+    obs::RunProgress *progress = nullptr;
 
     /** @return true when any output is requested. */
     bool

@@ -20,7 +20,7 @@ obsOptionSpecs()
         {"obs-epoch", "CYCLES",
          "metrics sampling period (default: adaptive epoch)"},
         {"report-out", "FILE",
-         "write the unified slacksim.run_report.v3 JSON"},
+         "write the unified slacksim.run_report.v4 JSON"},
         {"watchdog-ms", "MS",
          "stall watchdog threshold in wall ms (0 = off)"},
         {"profile", "",
@@ -28,6 +28,9 @@ obsOptionSpecs()
          "profile section"},
         {"profile-out", "FILE",
          "write a folded-stack flamegraph file (implies --profile)"},
+        {"job-id", "ID",
+         "correlation id stamped into every artifact (the job "
+         "server sets job-<id>)"},
     };
     return specs;
 }
@@ -46,6 +49,7 @@ applyObsOptions(const Options &opts, ObsConfig &config)
     config.profileOut = opts.get("profile-out", config.profileOut);
     if (!config.profileOut.empty())
         config.profile = true;
+    config.jobId = opts.get("job-id", config.jobId);
 }
 
 } // namespace slacksim::obs

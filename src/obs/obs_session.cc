@@ -11,6 +11,7 @@
 #include "core/sim_system.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/profiler.hh"
+#include "obs/progress.hh"
 #include "obs/tracer.hh"
 #include "util/io.hh"
 #include "util/logging.hh"
@@ -89,7 +90,10 @@ ObsSession::begin(const char *role)
                           "ignored for this run");
         }
     }
-    if (!config_.metricsOut.empty()) {
+    // A live-progress observer needs the sampler running even when no
+    // CSV was requested: the heartbeat is fed from the same epoch
+    // samples, the rows just stay in memory.
+    if (!config_.metricsOut.empty() || config_.progress) {
         Tick epoch = config_.metricsEpoch;
         if (epoch == 0) {
             const EngineConfig &engine = sys_.config().engine;
@@ -164,8 +168,47 @@ ObsSession::sample(Tick global)
         row.coreInQ.push_back(sys_.core(c).inQ().size());
         row.coreOutQ.push_back(sys_.core(c).outQ().size());
     }
+    if (config_.progress)
+        publishProgress(row);
     sampler_->push(global, std::move(row));
     samplerHostNs_ += wallNowNs() - t0;
+}
+
+void
+ObsSession::publishProgress(const MetricsRow &row)
+{
+    RunProgress &p = *config_.progress;
+    // Windowed rates against the previous publish; the first window
+    // spans the run so far.
+    const std::uint64_t dns = row.wallNs > lastPubWallNs_
+                                  ? row.wallNs - lastPubWallNs_
+                                  : row.wallNs;
+    if (dns > 0) {
+        const double secs = static_cast<double>(dns) / 1e9;
+        const Tick dcycles =
+            row.global > lastPubGlobal_ ? row.global - lastPubGlobal_
+                                        : 0;
+        const std::uint64_t devents =
+            row.busRequests > lastPubBusRequests_
+                ? row.busRequests - lastPubBusRequests_
+                : 0;
+        p.cyclesPerSec.store(static_cast<double>(dcycles) / secs,
+                             std::memory_order_relaxed);
+        p.eventsPerSec.store(static_cast<double>(devents) / secs,
+                             std::memory_order_relaxed);
+        lastPubWallNs_ = row.wallNs;
+        lastPubGlobal_ = row.global;
+        lastPubBusRequests_ = row.busRequests;
+    }
+    p.wallNs.store(row.wallNs, std::memory_order_relaxed);
+    p.globalCycle.store(row.global, std::memory_order_relaxed);
+    p.slackBound.store(row.slackBound, std::memory_order_relaxed);
+    p.violations.store(row.busViolations + row.mapViolations,
+                       std::memory_order_relaxed);
+    p.checkpoints.store(row.checkpoints, std::memory_order_relaxed);
+    p.rollbacks.store(row.rollbacks, std::memory_order_relaxed);
+    p.replay.store(row.replay, std::memory_order_relaxed);
+    p.epochs.fetch_add(1, std::memory_order_relaxed);
 }
 
 void
@@ -203,16 +246,21 @@ ObsSession::finish(Tick global)
 
     if (sampler_) {
         sample(global);
-        CheckedOfstream os(config_.metricsOut, "metrics CSV");
-        if (os.ok()) {
-            sampler_->writeCsv(os.stream());
-            self.metricsBytes = os.bytesWritten();
-        }
-        if (os.finish()) {
-            SLACKSIM_INFORM("metrics: ", sampler_->rows().size(),
-                            " epoch samples -> ", config_.metricsOut);
-        } else {
-            ++self.ioErrors;
+        // Progress-only sessions (heartbeat attached, no --metrics-out)
+        // keep the rows in memory and write nothing.
+        if (!config_.metricsOut.empty()) {
+            CheckedOfstream os(config_.metricsOut, "metrics CSV");
+            if (os.ok()) {
+                sampler_->writeCsv(os.stream(), config_.jobId);
+                self.metricsBytes = os.bytesWritten();
+            }
+            if (os.finish()) {
+                SLACKSIM_INFORM("metrics: ", sampler_->rows().size(),
+                                " epoch samples -> ",
+                                config_.metricsOut);
+            } else {
+                ++self.ioErrors;
+            }
         }
         self.metricsRows = sampler_->rows().size();
     }

@@ -104,6 +104,7 @@ class ObsSession
 
   private:
     void sample(Tick global);
+    void publishProgress(const MetricsRow &row);
     std::uint64_t wallNowNs() const;
     void unwire();
     void warnOnFirstDrop();
@@ -129,6 +130,11 @@ class ObsSession
     std::unique_ptr<StallWatchdog> watchdog_;
     ForensicsData forensics_;
     std::uint64_t samplerHostNs_ = 0;
+
+    /** Last-published window anchors for the progress rates. */
+    std::uint64_t lastPubWallNs_ = 0;
+    Tick lastPubGlobal_ = 0;
+    std::uint64_t lastPubBusRequests_ = 0;
 };
 
 } // namespace obs

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Live per-run progress snapshot: the bridge between the engine's
+ * epoch MetricsSampler (manager thread) and an external observer (the
+ * serve scheduler publishing heartbeats into `watch` streams and the
+ * `slacksim-submit top` view).
+ *
+ * The sampler is the only writer; readers poll at their own cadence.
+ * Every field is an independent relaxed atomic — a reader may see a
+ * torn *set* (cycle from epoch N, rate from epoch N-1), which is fine
+ * for telemetry: each value is individually coherent and at most one
+ * epoch stale. Nothing here is on the simulation hot path: the struct
+ * is touched once per sampling epoch, and runs without an attached
+ * observer never allocate one (ObsConfig::progress stays null).
+ */
+
+#ifndef SLACKSIM_OBS_PROGRESS_HH
+#define SLACKSIM_OBS_PROGRESS_HH
+
+#include <atomic>
+#include <cstdint>
+
+namespace slacksim::obs {
+
+/** Lock-free run-progress mailbox (one writer, any readers). */
+struct RunProgress
+{
+    std::atomic<std::uint64_t> epochs{0};      //!< samples published
+    std::atomic<std::uint64_t> wallNs{0};      //!< ns since run start
+    std::atomic<std::uint64_t> globalCycle{0}; //!< simulated time
+    std::atomic<std::uint64_t> slackBound{0};  //!< current pacer bound
+    std::atomic<std::uint64_t> violations{0};  //!< bus + map, cumulative
+    std::atomic<std::uint64_t> checkpoints{0};
+    std::atomic<std::uint64_t> rollbacks{0};
+    /** Simulated cycles per host second over the last epoch window. */
+    std::atomic<double> cyclesPerSec{0.0};
+    /** Serviced bus events per host second over the last window. */
+    std::atomic<double> eventsPerSec{0.0};
+    std::atomic<bool> replay{false}; //!< inside a speculative replay
+
+    /** Plain-value copy for reporting code. */
+    struct Snapshot
+    {
+        std::uint64_t epochs = 0;
+        std::uint64_t wallNs = 0;
+        std::uint64_t globalCycle = 0;
+        std::uint64_t slackBound = 0;
+        std::uint64_t violations = 0;
+        std::uint64_t checkpoints = 0;
+        std::uint64_t rollbacks = 0;
+        double cyclesPerSec = 0.0;
+        double eventsPerSec = 0.0;
+        bool replay = false;
+    };
+
+    Snapshot
+    read() const
+    {
+        Snapshot s;
+        s.epochs = epochs.load(std::memory_order_relaxed);
+        s.wallNs = wallNs.load(std::memory_order_relaxed);
+        s.globalCycle = globalCycle.load(std::memory_order_relaxed);
+        s.slackBound = slackBound.load(std::memory_order_relaxed);
+        s.violations = violations.load(std::memory_order_relaxed);
+        s.checkpoints = checkpoints.load(std::memory_order_relaxed);
+        s.rollbacks = rollbacks.load(std::memory_order_relaxed);
+        s.cyclesPerSec = cyclesPerSec.load(std::memory_order_relaxed);
+        s.eventsPerSec = eventsPerSec.load(std::memory_order_relaxed);
+        s.replay = replay.load(std::memory_order_relaxed);
+        return s;
+    }
+};
+
+} // namespace slacksim::obs
+
+#endif // SLACKSIM_OBS_PROGRESS_HH

@@ -1,6 +1,6 @@
 /**
  * @file
- * Run-report writer (schema slacksim.run_report.v3).
+ * Run-report writer (schema slacksim.run_report.v4).
  */
 
 #include "obs/run_report.hh"
@@ -10,6 +10,7 @@
 #include "core/config.hh"
 #include "core/run_result.hh"
 #include "fault/fault_plan.hh"
+#include "util/build_info.hh"
 #include "util/json.hh"
 
 namespace slacksim {
@@ -95,6 +96,7 @@ writeConfigSection(JsonWriter &w, const SimConfig &config)
     w.field("watchdog_ms", e.obs.watchdogMs);
     w.field("profile", e.obs.profile);
     w.field("profile_out", e.obs.profileOut);
+    w.field("job_id", e.obs.jobId);
     w.endObject();
     w.endObject();
 }
@@ -139,9 +141,14 @@ writeResultSection(JsonWriter &w, const RunResult &r)
 }
 
 void
-writeForensicsSection(JsonWriter &w, const ForensicsData &f)
+writeForensicsSection(JsonWriter &w, const ForensicsData &f,
+                      const std::string &jobId)
 {
     w.beginObject("forensics");
+    // The ledger/decision-log header carries the correlation id so an
+    // extracted forensics block can still be joined to the server
+    // event log on its own.
+    w.field("job_id", jobId);
 
     const ViolationLedger &ledger = f.ledger;
     w.beginObject("violations");
@@ -311,15 +318,26 @@ writeRunReport(std::ostream &os, const SimConfig &config,
     // client cancel, daemon drain) — every aggregate then covers only
     // the work done up to the cancel point.
     w.field("status", result.cancelled ? "cancelled" : "ok");
+    // Additive v4 field: the serve correlation id ("" standalone).
+    w.field("job_id", config.engine.obs.jobId);
     w.beginObject("generator");
     w.field("name", "slacksim");
     w.field("host_threads",
             static_cast<std::uint64_t>(
                 std::thread::hardware_concurrency()));
+    const BuildInfo &build = buildInfo();
+    w.beginObject("build");
+    w.field("git", build.gitHash);
+    w.field("dirty", build.gitDirty[0] != '\0');
+    w.field("compiler", build.compiler);
+    w.field("build_type", build.buildType);
+    w.field("obs", build.obs);
+    w.field("sanitize", build.sanitize);
+    w.endObject();
     w.endObject();
     writeConfigSection(w, config);
     writeResultSection(w, result);
-    writeForensicsSection(w, result.forensics);
+    writeForensicsSection(w, result.forensics, config.engine.obs.jobId);
     writeDegradationSection(w, config, result);
     writeFaultsSection(w, result);
     writeProfileSection(w, result.forensics.profile);

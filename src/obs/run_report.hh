@@ -1,7 +1,7 @@
 /**
  * @file
  * The unified machine-readable run report: one versioned JSON
- * document (`slacksim.run_report.v3`) merging the configuration, the
+ * document (`slacksim.run_report.v4`) merging the configuration, the
  * RunResult, the violation-forensics ledger, the adaptive decision
  * log, the degradation-ladder outcome, the fault-injection record and
  * the obs layer's own overhead counters. Emitted by runSimulation()
@@ -16,6 +16,12 @@
  * attribution, per-worker breakdowns, hardware counters, verdict)
  * emitted by the --profile layer; `enabled=false` with empty arrays
  * when profiling was off.
+ * v3 -> v4 (additive): top-level `job_id` — the serve correlation id
+ * ("" for standalone runs) that joins the report to the daemon's
+ * server_events.jsonl, the metrics CSV schema line and the per-job
+ * trace filename — plus `generator.build` (git hash, compiler, build
+ * type, obs/sanitize knobs from the generated util/build_info.hh) and
+ * `forensics.job_id` mirroring the id into the ledger section.
  */
 
 #ifndef SLACKSIM_OBS_RUN_REPORT_HH
@@ -31,7 +37,7 @@ struct RunResult;
 namespace obs {
 
 /** The schema identifier emitted in every report. */
-inline constexpr const char *runReportSchema = "slacksim.run_report.v3";
+inline constexpr const char *runReportSchema = "slacksim.run_report.v4";
 
 /** Write the full run report for @p result under @p config. */
 void writeRunReport(std::ostream &os, const SimConfig &config,

@@ -121,6 +121,21 @@ Client::stats(json::Value *reply, std::string *error)
 }
 
 bool
+Client::metricsText(std::string *text, std::string *error)
+{
+    json::Value reply;
+    if (!request("{\"op\": \"metrics\"}", &reply, error))
+        return false;
+    try {
+        *text = reply.at("text").asString();
+    } catch (const json::ParseError &e) {
+        *error = std::string("bad reply: ") + e.what();
+        return false;
+    }
+    return true;
+}
+
+bool
 Client::shutdown(bool drain, std::string *error)
 {
     return request(std::string("{\"op\": \"shutdown\", \"drain\": ") +

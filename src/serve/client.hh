@@ -52,6 +52,10 @@ class Client
 
     bool stats(json::Value *reply, std::string *error);
 
+    /** Fetch the server's metrics in Prometheus text exposition
+     *  format (`metrics` op). @p *text receives the payload. */
+    bool metricsText(std::string *text, std::string *error);
+
     bool shutdown(bool drain, std::string *error);
 
     /**

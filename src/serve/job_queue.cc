@@ -19,6 +19,19 @@ msBetween(std::chrono::steady_clock::time_point a,
     return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
+/** Lifecycle event name for a terminal state. */
+const char *
+terminalEventName(JobState state)
+{
+    switch (state) {
+      case JobState::Done: return "completed";
+      case JobState::Failed: return "failed";
+      case JobState::Cancelled: return "cancelled";
+      case JobState::TimedOut: return "timed_out";
+      default: return "?";
+    }
+}
+
 } // namespace
 
 const char *
@@ -41,6 +54,14 @@ isTerminal(JobState state)
     return state != JobState::Queued && state != JobState::Running;
 }
 
+void
+JobQueue::setTelemetry(ServerTelemetry *telemetry, EventLog *events)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    telemetry_ = telemetry;
+    events_ = events;
+}
+
 std::uint64_t
 JobQueue::submit(JobSpec spec)
 {
@@ -52,6 +73,21 @@ JobQueue::submit(JobSpec spec)
     if (job->spec.name.empty())
         job->spec.name = "job-" + std::to_string(id);
     job->submittedAt = std::chrono::steady_clock::now();
+    if (telemetry_)
+        telemetry_->jobsSubmitted.add();
+    if (events_) {
+        events_->record(id, "submitted",
+                        eventField("name", job->spec.name) +
+                            eventField("kernel", job->spec.kernel) +
+                            eventField("priority",
+                                       std::uint64_t{
+                                           job->spec.priority}));
+        // The queue only accepts pre-validated specs (JobSpec::parse
+        // gates the submit op), so the validation event is recorded
+        // here, under the same lock, keeping the lifecycle strictly
+        // ordered even when the scheduler admits instantly.
+        events_->record(id, "validated");
+    }
     jobs_.emplace(id, std::move(job));
     cv_.notify_all();
     return id;
@@ -63,6 +99,9 @@ JobQueue::admitNext(std::uint32_t freeThreads,
 {
     std::lock_guard<std::mutex> lock(mu_);
     Job *best = nullptr;
+    // Highest-ranked queued job that did NOT fit the budget; used to
+    // classify the admission as a backfill (telemetry only).
+    const Job *skipped = nullptr;
     // jobs_ iterates in id (submission) order, so within a priority
     // the first fitting candidate seen is the FIFO head; across
     // priorities a higher level always wins. Non-fitting jobs are
@@ -73,6 +112,8 @@ JobQueue::admitNext(std::uint32_t freeThreads,
             continue;
         if (job->spec.hostThreads() > freeThreads ||
             job->spec.memEstimateMb() > freeMemMb) {
+            if (!skipped || job->spec.priority > skipped->spec.priority)
+                skipped = job.get();
             continue;
         }
         if (!best || job->spec.priority > best->spec.priority)
@@ -81,9 +122,69 @@ JobQueue::admitNext(std::uint32_t freeThreads,
     if (best) {
         best->state = JobState::Running;
         best->startedAt = std::chrono::steady_clock::now();
+        const double wait_ms =
+            msBetween(best->submittedAt, best->startedAt);
+        // A skipped job outranks the admitted one when it has higher
+        // priority or the same priority and an earlier id — admitting
+        // past it is a backfill.
+        const bool backfill =
+            skipped && (skipped->spec.priority > best->spec.priority ||
+                        (skipped->spec.priority ==
+                             best->spec.priority &&
+                         skipped->id < best->id));
+        if (telemetry_) {
+            telemetry_->queueWaitMs.observe(wait_ms);
+            if (backfill)
+                telemetry_->admissionBackfills.add();
+        }
+        if (events_) {
+            events_->record(best->id, "admitted",
+                            eventFieldDouble("queue_ms", wait_ms) +
+                                eventField("backfill",
+                                           std::uint64_t{backfill}));
+        }
         cv_.notify_all();
+    } else if (skipped && telemetry_) {
+        // Nothing fit but work was waiting: admission pressure.
+        telemetry_->admissionDenials.add();
     }
     return best;
+}
+
+void
+JobQueue::retireLocked(Job &job, JobState state,
+                       const std::string &error)
+{
+    if (state == JobState::Cancelled && job.timedOut)
+        job.state = JobState::TimedOut;
+    else
+        job.state = state;
+    job.error = error;
+    job.endedAt = std::chrono::steady_clock::now();
+    const bool ran = job.startedAt.time_since_epoch().count() != 0;
+    const double run_ms =
+        ran ? msBetween(job.startedAt, job.endedAt) : 0.0;
+    if (telemetry_) {
+        if (ran)
+            telemetry_->runDurationMs.observe(run_ms);
+        switch (job.state) {
+          case JobState::Done: telemetry_->jobsDone.add(); break;
+          case JobState::Failed: telemetry_->jobsFailed.add(); break;
+          case JobState::Cancelled:
+            telemetry_->jobsCancelled.add();
+            break;
+          case JobState::TimedOut:
+            telemetry_->jobsTimedOut.add();
+            break;
+          default: break;
+        }
+    }
+    if (events_) {
+        std::string fields = eventFieldDouble("run_ms", run_ms);
+        if (!job.error.empty())
+            fields += eventField("error", job.error);
+        events_->record(job.id, terminalEventName(job.state), fields);
+    }
 }
 
 void
@@ -98,12 +199,7 @@ JobQueue::markFinished(std::uint64_t id, JobState state,
     Job &job = *it->second;
     if (isTerminal(job.state))
         return; // queued-cancel raced with the scheduler; keep first
-    if (state == JobState::Cancelled && job.timedOut)
-        job.state = JobState::TimedOut;
-    else
-        job.state = state;
-    job.error = error;
-    job.endedAt = std::chrono::steady_clock::now();
+    retireLocked(job, state, error);
     cv_.notify_all();
 }
 
@@ -146,8 +242,7 @@ JobQueue::requestCancel(std::uint64_t id, std::string *error)
             return false;
         }
         if (job.state == JobState::Queued) {
-            job.state = JobState::Cancelled;
-            job.endedAt = std::chrono::steady_clock::now();
+            retireLocked(job, JobState::Cancelled, "");
             cv_.notify_all();
             return true;
         }
@@ -188,13 +283,10 @@ void
 JobQueue::cancelQueued()
 {
     std::lock_guard<std::mutex> lock(mu_);
-    const auto now = std::chrono::steady_clock::now();
     for (auto &[id, job] : jobs_) {
         (void)id;
-        if (job->state == JobState::Queued) {
-            job->state = JobState::Cancelled;
-            job->endedAt = now;
-        }
+        if (job->state == JobState::Queued)
+            retireLocked(*job, JobState::Cancelled, "");
     }
     cv_.notify_all();
 }
@@ -239,6 +331,8 @@ JobQueue::viewLocked(const Job &job) const
     v.timedOut = job.timedOut;
     v.committedUops = job.committedUops;
     v.simulatedCycles = job.simulatedCycles;
+    v.scheme = job.spec.scheme;
+    v.progress = job.progress->read();
     switch (job.state) {
       case JobState::Queued:
         v.queueMs = msBetween(job.submittedAt, now);

@@ -42,7 +42,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/progress.hh"
 #include "serve/job_spec.hh"
+#include "serve/telemetry.hh"
 #include "util/cancel.hh"
 
 namespace slacksim {
@@ -76,6 +78,11 @@ struct Job
     /** Fired on client cancel, timeout, or shutdown. */
     std::unique_ptr<CancelToken> cancel =
         std::make_unique<CancelToken>();
+    /** Live progress mailbox the engine's sampler publishes into
+     *  (wired via ObsConfig::progress). Owned here because Job
+     *  pointers are stable for the queue's lifetime. */
+    std::unique_ptr<obs::RunProgress> progress =
+        std::make_unique<obs::RunProgress>();
     std::chrono::steady_clock::time_point submittedAt;
     std::chrono::steady_clock::time_point startedAt;
     std::chrono::steady_clock::time_point endedAt;
@@ -100,6 +107,10 @@ struct JobView
     std::uint64_t simulatedCycles = 0;
     double queueMs = 0.0; //!< submit -> start (or now while queued)
     double runMs = 0.0;   //!< start -> end (or now while running)
+    std::string scheme;   //!< configured slack scheme
+    /** Live heartbeat snapshot (all zero until the first epoch
+     *  sample lands; meaningful while Running). */
+    obs::RunProgress::Snapshot progress;
 };
 
 /** Aggregate counters for the stats op and the server report. */
@@ -120,6 +131,16 @@ class JobQueue
     JobQueue() = default;
     JobQueue(const JobQueue &) = delete;
     JobQueue &operator=(const JobQueue &) = delete;
+
+    /**
+     * Attach the server's telemetry registry and lifecycle event log
+     * (both nullable, both must outlive the queue). The queue is the
+     * single place job-state transitions happen, so it is also the
+     * single feed point for submit/admit/retire instrumentation —
+     * the scheduler loop and the unit tests exercise identical
+     * accounting.
+     */
+    void setTelemetry(ServerTelemetry *telemetry, EventLog *events);
 
     /** Enqueue a validated spec; @return the new job id (>= 1). */
     std::uint64_t submit(JobSpec spec);
@@ -185,12 +206,19 @@ class JobQueue
 
   private:
     JobView viewLocked(const Job &job) const;
+    /** Retire @p job (must hold mu_): set the terminal state, stamp
+     *  endedAt, feed the telemetry counters/histograms and append
+     *  the lifecycle event. */
+    void retireLocked(Job &job, JobState state,
+                      const std::string &error);
 
     mutable std::mutex mu_;
     mutable std::condition_variable cv_;
     std::uint64_t nextId_ = 1;
     /** Jobs by id; never erased (pointer stability, audit trail). */
     std::map<std::uint64_t, std::unique_ptr<Job>> jobs_;
+    ServerTelemetry *telemetry_ = nullptr; //!< nullable
+    EventLog *events_ = nullptr;           //!< nullable
 };
 
 } // namespace serve

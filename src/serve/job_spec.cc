@@ -33,7 +33,8 @@ knownKeys()
         "clusters",      "priority",
         "timeout_ms",
         "fault_spec",    "fault_seed",
-        "mem_mb",
+        "mem_mb",        "trace",
+        "profile",
     };
     return keys;
 }
@@ -350,6 +351,22 @@ JobSpec::parse(const json::Value &doc, JobSpec *out,
         !getUint(doc, "mem_mb", &spec.memMb, error)) {
         return false;
     }
+    if (doc.has("trace")) {
+        const json::Value &v = doc.at("trace");
+        if (!v.isBool()) {
+            *error = "key 'trace' expects a boolean";
+            return false;
+        }
+        spec.trace = v.boolean;
+    }
+    if (doc.has("profile")) {
+        const json::Value &v = doc.at("profile");
+        if (!v.isBool()) {
+            *error = "key 'profile' expects a boolean";
+            return false;
+        }
+        spec.profile = v.boolean;
+    }
     *out = std::move(spec);
     return true;
 }
@@ -414,6 +431,10 @@ JobSpec::toJson() const
     w.field("fault_seed", faultSeed);
     if (memMb)
         w.field("mem_mb", memMb);
+    if (trace)
+        w.field("trace", trace);
+    if (profile)
+        w.field("profile", profile);
     w.endObject();
     return os.str();
 }

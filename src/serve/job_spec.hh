@@ -33,6 +33,11 @@
  *     "fault_spec":    string   fault/fault_plan.hh grammar
  *     "fault_seed":    uint     fault randomness seed (default 1)
  *     "mem_mb":        uint     admission memory estimate override
+ *     "trace":         bool     write a per-job Chrome trace named
+ *                               job-<id>.trace.json (default false)
+ *     "profile":       bool     host-time profiling; adds the run-
+ *                               report profile section and writes
+ *                               job-<id>.profile.folded (default off)
  *   }
  *
  * Validation philosophy: the engine's own SimConfig::validate() and
@@ -83,6 +88,8 @@ struct JobSpec
     std::string faultSpec;
     std::uint64_t faultSeed = 1;
     std::uint64_t memMb = 0; //!< 0 = use the built-in estimate
+    bool trace = false;      //!< per-job Chrome trace sink
+    bool profile = false;    //!< host-time profile + folded stacks
 
     /**
      * Validate and decode @p doc into @p out. @return true on

@@ -14,6 +14,7 @@
 #include <sys/types.h>
 
 #include "core/run.hh"
+#include "util/build_info.hh"
 #include "util/io.hh"
 #include "util/json.hh"
 #include "util/json_parse.hh"
@@ -67,6 +68,37 @@ writeJobView(JsonWriter &w, const JobView &view)
     w.field("run_ms", view.runMs);
     w.field("committed_uops", view.committedUops);
     w.field("simulated_cycles", view.simulatedCycles);
+    w.field("scheme", view.scheme);
+    // Live heartbeat snapshot; present once the first epoch sample
+    // landed (top/watch render it, terminal states keep the last one).
+    if (view.progress.epochs != 0) {
+        const obs::RunProgress::Snapshot &p = view.progress;
+        w.beginObject("progress");
+        w.field("epochs", p.epochs);
+        w.field("global_cycle", p.globalCycle);
+        w.field("slack_bound", p.slackBound);
+        w.field("violations", p.violations);
+        w.field("checkpoints", p.checkpoints);
+        w.field("rollbacks", p.rollbacks);
+        w.field("cycles_per_sec", p.cyclesPerSec);
+        w.field("events_per_sec", p.eventsPerSec);
+        w.field("replay", p.replay);
+        w.endObject();
+    }
+    w.endObject();
+}
+
+/** Percentile summary of one histogram for stats / server_report. */
+void
+writeHistogramSummary(JsonWriter &w, const char *key,
+                      const DurationHistogram &h)
+{
+    w.beginObject(key);
+    w.field("count", h.count());
+    w.field("sum_ms", h.sum());
+    w.field("p50_ms", h.percentile(50));
+    w.field("p95_ms", h.percentile(95));
+    w.field("p99_ms", h.percentile(99));
     w.endObject();
 }
 
@@ -109,6 +141,10 @@ Server::start()
         return false;
     if (!listener_.open(opts_.socketPath))
         return false;
+    queue_.setTelemetry(&telemetry_, &events_);
+    events_.open(opts_.outRoot + "/server_events.jsonl");
+    telemetry_.poolThreadsTotal.set(pool_->size());
+    telemetry_.budgetMemTotalMb.set(opts_.memBudgetMb);
     started_ = true;
     scheduler_ = std::thread([this] { schedulerMain(); });
     SLACKSIM_INFORM("serve: listening on ", opts_.socketPath, " (",
@@ -206,16 +242,66 @@ Server::schedulerMain()
             drain_.load(std::memory_order_acquire);
         if (admitting) {
             while (Job *job = queue_.admitNext(
-                       pool_->size() - reservedThreads_,
-                       opts_.memBudgetMb - reservedMemMb_)) {
+                       pool_->size() -
+                           reservedThreads_.load(
+                               std::memory_order_relaxed),
+                       opts_.memBudgetMb -
+                           reservedMemMb_.load(
+                               std::memory_order_relaxed))) {
                 startJob(job);
             }
         }
+        publishHeartbeats();
+        events_.flush();
         queue_.waitChanged(50);
     }
     // All jobs are terminal by the time run() stops the scheduler;
-    // join every outstanding handle and release the budgets.
+    // join every outstanding handle and release the budgets, then
+    // seal the event log (terminal events are already recorded).
     reapFinished(true);
+    events_.close();
+}
+
+void
+Server::publishHeartbeats()
+{
+    const auto now = std::chrono::steady_clock::now();
+    for (RunningJob &rj : running_) {
+        Job *job = queue_.get(rj.id);
+        if (!job || job->state != JobState::Running)
+            continue;
+        if (now - rj.lastBeat < std::chrono::seconds(1))
+            continue;
+        const obs::RunProgress::Snapshot p = job->progress->read();
+        if (p.epochs == 0)
+            continue; // no sample yet; nothing worth logging
+        rj.lastBeat = now;
+        telemetry_.heartbeats.add();
+        events_.record(
+            rj.id, "heartbeat",
+            eventField("epochs", p.epochs) +
+                eventField("global_cycle", p.globalCycle) +
+                eventField("slack_bound", p.slackBound) +
+                eventField("violations", p.violations) +
+                eventFieldDouble("cycles_per_sec", p.cyclesPerSec) +
+                eventFieldDouble("events_per_sec", p.eventsPerSec));
+    }
+}
+
+void
+Server::refreshGauges() const
+{
+    const QueueStats s = queue_.stats();
+    telemetry_.jobsQueued.set(s.queued);
+    telemetry_.jobsRunning.set(s.running);
+    telemetry_.poolThreadsTotal.set(pool_->size());
+    telemetry_.poolThreadsBusy.set(pool_->size() -
+                                   pool_->freeThreads());
+    telemetry_.budgetThreadsReserved.set(
+        reservedThreads_.load(std::memory_order_relaxed));
+    telemetry_.budgetMemReservedMb.set(
+        reservedMemMb_.load(std::memory_order_relaxed));
+    telemetry_.budgetMemTotalMb.set(opts_.memBudgetMb);
 }
 
 void
@@ -226,8 +312,10 @@ Server::reapFinished(bool joinAll)
         const bool terminal = job && isTerminal(job->state);
         if (terminal || joinAll) {
             it->handle->join();
-            reservedThreads_ -= it->threads;
-            reservedMemMb_ -= it->memMb;
+            reservedThreads_.fetch_sub(it->threads,
+                                       std::memory_order_relaxed);
+            reservedMemMb_.fetch_sub(it->memMb,
+                                     std::memory_order_relaxed);
             it = running_.erase(it);
         } else {
             ++it;
@@ -240,31 +328,52 @@ Server::startJob(Job *job)
 {
     const std::uint32_t threads = job->spec.hostThreads();
     const std::uint64_t mem = job->spec.memEstimateMb();
-    reservedThreads_ += threads;
-    reservedMemMb_ += mem;
+    reservedThreads_.fetch_add(threads, std::memory_order_relaxed);
+    reservedMemMb_.fetch_add(mem, std::memory_order_relaxed);
 
-    const std::string out_dir =
-        opts_.outRoot + "/job-" + std::to_string(job->id);
+    const std::string job_tag = "job-" + std::to_string(job->id);
+    const std::string out_dir = opts_.outRoot + "/" + job_tag;
     ensureDir(out_dir);
     queue_.setOutDir(job->id, out_dir);
 
     SimConfig config = job->spec.toConfig();
     config.engine.obs.reportOut = out_dir + "/report.json";
     config.engine.obs.metricsOut = out_dir + "/metrics.csv";
+    // End-to-end correlation: the job id rides inside every artifact
+    // the run emits (run report, metrics schema line, forensics) and
+    // names the optional per-job sinks.
+    config.engine.obs.jobId = job_tag;
+    config.engine.obs.progress = job->progress.get();
+    if (job->spec.trace)
+        config.engine.obs.traceOut =
+            out_dir + "/" + job_tag + ".trace.json";
+    if (job->spec.profile) {
+        config.engine.obs.profile = true;
+        config.engine.obs.profileOut =
+            out_dir + "/" + job_tag + ".profile.folded";
+    }
     config.engine.cancel = job->cancel.get();
     config.engine.runner = pool_.get();
 
     const std::uint64_t id = job->id;
     running_.push_back(RunningJob{
         id, threads, mem,
-        pool_->launch([this, id, config] { jobBody(id, config); })});
+        pool_->launch([this, id, config] { jobBody(id, config); }),
+        std::chrono::steady_clock::now()});
 }
 
 void
 Server::jobBody(std::uint64_t id, const SimConfig &config)
 {
+    events_.record(id, "started",
+                   eventField("kernel", config.workload.kernel) +
+                       eventField("cores",
+                                  std::uint64_t{
+                                      config.target.numCores}));
     const RunResult result = runSimulation(config);
     queue_.recordResult(id, result.committedUops, result.execCycles);
+    telemetry_.jobFaults.add(result.faultInjections.size());
+    telemetry_.jobDegradations.add(result.demotions);
     // markFinished upgrades Cancelled to TimedOut when the deadline
     // (not a client) fired the token.
     queue_.markFinished(id, result.cancelled ? JobState::Cancelled
@@ -382,6 +491,7 @@ Server::handleRequest(UdsConn &conn, const std::string &line)
         }
 
         if (op == "stats") {
+            refreshGauges();
             const QueueStats s = queue_.stats();
             std::ostringstream os;
             JsonWriter w(os, 0);
@@ -392,6 +502,7 @@ Server::handleRequest(UdsConn &conn, const std::string &line)
                         std::memory_order_acquire));
             w.beginObject("pool");
             w.field("size", static_cast<std::uint64_t>(pool_->size()));
+            w.field("busy", telemetry_.poolThreadsBusy.value());
             w.field("tasks_run", pool_->tasksRun());
             w.field("threads_spawned", pool_->threadsSpawned());
             w.field("overflow_spawns", pool_->overflowSpawns());
@@ -406,6 +517,45 @@ Server::handleRequest(UdsConn &conn, const std::string &line)
             w.field("timeout", s.timedOut);
             w.endObject();
             w.field("mem_budget_mb", opts_.memBudgetMb);
+            w.beginObject("telemetry");
+            w.field("jobs_submitted",
+                    telemetry_.jobsSubmitted.value());
+            w.field("jobs_terminal", telemetry_.terminalTotal());
+            w.field("admission_denials",
+                    telemetry_.admissionDenials.value());
+            w.field("admission_backfills",
+                    telemetry_.admissionBackfills.value());
+            w.field("job_faults", telemetry_.jobFaults.value());
+            w.field("job_degradations",
+                    telemetry_.jobDegradations.value());
+            w.field("heartbeats", telemetry_.heartbeats.value());
+            w.field("events_recorded", events_.recorded());
+            w.field("threads_reserved",
+                    telemetry_.budgetThreadsReserved.value());
+            w.field("mem_reserved_mb",
+                    telemetry_.budgetMemReservedMb.value());
+            writeHistogramSummary(w, "queue_wait_ms",
+                                  telemetry_.queueWaitMs);
+            writeHistogramSummary(w, "run_duration_ms",
+                                  telemetry_.runDurationMs);
+            w.endObject();
+            w.endObject();
+            return conn.sendLine(os.str());
+        }
+
+        if (op == "metrics") {
+            // Prometheus text exposition, shipped as one JSON string
+            // so the wire protocol stays line-framed.
+            refreshGauges();
+            std::ostringstream text;
+            telemetry_.writeExposition(text);
+            std::ostringstream os;
+            JsonWriter w(os, 0);
+            w.beginObject();
+            w.field("ok", true);
+            w.field("content_type",
+                    "text/plain; version=0.0.4");
+            w.field("text", text.str());
             w.endObject();
             return conn.sendLine(os.str());
         }
@@ -424,7 +574,7 @@ Server::handleRequest(UdsConn &conn, const std::string &line)
 
         const std::string hint = didYouMean(
             op, {"submit", "status", "cancel", "watch", "stats",
-                 "shutdown", "ping"});
+                 "metrics", "shutdown", "ping"});
         std::string error = "unknown op '" + op + "'";
         if (!hint.empty())
             error += " (did you mean '" + hint + "'?)";
@@ -440,6 +590,8 @@ Server::handleWatch(UdsConn &conn, std::uint64_t id)
 {
     JobState last = JobState::Queued;
     bool first = true;
+    std::uint64_t lastEpochs = 0;
+    auto lastProgress = std::chrono::steady_clock::now();
     for (;;) {
         const std::vector<JobView> views = queue_.snapshot(id);
         if (views.empty())
@@ -454,6 +606,30 @@ Server::handleWatch(UdsConn &conn, std::uint64_t id)
             w.field("ok", true);
             w.field("event", "state");
             w.field("state", jobStateName(view.state));
+            w.endObject();
+            if (!conn.sendLine(os.str()))
+                return;
+        }
+        // Throttled live progress while the job runs: a new epoch
+        // sample and at least a second since the last emit.
+        const auto now = std::chrono::steady_clock::now();
+        if (view.state == JobState::Running &&
+            view.progress.epochs > lastEpochs &&
+            now - lastProgress >= std::chrono::seconds(1)) {
+            lastEpochs = view.progress.epochs;
+            lastProgress = now;
+            std::ostringstream os;
+            JsonWriter w(os, 0);
+            w.beginObject();
+            w.field("ok", true);
+            w.field("event", "progress");
+            w.field("epochs", view.progress.epochs);
+            w.field("global_cycle", view.progress.globalCycle);
+            w.field("slack_bound", view.progress.slackBound);
+            w.field("violations", view.progress.violations);
+            w.field("cycles_per_sec", view.progress.cyclesPerSec);
+            w.field("events_per_sec", view.progress.eventsPerSec);
+            w.field("replay", view.progress.replay);
             w.endObject();
             if (!conn.sendLine(os.str()))
                 return;
@@ -507,10 +683,18 @@ Server::handleWatch(UdsConn &conn, std::uint64_t id)
 void
 Server::writeServerReport(std::ostream &os) const
 {
+    refreshGauges();
     const QueueStats s = queue_.stats();
+    const BuildInfo &b = buildInfo();
     JsonWriter w(os);
     w.beginObject();
-    w.field("schema", "slacksim.server_report.v1");
+    w.field("schema", "slacksim.server_report.v2");
+    w.beginObject("build");
+    w.field("git", b.gitHash);
+    w.field("dirty", b.gitDirty[0] != '\0');
+    w.field("compiler", b.compiler);
+    w.field("build_type", b.buildType);
+    w.endObject();
     w.beginObject("pool");
     w.field("size", static_cast<std::uint64_t>(pool_->size()));
     w.field("tasks_run", pool_->tasksRun());
@@ -528,6 +712,26 @@ Server::writeServerReport(std::ostream &os) const
     w.field("host_threads",
             static_cast<std::uint64_t>(pool_->size()));
     w.field("mem_mb", opts_.memBudgetMb);
+    w.endObject();
+    w.beginObject("telemetry");
+    w.field("jobs_submitted", telemetry_.jobsSubmitted.value());
+    w.field("jobs_terminal", telemetry_.terminalTotal());
+    w.field("admission_denials",
+            telemetry_.admissionDenials.value());
+    w.field("admission_backfills",
+            telemetry_.admissionBackfills.value());
+    w.field("job_faults", telemetry_.jobFaults.value());
+    w.field("job_degradations",
+            telemetry_.jobDegradations.value());
+    w.field("heartbeats", telemetry_.heartbeats.value());
+    writeHistogramSummary(w, "queue_wait_ms",
+                          telemetry_.queueWaitMs);
+    writeHistogramSummary(w, "run_duration_ms",
+                          telemetry_.runDurationMs);
+    w.beginObject("events");
+    w.field("recorded", events_.recorded());
+    w.field("path", events_.path());
+    w.endObject();
     w.endObject();
     w.endObject();
     os << "\n";

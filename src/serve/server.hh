@@ -23,11 +23,14 @@
  *   -> {"op": "watch", "id": 7}
  *   <- {"ok":true,"event":"state","state":"queued"}     (on change)
  *   <- {"ok":true,"event":"state","state":"running"}
+ *   <- {"ok":true,"event":"progress","epochs":3,...}    (~1 Hz live)
  *   <- {"ok":true,"event":"report","json":"{...}"}      (terminal)
  *   <- {"ok":true,"event":"metrics","csv":"..."}
  *   <- {"ok":true,"event":"end","state":"done"}
  *   -> {"op": "stats"}
  *   <- {"ok": true, "pool": {...}, "queue": {...}, ...}
+ *   -> {"op": "metrics"}
+ *   <- {"ok": true, "text": "# HELP slacksim_... exposition ..."}
  *   -> {"op": "shutdown", "drain": true}
  *   <- {"ok": true}
  *   Any failure: {"ok": false, "error": "one readable line"}
@@ -54,6 +57,7 @@
 #include <vector>
 
 #include "serve/job_queue.hh"
+#include "serve/telemetry.hh"
 #include "serve/worker_pool.hh"
 #include "util/uds.hh"
 
@@ -106,9 +110,12 @@ class Server
     const WorkerPool &pool() const { return *pool_; }
     JobQueue &queue() { return queue_; }
     const Options &options() const { return opts_; }
+    const ServerTelemetry &telemetry() const { return telemetry_; }
+    const EventLog &events() const { return events_; }
 
     /** Emit the server-level report (pool reuse proof, queue
-     *  outcome counters, budgets) as JSON. */
+     *  outcome counters, budgets, telemetry summary) as JSON —
+     *  schema slacksim.server_report.v2. */
     void writeServerReport(std::ostream &os) const;
 
   private:
@@ -118,6 +125,8 @@ class Server
         std::uint32_t threads = 0;
         std::uint64_t memMb = 0;
         std::unique_ptr<TaskRunner::Handle> handle;
+        /** Last heartbeat event for this job (scheduler-only). */
+        std::chrono::steady_clock::time_point lastBeat;
     };
 
     void schedulerMain();
@@ -125,6 +134,13 @@ class Server
     void reapFinished(bool joinAll);
     void startJob(Job *job);
     void jobBody(std::uint64_t id, const SimConfig &config);
+    /** Emit a heartbeat event (~1 Hz per job) for every Running job
+     *  whose progress mailbox has data. Scheduler thread only. */
+    void publishHeartbeats();
+    /** Recompute the occupancy gauges from the queue, the pool and
+     *  the budget reservations. Called right before any scrape
+     *  (metrics op, stats op, server report). */
+    void refreshGauges() const;
 
     void handleConn(UdsConn conn);
     /** @return false when the connection should close. */
@@ -142,10 +158,17 @@ class Server
     std::atomic<bool> handlersStop_{false};
     std::atomic<bool> schedulerStop_{false};
 
-    /** Budget accounting; scheduler-thread only. */
-    std::uint32_t reservedThreads_ = 0;
-    std::uint64_t reservedMemMb_ = 0;
+    /** Budget accounting; written by the scheduler thread only, read
+     *  by handler threads for gauge scrapes (hence atomic). */
+    std::atomic<std::uint32_t> reservedThreads_{0};
+    std::atomic<std::uint64_t> reservedMemMb_{0};
     std::vector<RunningJob> running_;
+
+    /** Fleet instruments; mutable so const scrapers can refresh the
+     *  gauges (atomic writes, logically read-side). */
+    mutable ServerTelemetry telemetry_;
+    /** Lifecycle event log (outRoot/server_events.jsonl). */
+    EventLog events_;
 
     std::thread scheduler_;
     std::mutex handlersMu_;

@@ -9,18 +9,28 @@
  *                         CSV under --out=DIR as they land
  *   --status[=ID]         print the queue (or one job) as JSON
  *   --cancel=ID           cancel a queued or running job
+ *   --top                 live fleet view: status poll rendered as a
+ *                         one-screen table (--interval-ms, --frames)
  *   --stats               print server statistics as JSON
+ *   --metrics             print the server's Prometheus exposition
  *   --shutdown            graceful shutdown (--no-drain cancels)
  *
- * Exit status: 0 on success (a watched job must end "done"), 1 on
- * protocol/transport errors or a job that ended any other way.
+ * Exit status: 0 on success; a watched job maps its terminal state to
+ * the exit code — done=0, failed=1, cancelled=2, timeout=3 — so shell
+ * pipelines can tell the outcomes apart. Protocol/transport errors
+ * exit 1.
  */
 
+#include <chrono>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "serve/client.hh"
 #include "serve/job_queue.hh"
@@ -39,7 +49,11 @@ const std::vector<slacksim::OptionSpec> kFlags = {
      "where --watch saves report.json / metrics.csv (default '.')"},
     {"status", "ID", "print queue state (or one job); ID optional"},
     {"cancel", "ID", "cancel a job"},
+    {"top", "", "live fleet table; refresh until interrupted"},
+    {"interval-ms", "MS", "top refresh period (default 1000)"},
+    {"frames", "N", "top: render N frames then exit (0 = forever)"},
     {"stats", "", "print server statistics"},
+    {"metrics", "", "print Prometheus-format server metrics"},
     {"shutdown", "", "ask the daemon to shut down"},
     {"no-drain", "", "with --shutdown: cancel instead of draining"},
 };
@@ -63,6 +77,73 @@ saveArtifact(const std::string &dir, const char *name,
     if (os.ok())
         os.stream() << content;
     return os.finish();
+}
+
+/** Shell-visible outcome: done=0, failed=1, cancelled=2, timeout=3.
+ *  Anything unexpected counts as a failure. */
+int
+exitCodeForState(const std::string &state)
+{
+    if (state == "done")
+        return 0;
+    if (state == "cancelled")
+        return 2;
+    if (state == "timeout")
+        return 3;
+    return 1;
+}
+
+/** One `top` frame: jobs table plus a pool/queue footer. */
+void
+renderTopFrame(const slacksim::json::Value &status,
+               const slacksim::json::Value &stats)
+{
+    using slacksim::json::Value;
+    std::cout << std::left << std::setw(5) << "ID" << std::setw(11)
+              << "STATE" << std::setw(5) << "PRI" << std::setw(12)
+              << "KERNEL" << std::setw(10) << "SCHEME"
+              << std::right << std::setw(14) << "CYCLE"
+              << std::setw(10) << "MCYC/S" << std::setw(10)
+              << "KEV/S" << std::setw(7) << "VIOL"
+              << "  NAME\n";
+    const Value &jobs = status.at("jobs");
+    for (std::size_t i = 0; i < jobs.array.size(); ++i) {
+        const Value &job = jobs.item(i);
+        std::cout << std::left << std::setw(5)
+                  << job.at("id").asUint() << std::setw(11)
+                  << job.at("state").asString() << std::setw(5)
+                  << job.at("priority").asUint() << std::setw(12)
+                  << job.at("kernel").asString() << std::setw(10)
+                  << job.at("scheme").asString() << std::right;
+        if (job.has("progress")) {
+            const Value &p = job.at("progress");
+            std::cout << std::setw(14)
+                      << p.at("global_cycle").asUint() << std::setw(10)
+                      << std::fixed << std::setprecision(2)
+                      << p.at("cycles_per_sec").asNumber() / 1e6
+                      << std::setw(10)
+                      << p.at("events_per_sec").asNumber() / 1e3
+                      << std::setw(7) << p.at("violations").asUint();
+        } else {
+            std::cout << std::setw(14) << "-" << std::setw(10) << "-"
+                      << std::setw(10) << "-" << std::setw(7) << "-";
+        }
+        std::cout << "  " << job.at("name").asString() << "\n";
+    }
+    const Value &pool = stats.at("pool");
+    const Value &queue = stats.at("queue");
+    const Value &tel = stats.at("telemetry");
+    std::cout << "pool " << pool.at("busy").asUint() << "/"
+              << pool.at("size").asUint() << " busy | "
+              << queue.at("queued").asUint() << " queued "
+              << queue.at("running").asUint() << " running "
+              << queue.at("done").asUint() << " done | wait p95 "
+              << std::fixed << std::setprecision(0)
+              << tel.at("queue_wait_ms").at("p95_ms").asNumber()
+              << " ms | denials "
+              << tel.at("admission_denials").asUint()
+              << " backfills "
+              << tel.at("admission_backfills").asUint() << "\n";
 }
 
 } // namespace
@@ -93,6 +174,7 @@ main(int argc, char **argv)
 
         const std::string out_dir = opts.get("out", ".");
         std::string end_state;
+        std::string end_error;
         const bool watched = client.watch(
             id,
             [&](const json::Value &event) {
@@ -101,6 +183,21 @@ main(int argc, char **argv)
                 if (kind == "state") {
                     std::cout << "job " << id << " "
                               << event.at("state").asString() << "\n";
+                } else if (kind == "progress") {
+                    std::cout << "job " << id << " epoch "
+                              << event.at("epochs").asUint()
+                              << " cycle "
+                              << event.at("global_cycle").asUint()
+                              << " slack "
+                              << event.at("slack_bound").asUint()
+                              << " viol "
+                              << event.at("violations").asUint()
+                              << " " << std::fixed
+                              << std::setprecision(2)
+                              << event.at("cycles_per_sec")
+                                         .asNumber() /
+                                     1e6
+                              << " Mcyc/s\n";
                 } else if (kind == "report") {
                     saveArtifact(out_dir, "report.json",
                                  event.at("json").asString());
@@ -109,13 +206,57 @@ main(int argc, char **argv)
                                  event.at("csv").asString());
                 } else if (kind == "end") {
                     end_state = event.at("state").asString();
+                    if (event.has("error"))
+                        end_error = event.at("error").asString();
                 }
             },
             &error);
         if (!watched)
             SLACKSIM_FATAL("watch failed: ", error);
-        std::cout << "job " << id << " ended: " << end_state << "\n";
-        return end_state == "done" ? 0 : 1;
+        // Render the outcome distinctly: success quietly on stdout,
+        // every other terminal state loudly on stderr with the reason.
+        if (end_state == "done") {
+            std::cout << "job " << id << " done\n";
+        } else {
+            std::cerr << "job " << id << " " << end_state;
+            if (!end_error.empty())
+                std::cerr << ": " << end_error;
+            std::cerr << "\n";
+        }
+        return exitCodeForState(end_state);
+    }
+
+    if (opts.has("top")) {
+        const std::uint64_t interval =
+            opts.getUint("interval-ms", 1000);
+        const std::uint64_t frames = opts.getUint("frames", 0);
+        const bool tty = ::isatty(STDOUT_FILENO) == 1;
+        for (std::uint64_t frame = 0; frames == 0 || frame < frames;
+             ++frame) {
+            json::Value status;
+            if (!client.status(0, &status, &error))
+                SLACKSIM_FATAL("top: status failed: ", error);
+            json::Value stats;
+            if (!client.stats(&stats, &error))
+                SLACKSIM_FATAL("top: stats failed: ", error);
+            if (tty)
+                std::cout << "\033[2J\033[H";
+            renderTopFrame(status, stats);
+            std::cout.flush();
+            if (frames != 0 && frame + 1 == frames)
+                break;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(interval));
+        }
+        return 0;
+    }
+
+    if (opts.has("metrics")) {
+        std::string text;
+        if (!client.metricsText(&text, &error))
+            SLACKSIM_FATAL("metrics failed: ", error);
+        std::cout << text;
+        return 0;
     }
 
     if (opts.has("status")) {

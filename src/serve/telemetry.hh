@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Fleet telemetry for the job server: a lock-cheap metrics registry
+ * and the structured job-lifecycle event log.
+ *
+ * The registry is a fixed set of named instruments — monotonic
+ * counters, set-style gauges and fixed-bucket duration histograms —
+ * owned by the Server and fed from the scheduler loop, the request
+ * handlers and the job bodies. Every write is a relaxed atomic
+ * (histograms: one bucket increment + one sum accumulate), so
+ * recording a sample costs nanoseconds and never takes a lock; reads
+ * (the `metrics` op, `stats`, server_report.v2) tolerate the usual
+ * cross-field skew of relaxed telemetry. writeExposition() renders
+ * the whole registry in the Prometheus text exposition format
+ * (`# HELP`/`# TYPE`, `_bucket{le=...}`/`_sum`/`_count` histogram
+ * series) so any off-the-shelf scraper can parse the `metrics` op's
+ * payload.
+ *
+ * The EventLog is the durable trail: one JSONL line per lifecycle
+ * transition (submitted -> validated -> admitted -> started ->
+ * heartbeat* -> completed/failed/cancelled/timed_out), each carrying
+ * the job id, a wall-clock timestamp (ms since the Unix epoch, for
+ * humans and cross-host joins) and a steady-clock timestamp (ns, for
+ * exact intra-server ordering and latency math). record() may be
+ * called from any thread — it renders the line under a mutex so the
+ * global `seq` matches temporal order — but file I/O happens only in
+ * flush()/close(), which the scheduler thread alone calls, keeping
+ * the CheckedOfstream single-writer.
+ */
+
+#ifndef SLACKSIM_SERVE_TELEMETRY_HH
+#define SLACKSIM_SERVE_TELEMETRY_HH
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace slacksim {
+
+class CheckedOfstream;
+
+namespace serve {
+
+/** Monotonic counter (relaxed; exposed as `_total`). */
+class TelemetryCounter
+{
+  public:
+    void
+    add(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-write-wins gauge for point-in-time occupancy values. */
+class TelemetryGauge
+{
+  public:
+    void
+    set(std::uint64_t v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/**
+ * Fixed-bucket duration histogram (milliseconds). Buckets are chosen
+ * at construction and never change, so observe() is two relaxed
+ * atomic ops: bump the first bucket whose upper bound holds the
+ * sample (cumulative counts are derived at read time) and accumulate
+ * the sum. An implicit +Inf bucket catches everything beyond the last
+ * bound.
+ */
+class DurationHistogram
+{
+  public:
+    /** @param boundsMs strictly increasing upper bounds in ms. */
+    explicit DurationHistogram(std::vector<double> boundsMs);
+
+    /** Default latency buckets: 1ms .. 60s, roughly 1-2.5-5 spaced —
+     *  wide enough for queue waits under load, fine enough to tell an
+     *  instant admission from a backfill delay. */
+    static std::vector<double> defaultBoundsMs();
+
+    void observe(double ms);
+
+    std::uint64_t count() const;
+    double sum() const;
+
+    /** Bucket upper bounds (without the implicit +Inf). */
+    const std::vector<double> &bounds() const { return bounds_; }
+
+    /** Per-bucket (non-cumulative) counts; index bounds_.size() is
+     *  the +Inf bucket. */
+    std::vector<std::uint64_t> snapshot() const;
+
+    /**
+     * Approximate percentile (@p p in [0,100]) from the bucket
+     * counts: the upper bound of the bucket holding the rank, with
+     * the last finite bound standing in for +Inf. 0 when empty.
+     */
+    double percentile(double p) const;
+
+  private:
+    std::vector<double> bounds_;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+    std::atomic<std::uint64_t> countAll_{0};
+    std::atomic<double> sumMs_{0.0};
+};
+
+/**
+ * The server's instrument set. Counters are fed at the event source;
+ * gauges are refreshed by the owner right before a scrape (they
+ * describe "now", so computing them at read time is both cheaper and
+ * more honest than keeping them hot).
+ */
+struct ServerTelemetry
+{
+    ServerTelemetry();
+
+    // Counters.
+    TelemetryCounter jobsSubmitted;
+    TelemetryCounter jobsDone;
+    TelemetryCounter jobsFailed;
+    TelemetryCounter jobsCancelled;
+    TelemetryCounter jobsTimedOut;
+    /** Scheduler passes that left at least one queued job unadmitted
+     *  for lack of thread/memory budget — admission pressure. */
+    TelemetryCounter admissionDenials;
+    /** Jobs started ahead of a higher-ranked job that did not fit. */
+    TelemetryCounter admissionBackfills;
+    TelemetryCounter jobFaults;       //!< fault injections across jobs
+    TelemetryCounter jobDegradations; //!< recovery-ladder demotions
+    TelemetryCounter heartbeats;      //!< heartbeat events published
+
+    // Gauges (set by the owner before rendering).
+    TelemetryGauge jobsQueued;
+    TelemetryGauge jobsRunning;
+    TelemetryGauge poolThreadsTotal;
+    TelemetryGauge poolThreadsBusy;
+    TelemetryGauge budgetThreadsReserved;
+    TelemetryGauge budgetMemReservedMb;
+    TelemetryGauge budgetMemTotalMb;
+
+    // Histograms.
+    DurationHistogram queueWaitMs;
+    DurationHistogram runDurationMs;
+
+    /** Sum of the terminal-status counters (coherence invariant:
+     *  equals jobsSubmitted once the queue drains). */
+    std::uint64_t terminalTotal() const;
+
+    /** Render every instrument in Prometheus text exposition format
+     *  (metric prefix `slacksim_`). */
+    void writeExposition(std::ostream &os) const;
+};
+
+/** Structured job-lifecycle log (schema slacksim.server_events.v1). */
+class EventLog
+{
+  public:
+    static constexpr const char *schema = "slacksim.server_events.v1";
+
+    EventLog();
+    ~EventLog();
+
+    /** Set the output path. No I/O yet — the file is created on the
+     *  first flush() so it belongs to the scheduler thread. */
+    void open(const std::string &path);
+
+    /**
+     * Append one event for @p jobId. Callable from any thread: the
+     * line (seq, timestamps, rendered fields) is built under the log
+     * mutex, file I/O waits for the scheduler's flush(). @p fieldsJson
+     * is either empty or a string of extra pre-rendered JSON members
+     * (`,"key":value...`) spliced into the object.
+     */
+    void record(std::uint64_t jobId, const char *event,
+                const std::string &fieldsJson = {});
+
+    /** Write pending lines to the file. Scheduler thread only. */
+    void flush();
+
+    /** Final flush + close. Scheduler thread (or after it joined). */
+    void close();
+
+    std::uint64_t recorded() const;
+
+    /** Pending + written line count is internal; tests use recorded()
+     *  plus the file contents. */
+    const std::string &path() const { return path_; }
+
+  private:
+    mutable std::mutex mu_;
+    std::string path_;
+    std::vector<std::string> pending_;
+    std::unique_ptr<CheckedOfstream> out_;
+    std::uint64_t seq_ = 0;
+    bool headerWritten_ = false;
+    bool closed_ = false;
+};
+
+/** `,"key":"value"` fragment helper for EventLog::record fields. */
+std::string eventField(const char *key, const std::string &value);
+std::string eventField(const char *key, std::uint64_t value);
+std::string eventFieldDouble(const char *key, double value);
+
+} // namespace serve
+} // namespace slacksim
+
+#endif // SLACKSIM_SERVE_TELEMETRY_HH

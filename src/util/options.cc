@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/build_info.hh"
 #include "util/logging.hh"
 
 namespace slacksim {
@@ -62,6 +63,7 @@ closestKnown(const std::string &key,
     for (const auto &spec : known)
         candidates.emplace_back(spec.key);
     candidates.emplace_back("help");
+    candidates.emplace_back("version");
     return didYouMean(key, candidates);
 }
 
@@ -112,6 +114,8 @@ Options::printUsage(const std::string &tool,
     }
     std::printf("  --%-*s  %s\n", static_cast<int>(width), "help",
                 "show this message and exit");
+    std::printf("  --%-*s  %s\n", static_cast<int>(width), "version",
+                "print build provenance and exit");
 }
 
 void
@@ -122,9 +126,18 @@ Options::enforceKnown(const std::string &tool,
         printUsage(tool, known);
         std::exit(0);
     }
+    if (has("version")) {
+        // Centralized here so every binary that parses flags gets the
+        // same build-provenance line for free.
+        const auto cut = tool.find(':');
+        const std::string name =
+            cut == std::string::npos ? tool : tool.substr(0, cut);
+        std::printf("%s\n", buildInfoLine(name.c_str()).c_str());
+        std::exit(0);
+    }
     for (const auto &[key, value] : values_) {
         (void)value;
-        if (key == "help")
+        if (key == "help" || key == "version")
             continue;
         const bool ok = std::any_of(
             known.begin(), known.end(),

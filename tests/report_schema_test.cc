@@ -1,6 +1,6 @@
 /**
  * @file
- * Validates the slacksim.run_report.v3 document end to end: every
+ * Validates the slacksim.run_report.v4 document end to end: every
  * section and key the schema promises, exact agreement between the
  * forensics attribution tables and the run's violation counters, a
  * replayable adaptive decision chain, and the observe example's
@@ -58,7 +58,7 @@ runAndParse(SimConfig config, const std::string &name,
     return jsonlite::parse(ss.str());
 }
 
-/** The keys every v3 report must carry, section by section. */
+/** The keys every v4 report must carry, section by section. */
 void
 expectSchemaComplete(const jsonlite::Value &doc)
 {
@@ -67,6 +67,17 @@ expectSchemaComplete(const jsonlite::Value &doc)
     const auto &generator = doc.at("generator");
     EXPECT_EQ(generator.at("name").asString(), "slacksim");
     EXPECT_TRUE(generator.has("host_threads"));
+
+    // v4: correlation id (empty standalone) and build provenance.
+    EXPECT_TRUE(doc.has("job_id"));
+    const auto &build = generator.at("build");
+    for (const char *key :
+         {"git", "dirty", "compiler", "build_type", "obs",
+          "sanitize"}) {
+        EXPECT_TRUE(build.has(key)) << "generator.build." << key;
+    }
+    EXPECT_FALSE(build.at("git").asString().empty());
+    EXPECT_TRUE(doc.at("forensics").has("job_id"));
 
     const auto &config = doc.at("config");
     for (const char *key :
@@ -89,8 +100,9 @@ expectSchemaComplete(const jsonlite::Value &doc)
     for (const char *key :
          {"mode", "tech", "interval", "child_timeout_ms"})
         EXPECT_TRUE(config.at("checkpoint").has(key));
-    for (const char *key : {"trace_out", "metrics_out", "report_out",
-                            "watchdog_ms", "profile", "profile_out"}) {
+    for (const char *key :
+         {"trace_out", "metrics_out", "report_out", "watchdog_ms",
+          "profile", "profile_out", "job_id"}) {
         EXPECT_TRUE(config.at("obs").has(key)) << "config.obs." << key;
     }
 

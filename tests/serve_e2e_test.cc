@@ -10,6 +10,7 @@
 #include <atomic>
 #include <chrono>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -163,7 +164,7 @@ TEST(ServeE2ETest, EightMixedJobsUnderBudgetAllComplete)
         ASSERT_FALSE(report.empty()) << "job " << id;
         const json::Value doc = json::parse(report);
         EXPECT_EQ(doc.at("schema").asString(),
-                  "slacksim.run_report.v3");
+                  "slacksim.run_report.v4");
         EXPECT_EQ(doc.at("status").asString(), "ok");
     }
 }
@@ -325,6 +326,116 @@ TEST(ServeE2ETest, ProtocolRejectsBadInput)
     json::Value stats_reply;
     ASSERT_TRUE(client.stats(&stats_reply, &error));
     EXPECT_EQ(stats_reply.at("queue").at("submitted").asUint(), 0u);
+}
+
+TEST(ServeE2ETest, TelemetryMetricsEventsAndCorrelation)
+{
+    const std::string out_root = "serve_e2e_tel-out";
+    std::vector<std::uint64_t> ids;
+    {
+        ServerHarness harness("serve_e2e_tel", 16);
+        Client client(harness.socket());
+        ASSERT_TRUE(client.valid());
+
+        std::string error;
+        for (int i = 0; i < 3; ++i) {
+            // The first job also exercises the per-job trace and
+            // profile sinks (correlation-named artifacts).
+            std::string extra = "\"seed\": " + std::to_string(7 + i) +
+                                ", \"host_threads\": 5";
+            if (i == 0)
+                extra += ", \"trace\": true, \"profile\": true";
+            const std::uint64_t id =
+                client.submit(specJson("fft", 4, extra), &error);
+            ASSERT_NE(id, 0u) << error;
+            ids.push_back(id);
+        }
+
+        // Mid-batch scrape: the exposition parses and carries the
+        // submission counter even while jobs are still in flight.
+        std::string text;
+        ASSERT_TRUE(client.metricsText(&text, &error)) << error;
+        EXPECT_NE(text.find("# TYPE slacksim_jobs_submitted_total "
+                            "counter"),
+                  std::string::npos);
+        EXPECT_NE(text.find("slacksim_jobs_submitted_total 3"),
+                  std::string::npos);
+        EXPECT_NE(text.find("slacksim_queue_wait_ms_bucket{le=\"+Inf"
+                            "\"}"),
+                  std::string::npos);
+
+        ASSERT_TRUE(waitAllTerminal(client));
+
+        // Coherence: every submitted job reached exactly one terminal
+        // status, and both latency histograms saw every job.
+        json::Value stats;
+        ASSERT_TRUE(client.stats(&stats, &error)) << error;
+        const json::Value &tel = stats.at("telemetry");
+        EXPECT_EQ(tel.at("jobs_submitted").asUint(), 3u);
+        EXPECT_EQ(tel.at("jobs_terminal").asUint(), 3u);
+        EXPECT_EQ(tel.at("queue_wait_ms").at("count").asUint(), 3u);
+        EXPECT_EQ(tel.at("run_duration_ms").at("count").asUint(), 3u);
+        EXPECT_GT(tel.at("events_recorded").asUint(), 0u);
+
+        // End-to-end correlation: the run report carries the job id
+        // and the build stamp; the metrics CSV schema line and the
+        // trace/profile filenames carry the same id.
+        for (const std::uint64_t id : ids) {
+            const std::string tag = "job-" + std::to_string(id);
+            const std::string dir = harness.outRoot() + "/" + tag;
+            const json::Value report =
+                json::parse(slurp(dir + "/report.json"));
+            EXPECT_EQ(report.at("job_id").asString(), tag);
+            EXPECT_EQ(report.at("forensics").at("job_id").asString(),
+                      tag);
+            EXPECT_FALSE(report.at("generator")
+                             .at("build")
+                             .at("git")
+                             .asString()
+                             .empty());
+            const std::string csv = slurp(dir + "/metrics.csv");
+            EXPECT_NE(csv.find("job_id=" + tag), std::string::npos);
+        }
+        const std::string tag0 = "job-" + std::to_string(ids[0]);
+        EXPECT_FALSE(slurp(harness.outRoot() + "/" + tag0 + "/" +
+                           tag0 + ".trace.json")
+                         .empty());
+        EXPECT_FALSE(slurp(harness.outRoot() + "/" + tag0 + "/" +
+                           tag0 + ".profile.folded")
+                         .empty());
+    }
+    // The harness destructor drained and sealed the event log; the
+    // lifecycle of every job must now read in order.
+    const std::string events = slurp(out_root + "/server_events.jsonl");
+    ASSERT_FALSE(events.empty());
+    std::istringstream is(events);
+    std::string line;
+    ASSERT_TRUE(std::getline(is, line));
+    EXPECT_EQ(json::parse(line).at("schema").asString(),
+              "slacksim.server_events.v1");
+    std::map<std::uint64_t, std::vector<std::string>> perJob;
+    std::uint64_t last_seq = 0;
+    while (std::getline(is, line)) {
+        const json::Value ev = json::parse(line);
+        EXPECT_EQ(ev.at("seq").asUint(), last_seq + 1);
+        last_seq = ev.at("seq").asUint();
+        perJob[ev.at("job").asUint()].push_back(
+            ev.at("event").asString());
+    }
+    for (const std::uint64_t id : ids) {
+        ASSERT_TRUE(perJob.count(id)) << "job " << id;
+        // Heartbeats may interleave; the five lifecycle transitions
+        // must appear in order.
+        const std::vector<std::string> want = {
+            "submitted", "validated", "admitted", "started",
+            "completed"};
+        std::size_t next = 0;
+        for (const std::string &name : perJob[id]) {
+            if (next < want.size() && name == want[next])
+                ++next;
+        }
+        EXPECT_EQ(next, want.size()) << "job " << id;
+    }
 }
 
 TEST(ServeE2ETest, DrainShutdownFinishesQueuedJobs)

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Fleet-telemetry unit tests: histogram bucket math, the Prometheus
+ * text exposition (golden families + cumulative-bucket invariants),
+ * registry coherence, and the JSONL lifecycle event log (header,
+ * global ordering, record-after-close).
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/telemetry.hh"
+#include "util/json_parse.hh"
+
+using namespace slacksim;
+using namespace slacksim::serve;
+
+namespace {
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line))
+        out.push_back(line);
+    return out;
+}
+
+bool
+hasLine(const std::vector<std::string> &lines, const std::string &want)
+{
+    for (const std::string &line : lines) {
+        if (line == want)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+TEST(DurationHistogramTest, BucketMathAndCumulativeCounts)
+{
+    DurationHistogram h({10.0, 100.0, 1000.0});
+
+    // lower_bound semantics: a sample equal to a bound lands in that
+    // bound's bucket (le is an upper bound, inclusive).
+    h.observe(5.0);    // le=10
+    h.observe(10.0);   // le=10
+    h.observe(50.0);   // le=100
+    h.observe(999.0);  // le=1000
+    h.observe(5000.0); // +Inf
+    h.observe(-3.0);   // clamped to 0 -> le=10
+
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_DOUBLE_EQ(h.sum(), 5.0 + 10.0 + 50.0 + 999.0 + 5000.0);
+
+    const std::vector<std::uint64_t> counts = h.snapshot();
+    ASSERT_EQ(counts.size(), 4u); // 3 finite + the +Inf bucket
+    EXPECT_EQ(counts[0], 3u);
+    EXPECT_EQ(counts[1], 1u);
+    EXPECT_EQ(counts[2], 1u);
+    EXPECT_EQ(counts[3], 1u);
+}
+
+TEST(DurationHistogramTest, PercentileReportsBucketUpperBound)
+{
+    DurationHistogram h({10.0, 100.0, 1000.0});
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0); // empty -> 0
+
+    for (int i = 0; i < 90; ++i)
+        h.observe(1.0); // le=10
+    for (int i = 0; i < 10; ++i)
+        h.observe(500.0); // le=1000
+
+    EXPECT_DOUBLE_EQ(h.percentile(50), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(90), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(95), 1000.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99), 1000.0);
+
+    // The +Inf bucket reports the last finite bound, never infinity.
+    DurationHistogram tail({10.0});
+    tail.observe(99999.0);
+    EXPECT_DOUBLE_EQ(tail.percentile(99), 10.0);
+}
+
+TEST(DurationHistogramTest, ConcurrentObserversLoseNothing)
+{
+    DurationHistogram h(DurationHistogram::defaultBoundsMs());
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 5000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&h] {
+            for (int i = 0; i < kPerThread; ++i)
+                h.observe(1.0);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(h.count(),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+    EXPECT_DOUBLE_EQ(h.sum(), kThreads * kPerThread * 1.0);
+}
+
+TEST(ServerTelemetryTest, ExpositionGolden)
+{
+    ServerTelemetry t;
+    t.jobsSubmitted.add(5);
+    t.jobsDone.add(3);
+    t.jobsCancelled.add(1);
+    t.jobsTimedOut.add(1);
+    t.admissionDenials.add(2);
+    t.admissionBackfills.add();
+    t.jobsQueued.set(0);
+    t.jobsRunning.set(0);
+    t.poolThreadsTotal.set(16);
+    t.poolThreadsBusy.set(5);
+    t.budgetMemTotalMb.set(16384);
+    t.queueWaitMs.observe(3.0);   // le=5
+    t.queueWaitMs.observe(40.0);  // le=50
+    t.runDurationMs.observe(700.0);
+
+    EXPECT_EQ(t.terminalTotal(), 5u);
+
+    std::ostringstream os;
+    t.writeExposition(os);
+    const std::vector<std::string> lines = splitLines(os.str());
+
+    EXPECT_TRUE(hasLine(lines,
+                        "# TYPE slacksim_jobs_submitted_total "
+                        "counter"));
+    EXPECT_TRUE(hasLine(lines, "slacksim_jobs_submitted_total 5"));
+    EXPECT_TRUE(hasLine(
+        lines, "slacksim_jobs_terminal_total{status=\"done\"} 3"));
+    EXPECT_TRUE(hasLine(
+        lines, "slacksim_jobs_terminal_total{status=\"failed\"} 0"));
+    EXPECT_TRUE(hasLine(
+        lines,
+        "slacksim_jobs_terminal_total{status=\"cancelled\"} 1"));
+    EXPECT_TRUE(hasLine(
+        lines, "slacksim_jobs_terminal_total{status=\"timeout\"} 1"));
+    EXPECT_TRUE(hasLine(lines, "slacksim_admission_denials_total 2"));
+    EXPECT_TRUE(
+        hasLine(lines, "slacksim_admission_backfills_total 1"));
+    EXPECT_TRUE(hasLine(lines, "# TYPE slacksim_jobs_queued gauge"));
+    EXPECT_TRUE(hasLine(lines, "slacksim_pool_threads_total 16"));
+    EXPECT_TRUE(hasLine(lines, "slacksim_pool_threads_busy 5"));
+    EXPECT_TRUE(hasLine(lines, "slacksim_budget_mem_total_mb 16384"));
+
+    // Histogram series: cumulative buckets, +Inf equals _count.
+    EXPECT_TRUE(hasLine(
+        lines, "# TYPE slacksim_queue_wait_ms histogram"));
+    EXPECT_TRUE(
+        hasLine(lines, "slacksim_queue_wait_ms_bucket{le=\"5\"} 1"));
+    EXPECT_TRUE(
+        hasLine(lines, "slacksim_queue_wait_ms_bucket{le=\"50\"} 2"));
+    EXPECT_TRUE(hasLine(
+        lines, "slacksim_queue_wait_ms_bucket{le=\"60000\"} 2"));
+    EXPECT_TRUE(hasLine(
+        lines, "slacksim_queue_wait_ms_bucket{le=\"+Inf\"} 2"));
+    EXPECT_TRUE(hasLine(lines, "slacksim_queue_wait_ms_sum 43"));
+    EXPECT_TRUE(hasLine(lines, "slacksim_queue_wait_ms_count 2"));
+    EXPECT_TRUE(hasLine(lines, "slacksim_run_duration_ms_count 1"));
+
+    // Exposition-format invariants: every non-comment line is
+    // "name{labels} value" or "name value", and every metric family
+    // is introduced by HELP + TYPE in that order.
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string &line = lines[i];
+        ASSERT_FALSE(line.empty());
+        if (line.rfind("# HELP ", 0) == 0) {
+            ASSERT_LT(i + 1, lines.size());
+            EXPECT_EQ(lines[i + 1].rfind("# TYPE ", 0), 0u)
+                << "HELP not followed by TYPE: " << line;
+            continue;
+        }
+        if (line.rfind("# TYPE ", 0) == 0)
+            continue;
+        const std::size_t space = line.rfind(' ');
+        ASSERT_NE(space, std::string::npos) << line;
+        const std::string value = line.substr(space + 1);
+        EXPECT_NE(value.find_first_of("0123456789"),
+                  std::string::npos)
+            << line;
+    }
+}
+
+TEST(EventLogTest, OrderedJsonlWithHeaderAndTimestamps)
+{
+    const std::string path = "serve_telemetry_events.jsonl";
+    std::remove(path.c_str());
+    {
+        EventLog log;
+        log.open(path);
+        log.record(1, "submitted", eventField("name", "j\"1\""));
+        log.record(1, "admitted",
+                   eventFieldDouble("queue_ms", 1.25));
+        log.record(2, "submitted");
+        log.record(1, "completed",
+                   eventFieldDouble("run_ms", 42.0));
+        EXPECT_EQ(log.recorded(), 4u);
+        log.flush();
+        log.close();
+        // Closed log: further records are dropped, not appended.
+        log.record(2, "completed");
+        EXPECT_EQ(log.recorded(), 4u);
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    ASSERT_EQ(lines.size(), 5u); // header + 4 events
+
+    const json::Value header = json::parse(lines[0]);
+    EXPECT_EQ(header.at("schema").asString(),
+              "slacksim.server_events.v1");
+    EXPECT_GT(header.at("wall_ms").asUint(), 0u);
+
+    std::uint64_t last_seq = 0, last_steady = 0;
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        const json::Value ev = json::parse(lines[i]);
+        EXPECT_EQ(ev.at("seq").asUint(), last_seq + 1);
+        last_seq = ev.at("seq").asUint();
+        EXPECT_GE(ev.at("steady_ns").asUint(), last_steady);
+        last_steady = ev.at("steady_ns").asUint();
+        EXPECT_GT(ev.at("wall_ms").asUint(), 0u);
+        EXPECT_FALSE(ev.at("event").asString().empty());
+    }
+    // Field splicing survived escaping and typed helpers.
+    EXPECT_EQ(json::parse(lines[1]).at("name").asString(), "j\"1\"");
+    EXPECT_DOUBLE_EQ(
+        json::parse(lines[2]).at("queue_ms").asNumber(), 1.25);
+    EXPECT_EQ(json::parse(lines[3]).at("job").asUint(), 2u);
+    std::remove(path.c_str());
+}
+
+TEST(EventLogTest, RecordWithoutOpenIsNoOp)
+{
+    EventLog log;
+    log.record(1, "submitted");
+    EXPECT_EQ(log.recorded(), 0u);
+    log.flush();
+    log.close();
+}
