@@ -15,15 +15,17 @@
  *
  * JSON schema:
  *   {
- *     "schema": "slacksim.serve_throughput.v1",
+ *     "schema": "slacksim.serve_throughput.v2",
  *     "jobs": N, "uops": U, "cores": C, "pool_threads": T,
+ *     "isolation": "inline" | "process",
  *     "sequential": { "wall_seconds", "jobs_per_min",
  *                     "threads_spawned" },
  *     "daemon":     { "wall_seconds", "jobs_per_min",
  *                     "threads_spawned", "tasks_run",
  *                     "overflow_spawns",
- *                     "queue_wait_ms":   { count, p50, p95, p99 },
- *                     "run_duration_ms": { count, p50, p95, p99 } },
+ *                     "queue_wait_ms":     { count, p50, p95, p99 },
+ *                     "run_duration_ms":   { count, p50, p95, p99 },
+ *                     "spawn_overhead_ms": { count, p50, p95, p99 } },
  *     "speedup": S
  *   }
  *
@@ -31,8 +33,14 @@
  * linearly with the job count (cores workers per run), the daemon
  * column is the pool size regardless of how many jobs ran.
  *
+ * --isolation=process runs every daemon job in a forked supervised
+ * child (the crash-proof production default); "spawn_overhead_ms"
+ * then carries the fork-to-ready latency distribution, which is the
+ * isolation tax EXPERIMENTS.md tracks (zero count under inline mode —
+ * disabled isolation costs nothing).
+ *
  * Flags: --jobs=N --uops=N --kernel=NAME --cores=N --threads=N
- *        --out=PATH
+ *        --isolation=MODE --out=PATH
  */
 
 #include <atomic>
@@ -139,6 +147,9 @@ main(int argc, char **argv)
                {{"jobs", "N", "sweep size (default 32)"},
                 {"threads", "N",
                  "daemon host-thread budget (default 2x(cores+1))"},
+                {"isolation", "MODE",
+                 "daemon job execution: inline|process "
+                 "(default inline)"},
                 {"out", "PATH", "JSON output (BENCH_serve.json)"}});
     const std::uint64_t jobs = opts.getUint("jobs", 32);
     const std::string kernel = opts.get("kernel", "uniform");
@@ -149,6 +160,11 @@ main(int argc, char **argv)
     // enough to show overlap without oversubscribing small hosts.
     const std::uint32_t threads = static_cast<std::uint32_t>(
         opts.getUint("threads", 2 * (cores + 1)));
+    const std::string isolation = opts.get("isolation", "inline");
+    if (isolation != "inline" && isolation != "process")
+        SLACKSIM_FATAL("serve_throughput: --isolation must be "
+                       "'inline' or 'process', got '",
+                       isolation, "'");
     const std::string out = opts.get("out", "BENCH_serve.json");
     setQuietLogging(!opts.has("verbose"));
     banner("serve_throughput: " + std::to_string(jobs) +
@@ -169,6 +185,7 @@ main(int argc, char **argv)
     sopts.socketPath = "serve_throughput.sock";
     sopts.outRoot = "serve_throughput_out";
     sopts.threadBudget = threads;
+    sopts.defaultIsolation = isolation;
     Server server(sopts);
     if (!server.start())
         SLACKSIM_FATAL("serve_throughput: cannot bind ",
@@ -210,11 +227,12 @@ main(int argc, char **argv)
         SLACKSIM_FATAL("serve_throughput: cannot write ", out);
     JsonWriter w(os);
     w.beginObject();
-    w.field("schema", "slacksim.serve_throughput.v1");
+    w.field("schema", "slacksim.serve_throughput.v2");
     w.field("jobs", jobs);
     w.field("uops", uops);
     w.field("cores", cores);
     w.field("pool_threads", static_cast<std::uint64_t>(threads));
+    w.field("isolation", isolation);
     w.beginObject("sequential");
     w.field("wall_seconds", seq_seconds);
     w.field("jobs_per_min", jobsPerMin(jobs, seq_seconds));
@@ -241,6 +259,15 @@ main(int argc, char **argv)
     w.field("p50", tel.runDurationMs.percentile(50));
     w.field("p95", tel.runDurationMs.percentile(95));
     w.field("p99", tel.runDurationMs.percentile(99));
+    w.endObject();
+    // The isolation tax: fork-to-ready latency per supervised child.
+    // Count is zero under inline mode — proof the feature is free
+    // when disabled.
+    w.beginObject("spawn_overhead_ms");
+    w.field("count", tel.spawnOverheadMs.count());
+    w.field("p50", tel.spawnOverheadMs.percentile(50));
+    w.field("p95", tel.spawnOverheadMs.percentile(95));
+    w.field("p99", tel.spawnOverheadMs.percentile(99));
     w.endObject();
     w.endObject();
     w.field("speedup", speedup);

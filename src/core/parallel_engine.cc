@@ -768,6 +768,9 @@ ParallelEngine::run()
         const Tick global = clocks.global;
         Tick safe = global;
         if (auto *plan = fault::FaultPlan::active()) {
+            // Serve-site faults before backpressure: job-crash never
+            // returns, job-hang wedges the manager right here.
+            plan->fireServeFault(global);
             if (const std::uint64_t rounds =
                     plan->fireBackpressure(global)) {
                 backpressureRounds_ += rounds;

@@ -32,6 +32,9 @@ maybeWriteReport(const SimConfig &config, const RunResult &result)
     CheckedOfstream os(path, "run report");
     if (os.ok())
         obs::writeRunReport(os.stream(), config, result);
+    // The report may be the only evidence an isolated child leaves
+    // behind; fsync so it survives the process (and the power).
+    os.sync();
     if (os.finish()) {
         SLACKSIM_INFORM("run report (", obs::runReportSchema, ") -> ",
                         path);

@@ -171,6 +171,10 @@ SerialEngine::run()
 
         const Tick global = sys_.globalTime();
         if (auto *plan = fault::FaultPlan::active()) {
+            // Serve-site faults first: job-crash never returns, and a
+            // job-hang wedge should not be masked by a backpressure
+            // burst scheduled for the same window.
+            plan->fireServeFault(global);
             if (const std::uint64_t rounds =
                     plan->fireBackpressure(global)) {
                 backpressureRounds_ += rounds;

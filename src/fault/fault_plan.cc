@@ -5,7 +5,10 @@
 
 #include "fault/fault_plan.hh"
 
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
+#include <thread>
 
 #include "util/checksum.hh"
 #include "util/logging.hh"
@@ -33,6 +36,9 @@ constexpr KindEntry kindTable[] = {
     {"worker-stall", FaultKind::WorkerStall, "cycle"},
     {"backpressure", FaultKind::Backpressure, "cycle"},
     {"io-fail", FaultKind::IoFail, "write"},
+    {"job-crash", FaultKind::JobCrash, "cycle"},
+    {"job-hang", FaultKind::JobHang, "cycle"},
+    {"daemon-kill-window", FaultKind::DaemonKillWindow, "start"},
 };
 
 std::uint64_t
@@ -120,6 +126,12 @@ FaultPlan::parseSpec(const std::string &text)
                            "': backpressure COUNT must be in "
                            "[1, 50000]");
         }
+    } else if (entry->kind == FaultKind::JobHang) {
+        // Default wedge: long enough that only the supervisor's
+        // timeout/kill escalation can end the job.
+        spec.arg0 = parts.size() > 2
+                        ? parseSpecUint(parts[2], "hang ms")
+                        : 600000;
     } else if (parts.size() > 2) {
         SLACKSIM_FATAL("fault-spec '", text, "': trailing args");
     }
@@ -158,6 +170,11 @@ FaultPlan::FaultPlan(std::vector<FaultSpec> specs, std::uint64_t seed)
             break;
           case FaultKind::IoFail:
             pendingIoFails_.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case FaultKind::JobCrash:
+          case FaultKind::JobHang:
+            pendingServeFaults_.fetch_add(1,
+                                          std::memory_order_relaxed);
             break;
           default:
             break;
@@ -332,6 +349,67 @@ FaultPlan::fireIoFail(const char *what)
         pendingIoFails_.fetch_sub(1, std::memory_order_relaxed);
         record(slot, 0,
                std::string("transient open failure for ") + what);
+        return true;
+    }
+    return false;
+}
+
+void
+FaultPlan::fireServeFault(Tick global)
+{
+    if (pendingServeFaults_.load(std::memory_order_relaxed) == 0)
+        return;
+    std::uint64_t hang_ms = 0;
+    bool crash = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (Slot &slot : slots_) {
+            if (slot.fired || global < slot.spec.trigger)
+                continue;
+            if (slot.spec.kind == FaultKind::JobCrash) {
+                slot.fired = true;
+                pendingServeFaults_.fetch_sub(
+                    1, std::memory_order_relaxed);
+                record(slot, global, "raising SIGSEGV in this job");
+                crash = true;
+                break;
+            }
+            if (slot.spec.kind == FaultKind::JobHang) {
+                slot.fired = true;
+                pendingServeFaults_.fetch_sub(
+                    1, std::memory_order_relaxed);
+                record(slot, global,
+                       "manager wedged for " +
+                           std::to_string(slot.spec.arg0) + " ms");
+                hang_ms = slot.spec.arg0;
+                break;
+            }
+        }
+    }
+    // Crash and hang happen outside the plan mutex: the segfault must
+    // not die holding a lock a sibling hook could want, and the wedge
+    // must not block worker-stall hooks on other threads.
+    if (crash)
+        std::raise(SIGSEGV);
+    if (hang_ms)
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(hang_ms));
+}
+
+bool
+FaultPlan::fireDaemonKill(std::uint64_t start_ordinal)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Slot &slot : slots_) {
+        if (slot.fired ||
+            slot.spec.kind != FaultKind::DaemonKillWindow ||
+            start_ordinal < slot.spec.trigger) {
+            continue;
+        }
+        slot.fired = true;
+        record(slot, 0,
+               "daemon self-SIGKILL at job start " +
+                   std::to_string(start_ordinal));
         return true;
     }
     return false;

@@ -26,6 +26,17 @@
  *   backpressure@cycle:N:COUNT    the manager skips COUNT service
  *                                  rounds once global time reaches N
  *   io-fail@write:N               the Nth checked file open fails
+ *   job-crash@cycle:N             serve: SIGSEGV the job's own
+ *                                  process once global time hits N
+ *                                  (process-isolated jobs only)
+ *   job-hang@cycle:N[:MS]         serve: wedge the manager MS host ms
+ *                                  (default 600000) once global time
+ *                                  hits N — the supervisor's timeout
+ *                                  and kill escalation end it
+ *   daemon-kill-window@start:N    serve: the daemon SIGKILLs itself
+ *                                  when it starts its Nth job (the
+ *                                  deterministic `kill -9` for the
+ *                                  recovery drill; daemon flag only)
  *
  * The plan is installed per *host thread* for the duration of one
  * run: layers with no path to a per-run object (the I/O layer's
@@ -66,6 +77,9 @@ enum class FaultKind : std::uint8_t {
     WorkerStall,      //!< a core worker wedges for N host ms
     Backpressure,     //!< manager stops servicing, queues fill
     IoFail,           //!< transient open failure in a file writer
+    JobCrash,         //!< serve: the job's process dies by SIGSEGV
+    JobHang,          //!< serve: the job's manager wedges for N ms
+    DaemonKillWindow, //!< serve: daemon SIGKILLs itself at job start N
 };
 
 /** @return stable spec-grammar name for a fault kind. */
@@ -163,6 +177,25 @@ class FaultPlan
     bool fireIoFail(const char *what);
 
     /**
+     * Serve-site faults at the manager loop, once global time reaches
+     * the trigger. job-crash raises SIGSEGV on the calling thread and
+     * does not return; job-hang sleeps arg0 host-ms (a wedge long
+     * enough for the supervisor's timeout/kill escalation to be what
+     * ends it). Only meaningful inside a process-isolated job — the
+     * server refuses these kinds for inline jobs at submit time.
+     */
+    void fireServeFault(Tick global);
+
+    /**
+     * Daemon self-destruction for crash-recovery drills: @return true
+     * when @p start_ordinal (1-based count of jobs started) hits a
+     * daemon-kill-window trigger and the caller should SIGKILL its
+     * own process — a deterministic stand-in for `kill -9` mid-batch.
+     * Fired on a server-held plan, never a thread-installed one.
+     */
+    bool fireDaemonKill(std::uint64_t start_ordinal);
+
+    /**
      * Attribute the most recent still-unhandled injection to the
      * layer that just contained it. When @p replacing is non-null and
      * a record already attributed to @p replacing exists, that record
@@ -207,6 +240,7 @@ class FaultPlan
     std::atomic<std::uint32_t> pendingStalls_{0};
     std::atomic<std::uint32_t> pendingBackpressure_{0};
     std::atomic<std::uint32_t> pendingIoFails_{0};
+    std::atomic<std::uint32_t> pendingServeFaults_{0};
 };
 
 /**

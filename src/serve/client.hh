@@ -7,6 +7,16 @@
  * tests speak the wire format through one code path. Every call is
  * synchronous; watch() streams events to a callback until the job's
  * end event (or a transport error).
+ *
+ * Transport failures retry with capped exponential backoff and
+ * seeded jitter (RetryPolicy): the daemon may be mid-restart after a
+ * crash, and `--recover` deployments expect clients to ride through
+ * the gap. Only transport errors retry — an {"ok": false} protocol
+ * reply is a definitive answer, retrying it would double-submit.
+ * For the ambiguous window (request sent, connection died before the
+ * reply) submit() carries a client-generated idempotency key, so a
+ * retried submit maps onto the already-accepted job instead of
+ * double-running it.
  */
 
 #ifndef SLACKSIM_SERVE_CLIENT_HH
@@ -22,27 +32,49 @@
 namespace slacksim {
 namespace serve {
 
+/** Connect/request retry schedule (transport failures only). */
+struct RetryPolicy
+{
+    /** Total tries (1 = no retry, the pre-crash-proofing behavior). */
+    std::uint32_t attempts = 1;
+    std::uint64_t baseMs = 100; //!< first backoff delay
+    std::uint64_t maxMs = 5000; //!< backoff cap
+    /** Jitter seed; each retry sleeps backoff/2 + rand(backoff/2). */
+    std::uint64_t jitterSeed = 1;
+};
+
 class Client
 {
   public:
-    /** Connect to the daemon at @p socketPath; check valid(). */
-    explicit Client(const std::string &socketPath);
+    /** Connect to the daemon at @p socketPath; check valid().
+     *  @p policy governs connect and request retries. */
+    explicit Client(const std::string &socketPath,
+                    RetryPolicy policy = RetryPolicy{});
 
     bool valid() const { return conn_.valid(); }
 
     /**
-     * Send one request frame and decode one reply. @return false on
-     * transport failure or an {"ok": false} reply; @p *error then
+     * Send one request frame and decode one reply, retrying
+     * transport failures (dead socket, closed connection, timeout)
+     * per the policy with a fresh connection each try. @return false
+     * on exhausted retries or an {"ok": false} reply; @p *error then
      * holds the reason. @p reply (nullable) receives the full decoded
      * reply object on success.
      */
     bool request(const std::string &frame, json::Value *reply,
                  std::string *error);
 
-    /** Submit a raw slacksim.job.v1 spec object (JSON text).
-     *  @return the job id, or 0 with @p *error set. */
+    /**
+     * Submit a raw slacksim.job.v1 spec object (JSON text).
+     * @p idempotencyKey ("" = none) rides in the frame so a retry
+     * after an ambiguous failure cannot double-run the job; when the
+     * server matched an existing key, @p *duplicate (nullable) is
+     * set. @return the job id, or 0 with @p *error set.
+     */
     std::uint64_t submit(const std::string &specJson,
-                         std::string *error);
+                         std::string *error,
+                         const std::string &idempotencyKey = "",
+                         bool *duplicate = nullptr);
 
     bool cancel(std::uint64_t id, std::string *error);
 
@@ -60,8 +92,11 @@ class Client
 
     /**
      * Stream a job's watch events ("state", "report", "metrics",
-     * "end") to @p onEvent until the end event. The watch op consumes
-     * the connection; this Client is not reusable afterwards.
+     * "end") to @p onEvent until the end event. On a transport drop
+     * the stream reconnects (per the retry policy) and resumes from
+     * the last state seq it saw — already-delivered state events are
+     * not replayed. The watch op consumes the connection; this
+     * Client is not reusable afterwards.
      * @return true when the end event arrived.
      */
     bool watch(std::uint64_t id,
@@ -69,6 +104,14 @@ class Client
                std::string *error);
 
   private:
+    /** (Re)establish conn_, retrying per policy. */
+    bool ensureConnected(std::string *error);
+    /** Backoff + jitter sleep before retry number @p attempt. */
+    void backoff(std::uint32_t attempt);
+
+    std::string socketPath_;
+    RetryPolicy policy_;
+    std::uint64_t jitterState_;
     UdsConn conn_;
 };
 

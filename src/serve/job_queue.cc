@@ -28,6 +28,7 @@ terminalEventName(JobState state)
       case JobState::Failed: return "failed";
       case JobState::Cancelled: return "cancelled";
       case JobState::TimedOut: return "timed_out";
+      case JobState::Crashed: return "crashed";
       default: return "?";
     }
 }
@@ -44,6 +45,7 @@ jobStateName(JobState state)
       case JobState::Failed: return "failed";
       case JobState::Cancelled: return "cancelled";
       case JobState::TimedOut: return "timeout";
+      case JobState::Crashed: return "crashed";
     }
     return "?";
 }
@@ -63,25 +65,54 @@ JobQueue::setTelemetry(ServerTelemetry *telemetry, EventLog *events)
 }
 
 std::uint64_t
-JobQueue::submit(JobSpec spec)
+JobQueue::submit(JobSpec spec, const std::string &idempotencyKey,
+                 std::uint32_t attempt, bool *duplicate)
 {
     std::lock_guard<std::mutex> lock(mu_);
+    if (duplicate)
+        *duplicate = false;
+    if (!idempotencyKey.empty()) {
+        auto hit = keyToId_.find(idempotencyKey);
+        if (hit != keyToId_.end()) {
+            // Resubmission after an ambiguous failure: same key means
+            // same intent, so hand back the existing job instead of
+            // double-running it. Terminal jobs count too — the client
+            // can fetch the result it never saw.
+            if (duplicate)
+                *duplicate = true;
+            return hit->second;
+        }
+    }
     const std::uint64_t id = nextId_++;
     auto job = std::make_unique<Job>();
     job->id = id;
     job->spec = std::move(spec);
     if (job->spec.name.empty())
         job->spec.name = "job-" + std::to_string(id);
+    job->idempotencyKey = idempotencyKey;
+    job->attempt = attempt == 0 ? 1 : attempt;
     job->submittedAt = std::chrono::steady_clock::now();
+    if (!idempotencyKey.empty())
+        keyToId_.emplace(idempotencyKey, id);
     if (telemetry_)
         telemetry_->jobsSubmitted.add();
     if (events_) {
-        events_->record(id, "submitted",
-                        eventField("name", job->spec.name) +
-                            eventField("kernel", job->spec.kernel) +
-                            eventField("priority",
-                                       std::uint64_t{
-                                           job->spec.priority}));
+        // The submitted event doubles as the write-ahead journal
+        // record: the full spec rides along so --recover can rebuild
+        // the job from the log alone.
+        std::string fields =
+            eventField("name", job->spec.name) +
+            eventField("kernel", job->spec.kernel) +
+            eventField("priority",
+                       std::uint64_t{job->spec.priority}) +
+            eventField("attempt", std::uint64_t{job->attempt}) +
+            eventField("max_attempts",
+                       std::uint64_t{job->spec.maxAttempts});
+        if (!job->idempotencyKey.empty())
+            fields += eventField("idempotency_key",
+                                 job->idempotencyKey);
+        fields += eventFieldRaw("spec", job->spec.toJson());
+        events_->record(id, "submitted", fields);
         // The queue only accepts pre-validated specs (JobSpec::parse
         // gates the submit op), so the validation event is recorded
         // here, under the same lock, keeping the lifecycle strictly
@@ -121,6 +152,7 @@ JobQueue::admitNext(std::uint32_t freeThreads,
     }
     if (best) {
         best->state = JobState::Running;
+        ++best->stateSeq;
         best->startedAt = std::chrono::steady_clock::now();
         const double wait_ms =
             msBetween(best->submittedAt, best->startedAt);
@@ -159,6 +191,7 @@ JobQueue::retireLocked(Job &job, JobState state,
         job.state = JobState::TimedOut;
     else
         job.state = state;
+    ++job.stateSeq;
     job.error = error;
     job.endedAt = std::chrono::steady_clock::now();
     const bool ran = job.startedAt.time_since_epoch().count() != 0;
@@ -176,11 +209,24 @@ JobQueue::retireLocked(Job &job, JobState state,
           case JobState::TimedOut:
             telemetry_->jobsTimedOut.add();
             break;
+          case JobState::Crashed:
+            telemetry_->recordCrash(job.crashSignal);
+            break;
           default: break;
         }
     }
     if (events_) {
         std::string fields = eventFieldDouble("run_ms", run_ms);
+        if (job.state == JobState::Crashed) {
+            fields += eventField("signal",
+                                 std::uint64_t{static_cast<unsigned>(
+                                     job.crashSignal)});
+            fields += eventField("signal_name",
+                                 signalName(job.crashSignal));
+        }
+        if (job.attempt > 1)
+            fields += eventField("attempt",
+                                 std::uint64_t{job.attempt});
         if (!job.error.empty())
             fields += eventField("error", job.error);
         events_->record(job.id, terminalEventName(job.state), fields);
@@ -200,6 +246,21 @@ JobQueue::markFinished(std::uint64_t id, JobState state,
     if (isTerminal(job.state))
         return; // queued-cancel raced with the scheduler; keep first
     retireLocked(job, state, error);
+    cv_.notify_all();
+}
+
+void
+JobQueue::markCrashed(std::uint64_t id, int signal,
+                      const std::string &error)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    SLACKSIM_ASSERT(it != jobs_.end(), "markCrashed: unknown job");
+    Job &job = *it->second;
+    if (isTerminal(job.state))
+        return;
+    job.crashSignal = signal;
+    retireLocked(job, JobState::Crashed, error);
     cv_.notify_all();
 }
 
@@ -331,6 +392,9 @@ JobQueue::viewLocked(const Job &job) const
     v.timedOut = job.timedOut;
     v.committedUops = job.committedUops;
     v.simulatedCycles = job.simulatedCycles;
+    v.attempt = job.attempt;
+    v.crashSignal = job.crashSignal;
+    v.stateSeq = job.stateSeq;
     v.scheme = job.spec.scheme;
     v.progress = job.progress->read();
     switch (job.state) {
@@ -388,6 +452,7 @@ JobQueue::stats() const
           case JobState::Failed: ++s.failed; break;
           case JobState::Cancelled: ++s.cancelled; break;
           case JobState::TimedOut: ++s.timedOut; break;
+          case JobState::Crashed: ++s.crashed; break;
         }
     }
     return s;

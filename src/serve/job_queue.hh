@@ -58,6 +58,7 @@ enum class JobState : std::uint8_t {
     Failed,    //!< could not run (setup error after admission)
     Cancelled, //!< client cancel or shutdown drain
     TimedOut,  //!< per-job deadline fired
+    Crashed,   //!< isolated child died by signal (supervisor verdict)
 };
 
 /** @return printable state name ("queued", "running", ...). */
@@ -89,6 +90,18 @@ struct Job
     /** Result summary for status/stats (valid once terminal). */
     std::uint64_t committedUops = 0;
     std::uint64_t simulatedCycles = 0;
+    /** Client-chosen dedup key; "" when the client sent none. A
+     *  resubmission carrying the same key maps to this job instead
+     *  of double-running (journal recovery relies on it too). */
+    std::string idempotencyKey;
+    /** 1-based try counter; > 1 only for jobs the journal replayer
+     *  re-admitted after they were running at daemon-crash time. */
+    std::uint32_t attempt = 1;
+    int crashSignal = 0; //!< signal that killed the child (Crashed)
+    /** Monotonic per-job transition counter (submitted=1); watch
+     *  events carry it so a reconnecting client can resume from the
+     *  last seq it saw without replaying duplicates. */
+    std::uint64_t stateSeq = 1;
 };
 
 /** Copyable job snapshot for status reporting. */
@@ -105,6 +118,9 @@ struct JobView
     bool timedOut = false;
     std::uint64_t committedUops = 0;
     std::uint64_t simulatedCycles = 0;
+    std::uint32_t attempt = 1;
+    int crashSignal = 0;
+    std::uint64_t stateSeq = 1;
     double queueMs = 0.0; //!< submit -> start (or now while queued)
     double runMs = 0.0;   //!< start -> end (or now while running)
     std::string scheme;   //!< configured slack scheme
@@ -123,6 +139,7 @@ struct QueueStats
     std::uint64_t failed = 0;
     std::uint64_t cancelled = 0;
     std::uint64_t timedOut = 0;
+    std::uint64_t crashed = 0;
 };
 
 class JobQueue
@@ -142,8 +159,18 @@ class JobQueue
      */
     void setTelemetry(ServerTelemetry *telemetry, EventLog *events);
 
-    /** Enqueue a validated spec; @return the new job id (>= 1). */
-    std::uint64_t submit(JobSpec spec);
+    /**
+     * Enqueue a validated spec; @return the new job id (>= 1).
+     * @p idempotencyKey ("" = none) deduplicates: when a live or
+     * terminal job already carries the key, no new job is created
+     * and its id is returned with @p *duplicate (nullable) set.
+     * @p attempt is the 1-based try counter the journal replayer
+     * passes for retried jobs (fresh submissions pass 1).
+     */
+    std::uint64_t submit(JobSpec spec,
+                         const std::string &idempotencyKey = "",
+                         std::uint32_t attempt = 1,
+                         bool *duplicate = nullptr);
 
     /**
      * Pick the next job to run under the remaining budgets (see file
@@ -159,6 +186,14 @@ class JobQueue
      */
     void markFinished(std::uint64_t id, JobState state,
                       const std::string &error = "");
+
+    /**
+     * Retire a Running job whose isolated child died by @p signal.
+     * Like markFinished but lands in Crashed and records the signal
+     * for the jobs_crashed{signal=} telemetry family.
+     */
+    void markCrashed(std::uint64_t id, int signal,
+                     const std::string &error);
 
     /** Record result aggregates on a finished job. */
     void recordResult(std::uint64_t id, std::uint64_t committedUops,
@@ -217,6 +252,8 @@ class JobQueue
     std::uint64_t nextId_ = 1;
     /** Jobs by id; never erased (pointer stability, audit trail). */
     std::map<std::uint64_t, std::unique_ptr<Job>> jobs_;
+    /** Idempotency key -> job id for submit() deduplication. */
+    std::map<std::string, std::uint64_t> keyToId_;
     ServerTelemetry *telemetry_ = nullptr; //!< nullable
     EventLog *events_ = nullptr;           //!< nullable
 };

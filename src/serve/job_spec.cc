@@ -34,9 +34,19 @@ knownKeys()
         "timeout_ms",
         "fault_spec",    "fault_seed",
         "mem_mb",        "trace",
-        "profile",
+        "profile",       "isolation",
+        "max_attempts",  "rlimit_mem_mb",
+        "rlimit_cpu_s",
     };
     return keys;
+}
+
+const std::vector<std::string> &
+isolationNames()
+{
+    static const std::vector<std::string> names = {"inline",
+                                                   "process"};
+    return names;
 }
 
 const std::vector<std::string> &
@@ -66,9 +76,19 @@ faultKinds()
     static const std::vector<std::string> kinds = {
         "snapshot-corrupt", "snapshot-truncate", "spurious-rollback",
         "child-kill",       "child-exit",        "worker-stall",
-        "backpressure",     "io-fail",
+        "backpressure",     "io-fail",           "job-crash",
+        "job-hang",
     };
     return kinds;
+}
+
+/** Kinds that destroy the process running the job. Deliberately NOT
+ *  daemon-kill-window: that one only makes sense on the daemon's own
+ *  command line (recovery drills), never from a client. */
+bool
+isProcessWreckingKind(const std::string &kind)
+{
+    return kind == "job-crash" || kind == "job-hang";
 }
 
 bool
@@ -367,8 +387,60 @@ JobSpec::parse(const json::Value &doc, JobSpec *out,
         }
         spec.profile = v.boolean;
     }
+    if (doc.has("isolation")) {
+        if (!getString(doc, "isolation", &spec.isolation, error))
+            return false;
+        if (!spec.isolation.empty() &&
+            !isMember(spec.isolation, isolationNames())) {
+            return rejectUnknown("isolation mode", spec.isolation,
+                                 isolationNames(), error);
+        }
+    }
+    if (doc.has("max_attempts")) {
+        if (!getUint(doc, "max_attempts", &u, error))
+            return false;
+        if (u < 1 || u > 10) {
+            *error = "max_attempts must be in [1, 10]";
+            return false;
+        }
+        spec.maxAttempts = static_cast<std::uint32_t>(u);
+    }
+    if (doc.has("rlimit_mem_mb") &&
+        !getUint(doc, "rlimit_mem_mb", &spec.rlimitMemMb, error)) {
+        return false;
+    }
+    if (doc.has("rlimit_cpu_s") &&
+        !getUint(doc, "rlimit_cpu_s", &spec.rlimitCpuS, error)) {
+        return false;
+    }
+    if (spec.isolation == "inline" && spec.needsProcessIsolation()) {
+        *error = "fault kinds job-crash/job-hang require "
+                 "isolation \"process\" (they destroy the executing "
+                 "process)";
+        return false;
+    }
     *out = std::move(spec);
     return true;
+}
+
+bool
+JobSpec::needsProcessIsolation() const
+{
+    std::string entry;
+    for (std::size_t i = 0; i <= faultSpec.size(); ++i) {
+        if (i == faultSpec.size() || faultSpec[i] == ',' ||
+            faultSpec[i] == ';') {
+            const auto at = entry.find('@');
+            if (at != std::string::npos &&
+                isProcessWreckingKind(entry.substr(0, at))) {
+                return true;
+            }
+            entry.clear();
+        } else if (faultSpec[i] != ' ') {
+            entry += faultSpec[i];
+        }
+    }
+    return false;
 }
 
 SimConfig
@@ -435,6 +507,13 @@ JobSpec::toJson() const
         w.field("trace", trace);
     if (profile)
         w.field("profile", profile);
+    if (!isolation.empty())
+        w.field("isolation", isolation);
+    w.field("max_attempts", static_cast<std::uint64_t>(maxAttempts));
+    if (rlimitMemMb)
+        w.field("rlimit_mem_mb", rlimitMemMb);
+    if (rlimitCpuS)
+        w.field("rlimit_cpu_s", rlimitCpuS);
     w.endObject();
     return os.str();
 }

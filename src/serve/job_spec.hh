@@ -38,6 +38,16 @@
  *     "profile":       bool     host-time profiling; adds the run-
  *                               report profile section and writes
  *                               job-<id>.profile.folded (default off)
+ *     "isolation":     string   ""|"inline"|"process": where the job
+ *                               executes ("" = the daemon's default;
+ *                               "process" = forked supervised child)
+ *     "max_attempts":  uint     1..10: total tries across daemon
+ *                               restarts before a running-at-crash
+ *                               job is declared failed (default 3)
+ *     "rlimit_mem_mb": uint     child RLIMIT_AS, MiB (0 = none;
+ *                               process isolation only)
+ *     "rlimit_cpu_s":  uint     child RLIMIT_CPU, seconds (0 = none;
+ *                               process isolation only)
  *   }
  *
  * Validation philosophy: the engine's own SimConfig::validate() and
@@ -90,6 +100,11 @@ struct JobSpec
     std::uint64_t memMb = 0; //!< 0 = use the built-in estimate
     bool trace = false;      //!< per-job Chrome trace sink
     bool profile = false;    //!< host-time profile + folded stacks
+    /** "" (inherit the daemon default), "inline" or "process". */
+    std::string isolation;
+    std::uint32_t maxAttempts = 3; //!< tries across daemon restarts
+    std::uint64_t rlimitMemMb = 0; //!< child RLIMIT_AS MiB (0: none)
+    std::uint64_t rlimitCpuS = 0;  //!< child RLIMIT_CPU s (0: none)
 
     /**
      * Validate and decode @p doc into @p out. @return true on
@@ -132,6 +147,14 @@ struct JobSpec
     {
         return memMb ? memMb : 8 + std::uint64_t{2} * cores;
     }
+
+    /**
+     * @return true when the fault spec contains a kind (job-crash,
+     * job-hang) that deliberately wrecks the executing process —
+     * submittable only under process isolation, where the blast
+     * radius is one supervised child instead of the whole daemon.
+     */
+    bool needsProcessIsolation() const;
 
     /** Re-encode as a compact slacksim.job.v1 JSON object. */
     std::string toJson() const;

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Journal replay implementation (see journal.hh for the protocol).
+ */
+
+#include "serve/journal.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/json_parse.hh"
+
+namespace slacksim {
+namespace serve {
+
+namespace {
+
+/** Terminal lifecycle events (must mirror job_queue.cc's
+ *  terminalEventName — a missed name here would replay a finished
+ *  job, breaking exactly-once). */
+bool
+isTerminalEvent(const std::string &event)
+{
+    return event == "completed" || event == "failed" ||
+           event == "cancelled" || event == "timed_out" ||
+           event == "crashed";
+}
+
+/** JSON string escaping matching util/json.hh's writeString. */
+void
+writeEscaped(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (const char c : s) {
+        const auto u = static_cast<unsigned char>(c);
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          case '\r': os << "\\r"; break;
+          default:
+            if (u < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+/** Re-encode a parsed spec Value as compact JSON so the replayer can
+ *  hand the server the exact object the client submitted. */
+void
+writeValue(std::ostream &os, const json::Value &v)
+{
+    switch (v.type) {
+      case json::Value::Type::Null: os << "null"; break;
+      case json::Value::Type::Bool:
+        os << (v.boolean ? "true" : "false");
+        break;
+      case json::Value::Type::Number: {
+        // Journal specs only carry integers (uints/bools/strings);
+        // print integral numbers exactly, the rest with %g.
+        const auto as_int = static_cast<long long>(v.number);
+        if (v.number == static_cast<double>(as_int)) {
+            os << as_int;
+        } else {
+            char buf[40];
+            std::snprintf(buf, sizeof(buf), "%.12g", v.number);
+            os << buf;
+        }
+        break;
+      }
+      case json::Value::Type::String:
+        writeEscaped(os, v.str);
+        break;
+      case json::Value::Type::Object: {
+        os << '{';
+        bool first = true;
+        for (const auto &[key, val] : v.object) {
+            if (!first)
+                os << ',';
+            first = false;
+            writeEscaped(os, key);
+            os << ':';
+            writeValue(os, val);
+        }
+        os << '}';
+        break;
+      }
+      case json::Value::Type::Array: {
+        os << '[';
+        for (std::size_t i = 0; i < v.array.size(); ++i) {
+            if (i)
+                os << ',';
+            writeValue(os, v.array[i]);
+        }
+        os << ']';
+        break;
+      }
+    }
+}
+
+} // namespace
+
+bool
+readJournal(const std::string &path, JournalReplay *out)
+{
+    std::ifstream in(path);
+    if (!in.is_open())
+        return false;
+    // id -> index in out->jobs, preserving submission order.
+    std::map<std::uint64_t, std::size_t> byId;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        ++out->linesRead;
+        json::Value doc;
+        try {
+            doc = json::parse(line);
+        } catch (const json::ParseError &) {
+            // Torn tail (daemon died mid-write) or foreign garbage;
+            // either way the fsync contract says everything before
+            // this line is complete, so just count and move on.
+            ++out->linesSkipped;
+            continue;
+        }
+        if (!doc.isObject() || !doc.has("event") ||
+            !doc.has("job") || !doc.at("event").isString() ||
+            !doc.at("job").isNumber()) {
+            ++out->linesSkipped; // schema header line lands here
+            continue;
+        }
+        const std::string event = doc.at("event").str;
+        const std::uint64_t id =
+            static_cast<std::uint64_t>(doc.at("job").number);
+        if (event == "submitted") {
+            JournalJob job;
+            job.id = id;
+            if (doc.has("spec") && doc.at("spec").isObject()) {
+                std::ostringstream os;
+                writeValue(os, doc.at("spec"));
+                job.specJson = os.str();
+            }
+            if (doc.has("idempotency_key") &&
+                doc.at("idempotency_key").isString()) {
+                job.idempotencyKey = doc.at("idempotency_key").str;
+            }
+            if (doc.has("attempt") && doc.at("attempt").isNumber()) {
+                job.attempt = static_cast<std::uint32_t>(
+                    doc.at("attempt").number);
+            }
+            if (doc.has("max_attempts") &&
+                doc.at("max_attempts").isNumber()) {
+                job.maxAttempts = static_cast<std::uint32_t>(
+                    doc.at("max_attempts").number);
+            }
+            byId[id] = out->jobs.size();
+            out->jobs.push_back(std::move(job));
+            continue;
+        }
+        auto it = byId.find(id);
+        if (it == byId.end())
+            continue; // heartbeat for a pre-rotation job; ignore
+        if (event == "started")
+            out->jobs[it->second].started = true;
+        else if (isTerminalEvent(event))
+            out->jobs[it->second].terminal = true;
+    }
+    return true;
+}
+
+std::string
+rotateJournal(const std::string &path)
+{
+    if (!std::ifstream(path).is_open())
+        return "";
+    for (int n = 1; n < 10000; ++n) {
+        const std::string target = path + "." + std::to_string(n);
+        if (std::ifstream(target).is_open())
+            continue; // generation already archived
+        if (std::rename(path.c_str(), target.c_str()) == 0)
+            return target;
+        return "";
+    }
+    return "";
+}
+
+} // namespace serve
+} // namespace slacksim

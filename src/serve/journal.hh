@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Write-ahead journal replay for `slacksim-serve --recover`.
+ *
+ * The server's event log (telemetry.hh EventLog, server_events.jsonl)
+ * doubles as a journal: the `submitted` event carries the full job
+ * spec plus idempotency key / attempt counters, and every later
+ * lifecycle event updates that job's known fate. Because flush() is
+ * fsync'd, the log is exactly as truthful as the daemon's last
+ * scheduler pass — which is what recovery needs:
+ *
+ *   submitted, no started        -> job was queued; re-admit as-is
+ *   started, no terminal event   -> job was RUNNING at crash time;
+ *                                   retry (attempt+1) up to
+ *                                   max_attempts
+ *   terminal event present       -> nothing to do
+ *
+ * readJournal() tolerates a torn final line (the daemon died mid
+ * write) by ignoring it — by construction a torn line is the only
+ * possible corruption, since every complete line was fsync'd before
+ * the action it describes took effect.
+ *
+ * rotateJournal() moves the consumed log aside (server_events.jsonl.1,
+ * .2, ...) so the restarted daemon opens a fresh journal while the
+ * crash generations stay on disk for the exactly-once audit (CI joins
+ * the generations by idempotency key).
+ */
+
+#ifndef SLACKSIM_SERVE_JOURNAL_HH
+#define SLACKSIM_SERVE_JOURNAL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace slacksim {
+namespace serve {
+
+/** One job reconstructed from the journal. */
+struct JournalJob
+{
+    std::uint64_t id = 0;        //!< id in the *previous* generation
+    std::string specJson;        //!< verbatim spec from `submitted`
+    std::string idempotencyKey;  //!< "" when the client sent none
+    std::uint32_t attempt = 1;   //!< attempts consumed so far
+    std::uint32_t maxAttempts = 3;
+    bool started = false;        //!< saw `started` (running at crash)
+    bool terminal = false;       //!< saw a terminal lifecycle event
+};
+
+/** Everything --recover needs from one journal generation. */
+struct JournalReplay
+{
+    std::vector<JournalJob> jobs; //!< in original submission order
+    std::uint64_t linesRead = 0;
+    std::uint64_t linesSkipped = 0; //!< torn/foreign lines ignored
+};
+
+/**
+ * Parse @p path into @p out. @return false only when the file cannot
+ * be opened — a journal with unparseable lines still replays the
+ * lines that survived (linesSkipped counts the rest).
+ */
+bool readJournal(const std::string &path, JournalReplay *out);
+
+/**
+ * Rename @p path to the first free "<path>.<n>" suffix (n >= 1).
+ * @return the rotated-to path, or "" when @p path does not exist or
+ * the rename failed.
+ */
+std::string rotateJournal(const std::string &path);
+
+} // namespace serve
+} // namespace slacksim
+
+#endif // SLACKSIM_SERVE_JOURNAL_HH

@@ -44,6 +44,19 @@ const std::vector<slacksim::OptionSpec> kFlags = {
      "global admission memory budget in MiB (default 16384)"},
     {"drain-deadline-ms", "N",
      "graceful-shutdown drain deadline (default 60000)"},
+    {"isolation", "MODE",
+     "default job isolation: process (daemon default; forked "
+     "supervised child) or inline"},
+    {"kill-grace-ms", "N",
+     "cancel-to-SIGKILL escalation window for isolated jobs "
+     "(default 5000)"},
+    {"recover", "",
+     "replay <out-root>/server_events.jsonl: re-admit journaled "
+     "jobs that never reached a terminal state"},
+    {"fault-spec", "SPEC",
+     "daemon-side fault plan (e.g. daemon-kill-window@start:N) for "
+     "recovery drills"},
+    {"fault-seed", "N", "daemon fault plan seed (default 1)"},
     {"quiet", "", "suppress inform/warn output"},
 };
 
@@ -68,6 +81,20 @@ main(int argc, char **argv)
     server_opts.memBudgetMb = opts.getUint("mem-budget-mb", 16384);
     server_opts.drainDeadlineMs =
         opts.getUint("drain-deadline-ms", 60000);
+    // The daemon defaults to process isolation: it is the deployment
+    // that must survive arbitrary job crashes. (The Server class
+    // default stays "inline" for embedders and tests.)
+    server_opts.defaultIsolation = opts.get("isolation", "process");
+    if (server_opts.defaultIsolation != "inline" &&
+        server_opts.defaultIsolation != "process") {
+        SLACKSIM_FATAL("--isolation must be 'inline' or 'process', "
+                       "got '",
+                       server_opts.defaultIsolation, "'");
+    }
+    server_opts.killGraceMs = opts.getUint("kill-grace-ms", 5000);
+    server_opts.recover = opts.getBool("recover", false);
+    server_opts.faultSpec = opts.get("fault-spec", "");
+    server_opts.faultSeed = opts.getUint("fault-seed", 1);
 
     serve::Server server(server_opts);
     if (!server.start())
@@ -86,6 +113,9 @@ main(int argc, char **argv)
     CheckedOfstream os(report_path, "server report");
     if (os.ok())
         server.writeServerReport(os.stream());
+    // The report is the daemon's last word — fsync it so a host that
+    // loses power right after shutdown still has it.
+    os.sync();
     if (os.finish())
         SLACKSIM_INFORM("server report -> ", report_path);
     return 0;

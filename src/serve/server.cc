@@ -13,7 +13,12 @@
 #include <sys/stat.h>
 #include <sys/types.h>
 
+#include <csignal>
+
+#include <unistd.h>
+
 #include "core/run.hh"
+#include "serve/journal.hh"
 #include "util/build_info.hh"
 #include "util/io.hh"
 #include "util/json.hh"
@@ -57,6 +62,10 @@ writeJobView(JsonWriter &w, const JobView &view)
     w.field("name", view.name);
     w.field("kernel", view.kernel);
     w.field("state", jobStateName(view.state));
+    if (view.state == JobState::Crashed)
+        w.field("crash_signal", signalName(view.crashSignal));
+    if (view.attempt > 1)
+        w.field("attempt", static_cast<std::uint64_t>(view.attempt));
     w.field("priority", static_cast<std::uint64_t>(view.priority));
     w.field("host_threads",
             static_cast<std::uint64_t>(view.hostThreads));
@@ -141,8 +150,21 @@ Server::start()
         return false;
     if (!listener_.open(opts_.socketPath))
         return false;
+    if (!opts_.faultSpec.empty()) {
+        // Operator-owned flag: fatal on bad grammar is fine here,
+        // exactly like the CLI's --fault-spec.
+        daemonPlan_ = std::make_unique<fault::FaultPlan>(
+            fault::FaultPlan::parseSpecList(opts_.faultSpec),
+            opts_.faultSeed);
+    }
     queue_.setTelemetry(&telemetry_, &events_);
-    events_.open(opts_.outRoot + "/server_events.jsonl");
+    // recoverFromJournal reads and rotates the old journal, then
+    // opens the fresh one itself — EventLog::open truncates, so the
+    // order (rotate before open) is load-bearing.
+    if (opts_.recover)
+        recoverFromJournal();
+    else
+        events_.open(opts_.outRoot + "/server_events.jsonl");
     telemetry_.poolThreadsTotal.set(pool_->size());
     telemetry_.budgetMemTotalMb.set(opts_.memBudgetMb);
     started_ = true;
@@ -151,6 +173,83 @@ Server::start()
                     pool_->size(), " pool threads, ",
                     opts_.memBudgetMb, " MiB)");
     return true;
+}
+
+void
+Server::recoverFromJournal()
+{
+    const std::string path = opts_.outRoot + "/server_events.jsonl";
+    JournalReplay replay;
+    if (!readJournal(path, &replay)) {
+        SLACKSIM_INFORM("serve: --recover found no journal at ",
+                        path);
+        events_.open(path);
+        return;
+    }
+    // Rotate first: EventLog::open truncates, and the generations
+    // must stay on disk for the exactly-once audit.
+    rotatedJournal_ = rotateJournal(path);
+    events_.open(path);
+    for (const JournalJob &jj : replay.jobs) {
+        if (jj.terminal)
+            continue; // reached a durable terminal state; done
+        JobSpec spec;
+        std::string error;
+        json::Value doc;
+        try {
+            doc = json::parse(jj.specJson);
+        } catch (const json::ParseError &e) {
+            error = e.what();
+        }
+        if (error.empty() && !JobSpec::parse(doc, &spec, &error)) {
+            // fallthrough to the warning below
+        }
+        if (!error.empty()) {
+            SLACKSIM_WARN("serve: journal job ", jj.id,
+                          " spec unusable (", error, "); dropped");
+            continue;
+        }
+        // A job with a `started` but no terminal event was running
+        // when the previous daemon died: the next run consumes a new
+        // attempt. A queued-only job replays with its attempt intact.
+        const std::uint32_t attempt =
+            jj.started ? jj.attempt + 1 : jj.attempt;
+        const std::uint64_t id = queue_.submit(
+            std::move(spec), jj.idempotencyKey, attempt);
+        ++recoveredCount_;
+        telemetry_.jobsRecovered.add();
+        events_.record(id, "recovered",
+                       eventField("journal_id", jj.id) +
+                           eventField("attempt",
+                                      std::uint64_t{attempt}) +
+                           eventField("was_running",
+                                      std::uint64_t{jj.started}));
+        if (jj.started) {
+            if (attempt > jj.maxAttempts) {
+                // The ambiguous case resolved pessimistically: it
+                // crashed the daemon (or kept crashing with it) too
+                // many times. Terminal exactly once, as Failed.
+                queue_.markFinished(
+                    id, JobState::Failed,
+                    "max_attempts (" +
+                        std::to_string(jj.maxAttempts) +
+                        ") exhausted after daemon crash");
+                continue;
+            }
+            ++retriedCount_;
+            telemetry_.jobsRetried.add();
+            events_.record(id, "retried",
+                           eventField("attempt",
+                                      std::uint64_t{attempt}) +
+                               eventField(
+                                   "max_attempts",
+                                   std::uint64_t{jj.maxAttempts}));
+        }
+    }
+    SLACKSIM_INFORM("serve: recovered ", recoveredCount_,
+                    " job(s) from the journal (", retriedCount_,
+                    " running at crash time; ", replay.linesSkipped,
+                    " torn/foreign line(s) skipped)");
 }
 
 void
@@ -217,7 +316,8 @@ Server::run(const std::atomic<int> *stopSignal)
     const QueueStats s = queue_.stats();
     SLACKSIM_INFORM("serve: shut down (", s.done, " done, ", s.failed,
                     " failed, ", s.cancelled, " cancelled, ",
-                    s.timedOut, " timed out; ", pool_->tasksRun(),
+                    s.timedOut, " timed out, ", s.crashed,
+                    " crashed; ", pool_->tasksRun(),
                     " tasks on ", pool_->threadsSpawned(),
                     " host threads)");
 }
@@ -352,24 +452,65 @@ Server::startJob(Job *job)
         config.engine.obs.profileOut =
             out_dir + "/" + job_tag + ".profile.folded";
     }
+    const std::string isolation = effectiveIsolation(job->spec);
+    const bool isolated = isolation == "process";
     config.engine.cancel = job->cancel.get();
-    config.engine.runner = pool_.get();
+    // Pool threads cannot cross a fork: the isolated child's engine
+    // spawns its own workers, the parent's pool task is just the
+    // supervisor loop.
+    config.engine.runner = isolated ? nullptr : pool_.get();
 
     const std::uint64_t id = job->id;
-    running_.push_back(RunningJob{
-        id, threads, mem,
-        pool_->launch([this, id, config] { jobBody(id, config); }),
-        std::chrono::steady_clock::now()});
+    // `started` is journaled (and flushed) before the job can touch
+    // anything: recovery classifies a job as running-at-crash iff
+    // this line reached the disk, so it must precede the fork — and
+    // precede the daemon-kill drill below.
+    events_.record(id, "started",
+                   eventField("kernel", config.workload.kernel) +
+                       eventField("cores",
+                                  std::uint64_t{
+                                      config.target.numCores}) +
+                       eventField("isolation", isolation) +
+                       eventField("attempt",
+                                  std::uint64_t{job->attempt}));
+    events_.flush();
+    if (daemonPlan_ &&
+        daemonPlan_->fireDaemonKill(
+            jobsStarted_.fetch_add(1, std::memory_order_relaxed) +
+            1)) {
+        // Deterministic stand-in for `kill -9` mid-batch: die with
+        // zero warning so the recovery drill exercises the real
+        // torn-state path, not a graceful drain.
+        ::kill(::getpid(), SIGKILL);
+    }
+    if (isolated) {
+        const IsolationLimits limits{job->spec.rlimitMemMb,
+                                     job->spec.rlimitCpuS,
+                                     opts_.killGraceMs};
+        running_.push_back(RunningJob{
+            id, threads, mem,
+            pool_->launch([this, id, config, limits] {
+                jobBodyIsolated(id, config, limits);
+            }),
+            std::chrono::steady_clock::now()});
+    } else {
+        running_.push_back(RunningJob{
+            id, threads, mem,
+            pool_->launch([this, id, config] { jobBody(id, config); }),
+            std::chrono::steady_clock::now()});
+    }
+}
+
+std::string
+Server::effectiveIsolation(const JobSpec &spec) const
+{
+    return spec.isolation.empty() ? opts_.defaultIsolation
+                                  : spec.isolation;
 }
 
 void
 Server::jobBody(std::uint64_t id, const SimConfig &config)
 {
-    events_.record(id, "started",
-                   eventField("kernel", config.workload.kernel) +
-                       eventField("cores",
-                                  std::uint64_t{
-                                      config.target.numCores}));
     const RunResult result = runSimulation(config);
     queue_.recordResult(id, result.committedUops, result.execCycles);
     telemetry_.jobFaults.add(result.faultInjections.size());
@@ -378,6 +519,58 @@ Server::jobBody(std::uint64_t id, const SimConfig &config)
     // (not a client) fired the token.
     queue_.markFinished(id, result.cancelled ? JobState::Cancelled
                                              : JobState::Done);
+}
+
+void
+Server::jobBodyIsolated(std::uint64_t id, const SimConfig &config,
+                        const IsolationLimits &limits)
+{
+    Job *job = queue_.get(id);
+    const SupervisedResult r = runIsolatedJob(
+        config, limits, job->cancel.get(), job->progress.get());
+    telemetry_.spawnOverheadMs.observe(r.spawnMs);
+    switch (r.status) {
+      case SupervisedResult::Status::Ok:
+      case SupervisedResult::Status::Cancelled:
+        queue_.recordResult(id, r.committedUops, r.simulatedCycles);
+        telemetry_.jobFaults.add(r.faultInjections);
+        telemetry_.jobDegradations.add(r.demotions);
+        queue_.markFinished(id,
+                            r.status == SupervisedResult::Status::Ok
+                                ? JobState::Done
+                                : JobState::Cancelled);
+        break;
+      case SupervisedResult::Status::Crashed: {
+        // The child died before writing its run report; leave a stub
+        // so watch/status consumers still find an artifact.
+        const std::string report_path =
+            config.engine.obs.reportOut;
+        if (!report_path.empty() &&
+            readFileOrEmpty(report_path).empty()) {
+            CheckedOfstream os(report_path, "crash report stub");
+            if (os.ok()) {
+                JsonWriter w(os.stream(), 0);
+                w.beginObject();
+                w.field("schema", "slacksim.crash_report.v1");
+                w.field("job_id", config.engine.obs.jobId);
+                w.field("status", "crashed");
+                w.field("signal",
+                        static_cast<std::uint64_t>(
+                            static_cast<unsigned>(r.signal)));
+                w.field("signal_name", signalName(r.signal));
+                w.field("spawn_ms", r.spawnMs);
+                w.endObject();
+                os.stream() << "\n";
+                os.sync();
+            }
+        }
+        queue_.markCrashed(id, r.signal, r.error);
+        break;
+      }
+      case SupervisedResult::Status::Failed:
+        queue_.markFinished(id, JobState::Failed, r.error);
+        break;
+    }
 }
 
 void
@@ -437,14 +630,31 @@ Server::handleRequest(UdsConn &conn, const std::string &line)
                               " host threads but the budget is " +
                               std::to_string(pool_->size()));
             }
+            // parse() rejects wrecking faults on explicit inline
+            // isolation; this closes the inherit-the-default hole.
+            if (spec.needsProcessIsolation() &&
+                effectiveIsolation(spec) != "process") {
+                return sendError(
+                    conn,
+                    "fault kinds job-crash/job-hang require "
+                    "isolation \"process\" (server default is \"" +
+                        opts_.defaultIsolation + "\")");
+            }
             if (shutdownRequested_.load(std::memory_order_acquire))
                 return sendError(conn, "server is shutting down");
-            const std::uint64_t id = queue_.submit(std::move(spec));
+            std::string key;
+            if (doc.has("idempotency_key"))
+                key = doc.at("idempotency_key").asString();
+            bool duplicate = false;
+            const std::uint64_t id =
+                queue_.submit(std::move(spec), key, 1, &duplicate);
             std::ostringstream os;
             JsonWriter w(os, 0);
             w.beginObject();
             w.field("ok", true);
             w.field("id", id);
+            if (duplicate)
+                w.field("duplicate", true);
             w.endObject();
             return conn.sendLine(os.str());
         }
@@ -486,7 +696,11 @@ Server::handleRequest(UdsConn &conn, const std::string &line)
                 return sendError(conn, "no such job: " +
                                            std::to_string(id));
             }
-            handleWatch(conn, id);
+            // from_seq: a reconnecting client passes the last state
+            // seq it saw; state events at or below it are skipped.
+            const std::uint64_t from_seq =
+                doc.has("from_seq") ? doc.at("from_seq").asUint() : 0;
+            handleWatch(conn, id, from_seq);
             return false; // watch is terminal for the connection
         }
 
@@ -515,6 +729,7 @@ Server::handleRequest(UdsConn &conn, const std::string &line)
             w.field("failed", s.failed);
             w.field("cancelled", s.cancelled);
             w.field("timeout", s.timedOut);
+            w.field("crashed", s.crashed);
             w.endObject();
             w.field("mem_budget_mb", opts_.memBudgetMb);
             w.beginObject("telemetry");
@@ -529,6 +744,10 @@ Server::handleRequest(UdsConn &conn, const std::string &line)
             w.field("job_degradations",
                     telemetry_.jobDegradations.value());
             w.field("heartbeats", telemetry_.heartbeats.value());
+            w.field("jobs_crashed", telemetry_.jobsCrashed.value());
+            w.field("jobs_retried", telemetry_.jobsRetried.value());
+            w.field("jobs_recovered",
+                    telemetry_.jobsRecovered.value());
             w.field("events_recorded", events_.recorded());
             w.field("threads_reserved",
                     telemetry_.budgetThreadsReserved.value());
@@ -586,10 +805,13 @@ Server::handleRequest(UdsConn &conn, const std::string &line)
 }
 
 void
-Server::handleWatch(UdsConn &conn, std::uint64_t id)
+Server::handleWatch(UdsConn &conn, std::uint64_t id,
+                    std::uint64_t fromSeq)
 {
-    JobState last = JobState::Queued;
-    bool first = true;
+    // Every job transition bumps stateSeq, so "emit when the seq
+    // grew" both deduplicates polls and implements reconnect-resume:
+    // a client passing from_seq only sees transitions it missed.
+    std::uint64_t lastSeq = fromSeq;
     std::uint64_t lastEpochs = 0;
     auto lastProgress = std::chrono::steady_clock::now();
     for (;;) {
@@ -597,15 +819,15 @@ Server::handleWatch(UdsConn &conn, std::uint64_t id)
         if (views.empty())
             return;
         const JobView &view = views.front();
-        if (first || view.state != last) {
-            first = false;
-            last = view.state;
+        if (view.stateSeq > lastSeq) {
+            lastSeq = view.stateSeq;
             std::ostringstream os;
             JsonWriter w(os, 0);
             w.beginObject();
             w.field("ok", true);
             w.field("event", "state");
             w.field("state", jobStateName(view.state));
+            w.field("seq", view.stateSeq);
             w.endObject();
             if (!conn.sendLine(os.str()))
                 return;
@@ -668,6 +890,7 @@ Server::handleWatch(UdsConn &conn, std::uint64_t id)
             w.field("ok", true);
             w.field("event", "end");
             w.field("state", jobStateName(view.state));
+            w.field("seq", view.stateSeq);
             if (!view.error.empty())
                 w.field("error", view.error);
             w.endObject();
@@ -688,7 +911,7 @@ Server::writeServerReport(std::ostream &os) const
     const BuildInfo &b = buildInfo();
     JsonWriter w(os);
     w.beginObject();
-    w.field("schema", "slacksim.server_report.v2");
+    w.field("schema", "slacksim.server_report.v3");
     w.beginObject("build");
     w.field("git", b.gitHash);
     w.field("dirty", b.gitDirty[0] != '\0');
@@ -707,6 +930,7 @@ Server::writeServerReport(std::ostream &os) const
     w.field("failed", s.failed);
     w.field("cancelled", s.cancelled);
     w.field("timeout", s.timedOut);
+    w.field("crashed", s.crashed);
     w.endObject();
     w.beginObject("budget");
     w.field("host_threads",
@@ -724,6 +948,9 @@ Server::writeServerReport(std::ostream &os) const
     w.field("job_degradations",
             telemetry_.jobDegradations.value());
     w.field("heartbeats", telemetry_.heartbeats.value());
+    w.field("jobs_crashed", telemetry_.jobsCrashed.value());
+    w.field("jobs_retried", telemetry_.jobsRetried.value());
+    w.field("jobs_recovered", telemetry_.jobsRecovered.value());
     writeHistogramSummary(w, "queue_wait_ms",
                           telemetry_.queueWaitMs);
     writeHistogramSummary(w, "run_duration_ms",
@@ -732,6 +959,19 @@ Server::writeServerReport(std::ostream &os) const
     w.field("recorded", events_.recorded());
     w.field("path", events_.path());
     w.endObject();
+    w.endObject();
+    w.beginObject("isolation");
+    w.field("default", opts_.defaultIsolation);
+    w.field("kill_grace_ms", opts_.killGraceMs);
+    writeHistogramSummary(w, "spawn_overhead_ms",
+                          telemetry_.spawnOverheadMs);
+    w.endObject();
+    w.beginObject("recovery");
+    w.field("enabled", opts_.recover);
+    w.field("jobs_recovered", recoveredCount_);
+    w.field("jobs_retried", retriedCount_);
+    if (!rotatedJournal_.empty())
+        w.field("previous_journal", rotatedJournal_);
     w.endObject();
     w.endObject();
     os << "\n";

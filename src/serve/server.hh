@@ -56,7 +56,9 @@
 #include <thread>
 #include <vector>
 
+#include "fault/fault_plan.hh"
 #include "serve/job_queue.hh"
+#include "serve/supervisor.hh"
 #include "serve/telemetry.hh"
 #include "serve/worker_pool.hh"
 #include "util/uds.hh"
@@ -81,6 +83,23 @@ class Server
         /** Drain deadline on graceful shutdown; running/queued jobs
          *  still live when it expires are cancelled. */
         std::uint64_t drainDeadlineMs = 60000;
+        /** Where jobs whose spec leaves `isolation` empty execute:
+         *  "inline" (pool thread, zero overhead — the library/test
+         *  default) or "process" (forked supervised child — the
+         *  daemon default; one crashing job cannot take the fleet
+         *  down). */
+        std::string defaultIsolation = "inline";
+        /** Cancel-to-SIGKILL escalation window for isolated jobs. */
+        std::uint64_t killGraceMs = 5000;
+        /** Replay outRoot/server_events.jsonl at startup: re-admit
+         *  journaled jobs that never reached a terminal state (see
+         *  serve/journal.hh). */
+        bool recover = false;
+        /** Daemon-side fault plan (fault_plan.hh grammar) for
+         *  recovery drills — daemon-kill-window lives here, never in
+         *  client specs. */
+        std::string faultSpec;
+        std::uint64_t faultSeed = 1;
     };
 
     explicit Server(Options opts);
@@ -114,8 +133,9 @@ class Server
     const EventLog &events() const { return events_; }
 
     /** Emit the server-level report (pool reuse proof, queue
-     *  outcome counters, budgets, telemetry summary) as JSON —
-     *  schema slacksim.server_report.v2. */
+     *  outcome counters, budgets, telemetry summary, isolation and
+     *  recovery sections) as JSON — schema
+     *  slacksim.server_report.v3. */
     void writeServerReport(std::ostream &os) const;
 
   private:
@@ -130,10 +150,19 @@ class Server
     };
 
     void schedulerMain();
+    /** Replay the previous generation's journal (start() helper). */
+    void recoverFromJournal();
     /** Join handles of terminal jobs, release their budget. */
     void reapFinished(bool joinAll);
     void startJob(Job *job);
     void jobBody(std::uint64_t id, const SimConfig &config);
+    /** Process-isolated job body: supervise a forked child and map
+     *  its verdict onto the queue (Crashed jobs leave the daemon and
+     *  every sibling running). */
+    void jobBodyIsolated(std::uint64_t id, const SimConfig &config,
+                         const IsolationLimits &limits);
+    /** Effective isolation mode for @p spec ("inline"/"process"). */
+    std::string effectiveIsolation(const JobSpec &spec) const;
     /** Emit a heartbeat event (~1 Hz per job) for every Running job
      *  whose progress mailbox has data. Scheduler thread only. */
     void publishHeartbeats();
@@ -145,7 +174,8 @@ class Server
     void handleConn(UdsConn conn);
     /** @return false when the connection should close. */
     bool handleRequest(UdsConn &conn, const std::string &line);
-    void handleWatch(UdsConn &conn, std::uint64_t id);
+    void handleWatch(UdsConn &conn, std::uint64_t id,
+                     std::uint64_t fromSeq);
     bool sendError(UdsConn &conn, const std::string &error);
 
     Options opts_;
@@ -169,6 +199,16 @@ class Server
     mutable ServerTelemetry telemetry_;
     /** Lifecycle event log (outRoot/server_events.jsonl). */
     EventLog events_;
+
+    /** Daemon-side fault plan (recovery drills); nullable. Fired by
+     *  the scheduler at job-start ordinals, not thread-installed. */
+    std::unique_ptr<fault::FaultPlan> daemonPlan_;
+    std::atomic<std::uint64_t> jobsStarted_{0};
+
+    /** Recovery bookkeeping (start()-time, read-only afterwards). */
+    std::uint64_t recoveredCount_ = 0;
+    std::uint64_t retriedCount_ = 0;
+    std::string rotatedJournal_;
 
     std::thread scheduler_;
     std::mutex handlersMu_;

@@ -16,9 +16,17 @@
  *   --shutdown            graceful shutdown (--no-drain cancels)
  *
  * Exit status: 0 on success; a watched job maps its terminal state to
- * the exit code — done=0, failed=1, cancelled=2, timeout=3 — so shell
- * pipelines can tell the outcomes apart. Protocol/transport errors
- * exit 1.
+ * the exit code — done=0, failed=1, cancelled=2, timeout=3,
+ * crashed=4 — so shell pipelines can tell the outcomes apart.
+ * Protocol/transport errors exit 1.
+ *
+ * Transport failures (daemon restarting after a crash, socket not up
+ * yet) retry with capped exponential backoff: --retries tries in
+ * total, starting at --backoff-ms. Submits carry an idempotency key
+ * (auto-generated, or --idempotency-key for a stable one across CLI
+ * invocations) so a retry through the ambiguous window cannot
+ * double-run the job; a watch that loses its connection resumes from
+ * the last state it printed.
  */
 
 #include <chrono>
@@ -56,6 +64,12 @@ const std::vector<slacksim::OptionSpec> kFlags = {
     {"metrics", "", "print Prometheus-format server metrics"},
     {"shutdown", "", "ask the daemon to shut down"},
     {"no-drain", "", "with --shutdown: cancel instead of draining"},
+    {"retries", "N",
+     "transport retry budget incl. first try (default 5)"},
+    {"backoff-ms", "MS", "first retry delay, doubles per try, "
+     "capped at 5000 (default 100)"},
+    {"idempotency-key", "KEY",
+     "submit dedup key (default: auto-generated per invocation)"},
 };
 
 std::string
@@ -79,8 +93,8 @@ saveArtifact(const std::string &dir, const char *name,
     return os.finish();
 }
 
-/** Shell-visible outcome: done=0, failed=1, cancelled=2, timeout=3.
- *  Anything unexpected counts as a failure. */
+/** Shell-visible outcome: done=0, failed=1, cancelled=2, timeout=3,
+ *  crashed=4. Anything unexpected counts as a failure. */
 int
 exitCodeForState(const std::string &state)
 {
@@ -90,7 +104,21 @@ exitCodeForState(const std::string &state)
         return 2;
     if (state == "timeout")
         return 3;
+    if (state == "crashed")
+        return 4;
     return 1;
+}
+
+/** Per-invocation idempotency key: unique enough that two distinct
+ *  submits never collide, stable for the retries inside this run. */
+std::string
+autoIdempotencyKey()
+{
+    const auto now = std::chrono::steady_clock::now()
+                         .time_since_epoch()
+                         .count();
+    return "submit-" + std::to_string(::getpid()) + "-" +
+           std::to_string(static_cast<std::uint64_t>(now));
 }
 
 /** One `top` frame: jobs table plus a pool/queue footer. */
@@ -157,7 +185,15 @@ main(int argc, char **argv)
     opts.enforceKnown("slacksim-submit: job server client", kFlags);
     const std::string socket = opts.get("socket", "slacksim.sock");
 
-    serve::Client client(socket);
+    serve::RetryPolicy policy;
+    policy.attempts = static_cast<std::uint32_t>(
+        opts.getUint("retries", 5));
+    if (policy.attempts == 0)
+        policy.attempts = 1;
+    policy.baseMs = opts.getUint("backoff-ms", 100);
+    policy.jitterSeed = static_cast<std::uint64_t>(::getpid());
+
+    serve::Client client(socket, policy);
     if (!client.valid())
         SLACKSIM_FATAL("cannot connect to ", socket,
                        " — is slacksim-serve running?");
@@ -165,10 +201,15 @@ main(int argc, char **argv)
 
     if (opts.has("spec")) {
         const std::string spec = readFile(opts.get("spec"));
-        const std::uint64_t id = client.submit(spec, &error);
+        const std::string key =
+            opts.get("idempotency-key", autoIdempotencyKey());
+        bool duplicate = false;
+        const std::uint64_t id =
+            client.submit(spec, &error, key, &duplicate);
         if (id == 0)
             SLACKSIM_FATAL("submit rejected: ", error);
-        std::cout << "job " << id << " queued\n";
+        std::cout << "job " << id
+                  << (duplicate ? " already queued\n" : " queued\n");
         if (opts.has("no-watch"))
             return 0;
 

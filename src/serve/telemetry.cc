@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <ostream>
 #include <sstream>
@@ -143,7 +144,9 @@ DurationHistogram::percentile(double p) const
 
 ServerTelemetry::ServerTelemetry()
     : queueWaitMs(DurationHistogram::defaultBoundsMs()),
-      runDurationMs(DurationHistogram::defaultBoundsMs())
+      runDurationMs(DurationHistogram::defaultBoundsMs()),
+      spawnOverheadMs({0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50,
+                       100, 250, 500, 1000})
 {
 }
 
@@ -151,7 +154,39 @@ std::uint64_t
 ServerTelemetry::terminalTotal() const
 {
     return jobsDone.value() + jobsFailed.value() +
-           jobsCancelled.value() + jobsTimedOut.value();
+           jobsCancelled.value() + jobsTimedOut.value() +
+           jobsCrashed.value();
+}
+
+void
+ServerTelemetry::recordCrash(int signal)
+{
+    jobsCrashed.add();
+    std::lock_guard<std::mutex> lock(crashMu_);
+    ++crashBySignal_[signalName(signal)];
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+ServerTelemetry::crashBySignal() const
+{
+    std::lock_guard<std::mutex> lock(crashMu_);
+    return {crashBySignal_.begin(), crashBySignal_.end()};
+}
+
+std::string
+signalName(int signal)
+{
+    switch (signal) {
+      case SIGSEGV: return "SIGSEGV";
+      case SIGABRT: return "SIGABRT";
+      case SIGKILL: return "SIGKILL";
+      case SIGBUS: return "SIGBUS";
+      case SIGFPE: return "SIGFPE";
+      case SIGILL: return "SIGILL";
+      case SIGXCPU: return "SIGXCPU";
+      case SIGTERM: return "SIGTERM";
+      default: return "SIG" + std::to_string(signal);
+    }
 }
 
 namespace {
@@ -206,7 +241,20 @@ ServerTelemetry::writeExposition(std::ostream &os) const
        << "slacksim_jobs_terminal_total{status=\"cancelled\"} "
        << jobsCancelled.value() << "\n"
        << "slacksim_jobs_terminal_total{status=\"timeout\"} "
-       << jobsTimedOut.value() << "\n";
+       << jobsTimedOut.value() << "\n"
+       << "slacksim_jobs_terminal_total{status=\"crashed\"} "
+       << jobsCrashed.value() << "\n";
+
+    // Per-signal breakdown of the crashed children; the unlabelled
+    // total is the sum of the series (and equals the crashed status
+    // above), so it is omitted to keep the family sum()-clean.
+    os << "# HELP slacksim_jobs_crashed_total Isolated job children "
+          "dead by signal, by signal name.\n"
+       << "# TYPE slacksim_jobs_crashed_total counter\n";
+    for (const auto &[sig, count] : crashBySignal()) {
+        os << "slacksim_jobs_crashed_total{signal=\"" << sig
+           << "\"} " << count << "\n";
+    }
 
     writeScalar(os, "slacksim_admission_denials_total",
                 "Scheduler passes that left queued work unadmitted "
@@ -225,6 +273,13 @@ ServerTelemetry::writeExposition(std::ostream &os) const
     writeScalar(os, "slacksim_heartbeats_total",
                 "Per-job heartbeat events published to the event log.",
                 "counter", heartbeats.value());
+    writeScalar(os, "slacksim_jobs_retried_total",
+                "Recovery re-runs of jobs that were running when the "
+                "daemon died.",
+                "counter", jobsRetried.value());
+    writeScalar(os, "slacksim_jobs_recovered_total",
+                "Jobs re-admitted from the journal by --recover.",
+                "counter", jobsRecovered.value());
 
     writeScalar(os, "slacksim_jobs_queued",
                 "Jobs currently waiting for admission.", "gauge",
@@ -255,6 +310,10 @@ ServerTelemetry::writeExposition(std::ostream &os) const
     writeHistogram(os, "slacksim_run_duration_ms",
                    "Start-to-finish duration per retired job (ms).",
                    runDurationMs);
+    writeHistogram(os, "slacksim_spawn_overhead_ms",
+                   "fork-to-ready latency per process-isolated job "
+                   "child (ms).",
+                   spawnOverheadMs);
 }
 
 EventLog::EventLog() = default;
@@ -313,7 +372,10 @@ EventLog::flush()
         if (out_->ok()) {
             for (const std::string &line : lines)
                 out_->stream() << line << "\n";
-            out_->stream().flush();
+            // The log doubles as the recovery journal: fsync so a
+            // flushed event survives kill -9 and power loss. One
+            // fsync per scheduler flush batch, not per event.
+            out_->sync();
         }
     }
 }
@@ -362,6 +424,14 @@ eventFieldDouble(const char *key, double value)
 {
     std::ostringstream os;
     os << ",\"" << key << "\":" << fmtDouble(value);
+    return os.str();
+}
+
+std::string
+eventFieldRaw(const char *key, const std::string &rawJson)
+{
+    std::ostringstream os;
+    os << ",\"" << key << "\":" << rawJson;
     return os.str();
 }
 

@@ -34,9 +34,11 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace slacksim {
@@ -154,6 +156,9 @@ struct ServerTelemetry
     TelemetryCounter jobFaults;       //!< fault injections across jobs
     TelemetryCounter jobDegradations; //!< recovery-ladder demotions
     TelemetryCounter heartbeats;      //!< heartbeat events published
+    TelemetryCounter jobsCrashed;     //!< isolated children dead by signal
+    TelemetryCounter jobsRetried;     //!< recovery re-runs of crashed-at jobs
+    TelemetryCounter jobsRecovered;   //!< jobs re-admitted from the journal
 
     // Gauges (set by the owner before rendering).
     TelemetryGauge jobsQueued;
@@ -167,6 +172,21 @@ struct ServerTelemetry
     // Histograms.
     DurationHistogram queueWaitMs;
     DurationHistogram runDurationMs;
+    /** fork-to-ready latency of process-isolated children (ms);
+     *  sub-ms buckets because the spawn is usually well under 1ms. */
+    DurationHistogram spawnOverheadMs;
+
+    /**
+     * Count one child crash under its signal name. The per-signal
+     * breakdown backs the `slacksim_jobs_crashed_total{signal=}`
+     * family; jobsCrashed is bumped here too so terminalTotal()
+     * stays one call site.
+     */
+    void recordCrash(int signal);
+
+    /** Snapshot of the per-signal crash counts (name -> count). */
+    std::vector<std::pair<std::string, std::uint64_t>>
+    crashBySignal() const;
 
     /** Sum of the terminal-status counters (coherence invariant:
      *  equals jobsSubmitted once the queue drains). */
@@ -175,7 +195,17 @@ struct ServerTelemetry
     /** Render every instrument in Prometheus text exposition format
      *  (metric prefix `slacksim_`). */
     void writeExposition(std::ostream &os) const;
+
+  private:
+    /** Crash signals are rare and unbounded in name space, so the map
+     *  is mutex-guarded instead of pre-allocated like the atomics. */
+    mutable std::mutex crashMu_;
+    std::map<std::string, std::uint64_t> crashBySignal_;
 };
+
+/** @return stable name ("SIGSEGV", ...) for a crash signal; falls
+ *  back to "SIG<n>" for signals without a well-known name. */
+std::string signalName(int signal);
 
 /** Structured job-lifecycle log (schema slacksim.server_events.v1). */
 class EventLog
@@ -200,7 +230,12 @@ class EventLog
     void record(std::uint64_t jobId, const char *event,
                 const std::string &fieldsJson = {});
 
-    /** Write pending lines to the file. Scheduler thread only. */
+    /**
+     * Write pending lines to the file and fsync them — the event log
+     * is the server's write-ahead journal, so a line handed to
+     * flush() must survive `kill -9` + power loss before the action
+     * it describes is considered durable. Scheduler thread only.
+     */
     void flush();
 
     /** Final flush + close. Scheduler thread (or after it joined). */
@@ -226,6 +261,9 @@ class EventLog
 std::string eventField(const char *key, const std::string &value);
 std::string eventField(const char *key, std::uint64_t value);
 std::string eventFieldDouble(const char *key, double value);
+/** `,"key":<json>` fragment: @p rawJson is spliced verbatim (must be
+ *  a complete JSON value — the journal uses it to embed job specs). */
+std::string eventFieldRaw(const char *key, const std::string &rawJson);
 
 } // namespace serve
 } // namespace slacksim

@@ -21,6 +21,9 @@
 #include <fstream>
 #include <string>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include "fault/fault_plan.hh"
 #include "util/logging.hh"
 
@@ -86,6 +89,44 @@ class CheckedOfstream
             return 0;
         const auto pos = out_.tellp();
         return pos < 0 ? 0 : static_cast<std::uint64_t>(pos);
+    }
+
+    /**
+     * Flush the stream and fsync the file so the bytes written so far
+     * survive a power loss, not just a process crash. finish() alone
+     * only hands the data to the OS page cache — a half-written
+     * journal or report can vanish on power failure even after a
+     * clean close. Durable writers (the serve journal, final run
+     * reports) call sync() before finish(). Failures are warned and
+     * counted in ioErrorCount() like every other checked I/O error.
+     * @return true when the data reached stable storage.
+     */
+    bool
+    sync()
+    {
+        if (!ok())
+            return false;
+        errno = 0;
+        out_.flush();
+        if (!out_.good()) {
+            fail(std::strerror(errno ? errno : EIO));
+            return false;
+        }
+        // std::ofstream hides its fd; fsync through a second O_WRONLY
+        // handle on the same path (same inode, same dirty pages).
+        const int fd = ::open(path_.c_str(), O_WRONLY | O_CLOEXEC);
+        if (fd < 0) {
+            fail(std::strerror(errno ? errno : EIO));
+            return false;
+        }
+        const bool synced = ::fsync(fd) == 0;
+        const int saved = errno;
+        ::close(fd);
+        if (!synced) {
+            fail(std::strerror(saved ? saved : EIO));
+            return false;
+        }
+        return true;
     }
 
     /**

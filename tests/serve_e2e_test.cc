@@ -10,11 +10,14 @@
 #include <atomic>
 #include <chrono>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <sys/stat.h>
 
 #include <gtest/gtest.h>
 
@@ -28,17 +31,22 @@ using namespace slacksim::serve;
 
 namespace {
 
-/** One in-process daemon per test, torn down by drain shutdown. */
+/** One in-process daemon per test, torn down by drain shutdown.
+ *  @p tweak edits the options (isolation mode, recovery) before the
+ *  server starts. */
 class ServerHarness
 {
   public:
-    explicit ServerHarness(const std::string &tag,
-                           std::uint32_t threads)
+    explicit ServerHarness(
+        const std::string &tag, std::uint32_t threads,
+        const std::function<void(Server::Options &)> &tweak = {})
     {
         opts_.socketPath = tag + ".sock";
         opts_.outRoot = tag + "-out";
         opts_.threadBudget = threads;
         opts_.drainDeadlineMs = 120000;
+        if (tweak)
+            tweak(opts_);
         server_ = std::make_unique<Server>(opts_);
         EXPECT_TRUE(server_->start());
         runner_ = std::thread([this] { server_->run(); });
@@ -436,6 +444,254 @@ TEST(ServeE2ETest, TelemetryMetricsEventsAndCorrelation)
         }
         EXPECT_EQ(next, want.size()) << "job " << id;
     }
+}
+
+TEST(ServeE2ETest, IsolatedCrashLeavesDaemonAndSiblingsRunning)
+{
+    // The tentpole acceptance proof: eight process-isolated jobs, one
+    // of which segfaults mid-run. The other seven must complete, the
+    // daemon must stay up, and the crash must land as exactly one
+    // `crashed` terminal state with a stub crash report.
+    ServerHarness harness("serve_e2e_crash", 16,
+                          [](Server::Options &o) {
+                              o.defaultIsolation = "process";
+                          });
+    Client client(harness.socket());
+    ASSERT_TRUE(client.valid());
+
+    std::string error;
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 8; ++i) {
+        std::string extra = "\"seed\": " + std::to_string(200 + i) +
+                            ", \"host_threads\": 5" +
+                            ", \"max_attempts\": 1";
+        // Job 3 of the batch dies by SIGSEGV deep inside engine code.
+        if (i == 2)
+            extra += ", \"fault_spec\": \"job-crash@cycle:2000\"";
+        const std::uint64_t id =
+            client.submit(specJson("fft", 4, extra), &error);
+        ASSERT_NE(id, 0u) << error;
+        ids.push_back(id);
+    }
+
+    ASSERT_TRUE(waitAllTerminal(client));
+
+    // The daemon survived (this very request proves it) and kept the
+    // books: 7 done, exactly 1 crashed, nothing failed.
+    json::Value reply;
+    ASSERT_TRUE(client.stats(&reply, &error)) << error;
+    EXPECT_EQ(reply.at("queue").at("done").asUint(), 7u);
+    EXPECT_EQ(reply.at("queue").at("crashed").asUint(), 1u);
+    EXPECT_EQ(reply.at("queue").at("failed").asUint(), 0u);
+    EXPECT_EQ(reply.at("telemetry").at("jobs_crashed").asUint(), 1u);
+
+    // The crashed job reports its signal; the siblings their reports.
+    ASSERT_TRUE(client.status(ids[2], &reply, &error)) << error;
+    const json::Value &crashed = reply.at("jobs").item(0);
+    EXPECT_EQ(crashed.at("state").asString(), "crashed");
+    EXPECT_EQ(crashed.at("crash_signal").asString(), "SIGSEGV");
+    const std::string stub =
+        slurp(harness.outRoot() + "/job-" + std::to_string(ids[2]) +
+              "/report.json");
+    ASSERT_FALSE(stub.empty());
+    const json::Value stub_doc = json::parse(stub);
+    EXPECT_EQ(stub_doc.at("schema").asString(),
+              "slacksim.crash_report.v1");
+    EXPECT_EQ(stub_doc.at("signal_name").asString(), "SIGSEGV");
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        if (i == 2)
+            continue;
+        const std::string report =
+            slurp(harness.outRoot() + "/job-" +
+                  std::to_string(ids[i]) + "/report.json");
+        ASSERT_FALSE(report.empty()) << "job " << ids[i];
+        EXPECT_EQ(json::parse(report).at("status").asString(), "ok");
+    }
+
+    // The crash shows up in the Prometheus exposition by signal.
+    std::string text;
+    ASSERT_TRUE(client.metricsText(&text, &error)) << error;
+    EXPECT_NE(text.find("slacksim_jobs_crashed_total{"
+                        "signal=\"SIGSEGV\"} 1"),
+              std::string::npos);
+}
+
+TEST(ServeE2ETest, WreckingFaultNeedsProcessIsolationAtSubmit)
+{
+    // On a daemon whose default is inline execution, a job-crash
+    // spec that does not opt into process isolation is refused at
+    // submit — accepting it would let one client kill the fleet.
+    ServerHarness harness("serve_e2e_wreck", 8);
+    Client client(harness.socket());
+    ASSERT_TRUE(client.valid());
+
+    std::string error;
+    EXPECT_EQ(client.submit(
+                  specJson("fft", 2,
+                           "\"fault_spec\": \"job-crash@cycle:99\""),
+                  &error),
+              0u);
+    EXPECT_NE(error.find("process"), std::string::npos);
+}
+
+TEST(ServeE2ETest, IdempotencyKeyDeduplicatesRetriedSubmit)
+{
+    ServerHarness harness("serve_e2e_idem", 8);
+    Client client(harness.socket());
+    ASSERT_TRUE(client.valid());
+
+    // Same key twice — as a retrying client would after losing the
+    // first reply — must map to ONE job, flagged as a duplicate.
+    std::string error;
+    bool duplicate = false;
+    const std::string spec = specJson("fft", 2, "\"seed\": 77");
+    const std::uint64_t first =
+        client.submit(spec, &error, "retry-key-1", &duplicate);
+    ASSERT_NE(first, 0u) << error;
+    EXPECT_FALSE(duplicate);
+    const std::uint64_t second =
+        client.submit(spec, &error, "retry-key-1", &duplicate);
+    EXPECT_EQ(second, first);
+    EXPECT_TRUE(duplicate);
+    // A different key is a different job.
+    const std::uint64_t third =
+        client.submit(spec, &error, "retry-key-2", &duplicate);
+    EXPECT_NE(third, first);
+    EXPECT_FALSE(duplicate);
+
+    ASSERT_TRUE(waitAllTerminal(client));
+    json::Value reply;
+    ASSERT_TRUE(client.stats(&reply, &error)) << error;
+    EXPECT_EQ(reply.at("queue").at("done").asUint(), 2u);
+}
+
+TEST(ServeE2ETest, RecoverReplaysJournaledJobs)
+{
+    // Forge the journal a crashed daemon would have left behind: one
+    // job that never started (re-admit as-is) and one that was
+    // running at crash time (retry, attempt+1). Then boot a server
+    // with --recover semantics over that outRoot.
+    const std::string out_root = "serve_e2e_recover-out";
+    ::mkdir(out_root.c_str(), 0775);
+    const std::string spec =
+        "{\"kernel\": \"fft\", \"cores\": 2, \"scheme\": "
+        "\"quantum\", \"quantum\": 16, \"max_uops\": 40000, "
+        "\"host_threads\": 3, \"seed\": 11}";
+    {
+        std::ofstream j(out_root + "/server_events.jsonl",
+                        std::ios::trunc);
+        j << "{\"schema\": \"slacksim.server_events.v1\"}\n"
+          << "{\"seq\": 1, \"event\": \"submitted\", \"job\": 1, "
+             "\"attempt\": 1, \"max_attempts\": 3, "
+             "\"idempotency_key\": \"recover-a\", \"spec\": "
+          << spec << "}\n"
+          << "{\"seq\": 2, \"event\": \"submitted\", \"job\": 2, "
+             "\"attempt\": 1, \"max_attempts\": 3, "
+             "\"idempotency_key\": \"recover-b\", \"spec\": "
+          << spec << "}\n"
+          << "{\"seq\": 3, \"event\": \"started\", \"job\": 2}\n";
+    }
+
+    ServerHarness harness("serve_e2e_recover", 8,
+                          [](Server::Options &o) {
+                              o.recover = true;
+                          });
+    Client client(harness.socket());
+    ASSERT_TRUE(client.valid());
+
+    ASSERT_TRUE(waitAllTerminal(client));
+    std::string error;
+    json::Value reply;
+    ASSERT_TRUE(client.stats(&reply, &error)) << error;
+    EXPECT_EQ(reply.at("queue").at("done").asUint(), 2u);
+    const json::Value &tel = reply.at("telemetry");
+    EXPECT_EQ(tel.at("jobs_recovered").asUint(), 2u);
+    EXPECT_EQ(tel.at("jobs_retried").asUint(), 1u);
+
+    // The consumed generation was rotated aside, and the fresh log
+    // records the recovery decisions.
+    EXPECT_FALSE(
+        slurp(out_root + "/server_events.jsonl.1").empty());
+    const std::string events =
+        slurp(out_root + "/server_events.jsonl");
+    EXPECT_NE(events.find("\"recovered\""), std::string::npos);
+    EXPECT_NE(events.find("\"retried\""), std::string::npos);
+
+    // An idempotent resubmit of the recovered job still dedups after
+    // the restart — the key survived the journal round-trip.
+    bool duplicate = false;
+    const std::uint64_t id =
+        client.submit(spec, &error, "recover-a", &duplicate);
+    ASSERT_NE(id, 0u) << error;
+    EXPECT_TRUE(duplicate);
+}
+
+TEST(ServeE2ETest, WatchResumesAcrossFromSeq)
+{
+    // from_seq filtering: a watcher that reports the seq it already
+    // saw must not receive those transitions again (the resume path
+    // Client::watch uses after a reconnect).
+    ServerHarness harness("serve_e2e_seq", 8);
+    Client submit_client(harness.socket());
+    ASSERT_TRUE(submit_client.valid());
+
+    std::string error;
+    const std::uint64_t id = submit_client.submit(
+        specJson("fft", 2, "\"seed\": 3, \"host_threads\": 3"),
+        &error);
+    ASSERT_NE(id, 0u) << error;
+    ASSERT_TRUE(waitAllTerminal(submit_client));
+
+    // Watching the finished job emits its current state once, with
+    // the job's final seq.
+    std::vector<std::uint64_t> seqs;
+    std::string end_state;
+    Client w1(harness.socket());
+    ASSERT_TRUE(w1.watch(
+        id,
+        [&](const json::Value &ev) {
+            if (ev.at("event").asString() == "state")
+                seqs.push_back(ev.at("seq").asUint());
+            else if (ev.at("event").asString() == "end")
+                end_state = ev.at("state").asString();
+        },
+        &error))
+        << error;
+    ASSERT_EQ(seqs.size(), 1u);
+    EXPECT_EQ(end_state, "done");
+    const std::uint64_t final_seq = seqs.front();
+    EXPECT_GE(final_seq, 3u); // submit=1, admit=2, retire=3
+
+    // A resumer that already saw final_seq gets NO state replay —
+    // just the end frame. One that saw final_seq-1 gets exactly the
+    // missed transition. Speak the wire directly so the from_seq
+    // under test is explicit.
+    const auto countStates = [&](std::uint64_t from_seq) {
+        UdsConn raw = UdsConn::connect(harness.socket());
+        EXPECT_TRUE(raw.valid());
+        EXPECT_TRUE(raw.sendLine(
+            "{\"op\": \"watch\", \"id\": " + std::to_string(id) +
+            ", \"from_seq\": " + std::to_string(from_seq) + "}"));
+        std::size_t states = 0;
+        while (true) {
+            std::string line;
+            if (raw.recvLine(line, 30000) != UdsConn::Recv::Line)
+                break;
+            const json::Value ev = json::parse(line);
+            EXPECT_TRUE(ev.at("ok").asBool());
+            if (ev.at("event").asString() == "state") {
+                ++states;
+                EXPECT_GT(ev.at("seq").asUint(), from_seq);
+            }
+            if (ev.at("event").asString() == "end") {
+                EXPECT_EQ(ev.at("seq").asUint(), final_seq);
+                break;
+            }
+        }
+        return states;
+    };
+    EXPECT_EQ(countStates(final_seq), 0u);
+    EXPECT_EQ(countStates(final_seq - 1), 1u);
 }
 
 TEST(ServeE2ETest, DrainShutdownFinishesQueuedJobs)

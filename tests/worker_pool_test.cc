@@ -13,7 +13,10 @@
 
 #include <gtest/gtest.h>
 
+#include "serve/job_spec.hh"
+#include "serve/supervisor.hh"
 #include "serve/worker_pool.hh"
+#include "util/json_parse.hh"
 
 using slacksim::TaskRunner;
 using slacksim::serve::WorkerPool;
@@ -119,4 +122,40 @@ TEST(WorkerPoolTest, JoinGuaranteesSlotIsReclaimable)
     EXPECT_EQ(pool.tasksRun(), 200u);
     EXPECT_EQ(pool.overflowSpawns(), 0u);
     EXPECT_EQ(pool.threadsSpawned(), 1u);
+}
+
+TEST(WorkerPoolTest, ClaimSurvivesCrashingIsolatedChild)
+{
+    // Claim accounting when the work itself dies: a pool task hosting
+    // a supervised child whose simulation segfaults. The crash is the
+    // CHILD's — the pool thread must come back, re-register as free,
+    // and never force later launches onto the overflow path.
+    using namespace slacksim;
+    using namespace slacksim::serve;
+
+    JobSpec spec;
+    std::string error;
+    ASSERT_TRUE(JobSpec::parse(
+        json::parse(R"({"kernel": "fft", "cores": 2,
+            "scheme": "quantum", "quantum": 16, "max_uops": 40000,
+            "parallel_host": false, "isolation": "process",
+            "fault_spec": "job-crash@cycle:500"})"),
+        &spec, &error))
+        << error;
+    const SimConfig config = spec.toConfig();
+
+    WorkerPool pool(2);
+    for (int round = 0; round < 3; ++round) {
+        SupervisedResult result;
+        auto h = pool.launch([&config, &result] {
+            result = runIsolatedJob(config, IsolationLimits{},
+                                    nullptr, nullptr);
+        });
+        h->join();
+        EXPECT_EQ(result.status, SupervisedResult::Status::Crashed);
+        EXPECT_EQ(pool.freeThreads(), 2u) << "round " << round;
+    }
+    EXPECT_EQ(pool.overflowSpawns(), 0u);
+    EXPECT_EQ(pool.threadsSpawned(), 2u);
+    EXPECT_EQ(pool.tasksRun(), 3u);
 }
