@@ -15,7 +15,7 @@
  *
  * JSON schema:
  *   {
- *     "schema": "slacksim.serve_throughput.v2",
+ *     "schema": "slacksim.serve_throughput.v3",
  *     "jobs": N, "uops": U, "cores": C, "pool_threads": T,
  *     "isolation": "inline" | "process",
  *     "sequential": { "wall_seconds", "jobs_per_min",
@@ -25,7 +25,9 @@
  *                     "overflow_spawns",
  *                     "queue_wait_ms":     { count, p50, p95, p99 },
  *                     "run_duration_ms":   { count, p50, p95, p99 },
- *                     "spawn_overhead_ms": { count, p50, p95, p99 } },
+ *                     "spawn_overhead_ms": { count, p50, p95, p99 },
+ *                     "spawn_to_first_heartbeat_ms":
+ *                                          { count, p50, p95, p99 } },
  *     "speedup": S
  *   }
  *
@@ -227,7 +229,7 @@ main(int argc, char **argv)
         SLACKSIM_FATAL("serve_throughput: cannot write ", out);
     JsonWriter w(os);
     w.beginObject();
-    w.field("schema", "slacksim.serve_throughput.v2");
+    w.field("schema", "slacksim.serve_throughput.v3");
     w.field("jobs", jobs);
     w.field("uops", uops);
     w.field("cores", cores);
@@ -268,6 +270,16 @@ main(int argc, char **argv)
     w.field("p50", tel.spawnOverheadMs.percentile(50));
     w.field("p95", tel.spawnOverheadMs.percentile(95));
     w.field("p99", tel.spawnOverheadMs.percentile(99));
+    w.endObject();
+    // Fork until the scheduler first observed the child simulating —
+    // the operator-facing spawn latency (fork + exec + engine warmup
+    // + first progress report), superset of spawn_overhead_ms. Also
+    // zero-count under inline mode.
+    w.beginObject("spawn_to_first_heartbeat_ms");
+    w.field("count", tel.spawnToFirstHeartbeatMs.count());
+    w.field("p50", tel.spawnToFirstHeartbeatMs.percentile(50));
+    w.field("p95", tel.spawnToFirstHeartbeatMs.percentile(95));
+    w.field("p99", tel.spawnToFirstHeartbeatMs.percentile(99));
     w.endObject();
     w.endObject();
     w.field("speedup", speedup);

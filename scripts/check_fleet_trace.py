@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Validate a merged slacksim fleet trace (slacksim.fleet_trace.v1).
+
+Checks, in order:
+  1. The document is valid Chrome-trace JSON (object format) and the
+     metadata block identifies the fleet-trace schema.
+  2. Span discipline per (pid, tid) track: every E closes the most
+     recently opened B of the same name, nothing ends before it
+     begins, and no span leaks open past the end of the stream.
+  3. Aligned timestamps are monotone (non-decreasing) per track in
+     emission order -- the clock-domain alignment proof.
+  4. Every non-metadata event carries join keys: args.job_id and
+     args.trace_id.
+  5. The trace ids join across the three sources of truth: the
+     journal (server_events.jsonl), each job's run report (v5 trace
+     section), and each spliced per-job Chrome trace file.
+
+Usage: check_fleet_trace.py FLEET_TRACE.json OUT_ROOT
+Exits nonzero with a diagnostic on the first violated invariant.
+"""
+
+import glob
+import json
+import os
+import sys
+
+
+def fail(msg):
+    print(f"check_fleet_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail(f"usage: {sys.argv[0]} FLEET_TRACE.json OUT_ROOT")
+    trace_path, out_root = sys.argv[1], sys.argv[2]
+
+    doc = json.load(open(trace_path))
+    meta = doc.get("metadata")
+    if not isinstance(meta, dict):
+        fail("no top-level metadata object")
+    if meta.get("schema") != "slacksim.fleet_trace.v1":
+        fail(f"bad schema: {meta.get('schema')!r}")
+    server_pid = meta.get("server_pid")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing or empty")
+
+    # A track that overflowed its ring is explicitly marked with a
+    # trace-overflow instant: records were dropped at capture time, so
+    # begin/end pairing cannot be enforced there. Every other track
+    # gets the full discipline check.
+    lossy = {(ev.get("pid"), ev.get("tid")) for ev in events
+             if ev.get("name") == "trace-overflow"}
+
+    # --- Span discipline + monotone timestamps + join keys --------
+    stacks = {}  # (pid, tid) -> [(name, ts)]
+    last_ts = {}  # (pid, tid) -> last seen ts
+    trace_ids_by_job = {}  # job_id -> set of trace ids seen in args
+    span_count = 0
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph == "M":
+            continue
+        track = (ev.get("pid"), ev.get("tid"))
+        ts = float(ev.get("ts", 0))
+        name = ev.get("name", "")
+
+        prev = last_ts.get(track)
+        if prev is not None and ts < prev:
+            fail(f"event {i} ({name!r} on {track}): ts {ts} < "
+                 f"previous {prev} -- track not monotone")
+        last_ts[track] = ts
+
+        args = ev.get("args")
+        if not isinstance(args, dict):
+            fail(f"event {i} ({name!r}): no args object")
+        if "job_id" not in args:
+            fail(f"event {i} ({name!r}): args.job_id missing")
+        if "trace_id" not in args:
+            fail(f"event {i} ({name!r}): args.trace_id missing")
+        trace_ids_by_job.setdefault(args["job_id"], set()).add(
+            args["trace_id"])
+
+        if ph == "B":
+            stacks.setdefault(track, []).append((name, ts))
+            span_count += 1
+        elif ph == "E":
+            stack = stacks.get(track)
+            if not stack:
+                if track in lossy:
+                    continue  # its B was dropped at capture time
+                fail(f"event {i} ({name!r} on {track}): E with no "
+                     f"open span")
+            if track in lossy and all(n != name for n, _ in stack):
+                continue
+            open_name, open_ts = stack.pop()
+            if open_name != name:
+                if track in lossy:
+                    # Pop through spans whose E was dropped.
+                    while stack and open_name != name:
+                        open_name, open_ts = stack.pop()
+                    if open_name != name:
+                        continue
+                else:
+                    fail(f"event {i}: E {name!r} crosses open span "
+                         f"{open_name!r} on {track}")
+            if ts < open_ts:
+                fail(f"span {name!r} on {track} ends at {ts} before "
+                     f"its begin {open_ts}")
+    for track, stack in stacks.items():
+        if stack and track not in lossy:
+            fail(f"track {track}: spans leaked open: "
+                 f"{[n for n, _ in stack]}")
+    if span_count == 0:
+        fail("no duration spans at all")
+    if lossy:
+        print(f"check_fleet_trace: note: {len(lossy)} track(s) "
+              f"marked trace-overflow; pairing relaxed there")
+
+    # Acceptance shape: server, scheduler, supervisor and engine
+    # categories all present for at least one traced job.
+    cats = {ev.get("cat") for ev in events if ev.get("ph") == "B"}
+    for want in ("server", "scheduler"):
+        if want not in cats:
+            fail(f"no {want!r}-category span in the merged trace")
+
+    # --- Join keys across journal, reports, engine traces ----------
+    journal_ids = {}  # job number -> trace_id
+    journal = os.path.join(out_root, "server_events.jsonl")
+    for line in open(journal):
+        try:
+            e = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn tail of a crashed generation
+        if "job" in e and "trace_id" in e:
+            journal_ids[e["job"]] = e["trace_id"]
+    if not journal_ids:
+        fail(f"{journal}: no trace_id on any event")
+
+    for jid, tid_ in sorted(journal_ids.items()):
+        merged = trace_ids_by_job.get(f"job-{jid}")
+        if not merged:
+            fail(f"job-{jid}: in journal but absent from the merged "
+                 f"trace")
+        if merged != {tid_}:
+            fail(f"job-{jid}: journal trace_id {tid_!r} vs merged "
+                 f"{sorted(merged)}")
+
+    reports = 0
+    for path in sorted(glob.glob(
+            os.path.join(out_root, "job-*", "report.json"))):
+        rep = json.load(open(path))
+        jid = int(rep["job_id"].split("-")[1])
+        trace = rep.get("trace")
+        if not isinstance(trace, dict) or not trace.get("active"):
+            continue  # job ran without an obs session trace identity
+        reports += 1
+        if trace["trace_id"] != journal_ids.get(jid):
+            fail(f"{path}: report trace_id {trace['trace_id']!r} != "
+                 f"journal {journal_ids.get(jid)!r}")
+
+    spliced = 0
+    for path in sorted(glob.glob(
+            os.path.join(out_root, "job-*", "job-*.trace.json"))):
+        engine = json.load(open(path))
+        emeta = engine.get("metadata")
+        if not isinstance(emeta, dict):
+            continue  # pre-span-layer trace file
+        jid = int(os.path.basename(path).split("-")[1].split(".")[0])
+        spliced += 1
+        if emeta.get("trace_id") != journal_ids.get(jid):
+            fail(f"{path}: engine trace_id {emeta.get('trace_id')!r} "
+                 f"!= journal {journal_ids.get(jid)!r}")
+    if spliced and "engine" not in cats and not any(
+            ev.get("cat") not in
+            ("server", "scheduler", "supervisor") and ev.get("ph") == "B"
+            for ev in events):
+        fail("engine trace files exist but no engine-side span was "
+             f"spliced into the merged timeline")
+
+    print(f"check_fleet_trace: OK: {len(events)} events, "
+          f"{span_count} spans, {len(trace_ids_by_job)} jobs, "
+          f"{reports} report joins, {spliced} engine traces, "
+          f"server pid {server_pid}")
+
+
+if __name__ == "__main__":
+    main()

@@ -324,6 +324,21 @@ void
 Checkpointer::finalizeHostStats()
 {
     waitAsync();
+    // A run that stops inside a replay window (uop cap hit, workload
+    // finished mid-interval) would otherwise leak the open "replay"
+    // span into the Chrome trace; close it at the final global time
+    // so rewound epochs always export balanced begin/end pairs.
+    if (pacer_.replayMode()) {
+        const Tick now = sys_.globalTime();
+        host_->replayCycles +=
+            now >= lastCheckpointAt_ ? now - lastCheckpointAt_ : 0;
+        pacer_.setReplayMode(false);
+        obs::traceEnd(obs::TraceCategory::Checkpoint, "replay", now,
+                      static_cast<std::int64_t>(
+                          now >= lastCheckpointAt_
+                              ? now - lastCheckpointAt_
+                              : 0));
+    }
     if (fork_) {
         host_->checkpointsTaken = fork_->checkpointCount();
         host_->checkpointSeconds = fork_->checkpointSeconds();

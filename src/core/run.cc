@@ -12,6 +12,7 @@
 #include "core/sim_system.hh"
 #include "fault/fault_plan.hh"
 #include "obs/run_report.hh"
+#include "obs/span.hh"
 #include "util/io.hh"
 #include "util/logging.hh"
 #include "util/run_token.hh"
@@ -44,8 +45,15 @@ maybeWriteReport(const SimConfig &config, const RunResult &result)
 } // namespace
 
 RunResult
-runSimulation(const SimConfig &config)
+runSimulation(const SimConfig &run_config)
 {
+    // A submitter (the job server) propagates its trace id through
+    // EngineConfig::obs; a standalone run with observability on mints
+    // its own so every artifact still carries a joinable identity.
+    SimConfig config = run_config;
+    if (config.engine.obs.enabled() && config.engine.obs.traceId.empty())
+        config.engine.obs.traceId = obs::mintTraceId();
+
     // Mint this run's identity and bind it to the calling (manager)
     // thread: token-aware registries (tracer, profiler) use it to
     // tell concurrent runs apart, and the engines replicate it onto

@@ -79,18 +79,29 @@ tsMicros(std::uint64_t wall_ns)
 
 void
 writeChromeTrace(std::ostream &os,
-                 const std::vector<ThreadTrace> &traces)
+                 const std::vector<ThreadTrace> &traces,
+                 const ChromeTraceMeta &meta)
 {
+    const std::uint32_t pid = meta.pid;
     os << "{\"traceEvents\":[";
     bool first = true;
+    if (!meta.processName.empty()) {
+        os << "\n{\"ph\":\"M\",\"pid\":" << pid
+           << ",\"tid\":0,\"name\":\"process_name\",\"args\":{"
+              "\"name\":\""
+           << jsonEscape(meta.processName) << "\"}}";
+        first = false;
+    }
     for (const auto &t : traces) {
         if (!first)
             os << ",";
         first = false;
-        os << "\n{\"ph\":\"M\",\"pid\":0,\"tid\":" << t.tid
+        os << "\n{\"ph\":\"M\",\"pid\":" << pid
+           << ",\"tid\":" << t.tid
            << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
            << jsonEscape(t.role) << "\"}}";
-        os << ",\n{\"ph\":\"M\",\"pid\":0,\"tid\":" << t.tid
+        os << ",\n{\"ph\":\"M\",\"pid\":" << pid
+           << ",\"tid\":" << t.tid
            << ",\"name\":\"thread_sort_index\",\"args\":{"
               "\"sort_index\":"
            << t.tid << "}}";
@@ -106,7 +117,7 @@ writeChromeTrace(std::ostream &os,
                          });
         for (const auto &rec : recs) {
             os << ",\n{\"ph\":\"" << phaseOf(rec.type)
-               << "\",\"pid\":0,\"tid\":" << t.tid
+               << "\",\"pid\":" << pid << ",\"tid\":" << t.tid
                << ",\"ts\":" << tsMicros(rec.wallNs) << ",\"name\":\""
                << jsonEscape(rec.name) << "\",\"cat\":\""
                << traceCategoryName(rec.category) << "\"";
@@ -123,13 +134,40 @@ writeChromeTrace(std::ostream &os,
             os << "}";
         }
         if (t.dropped) {
-            os << ",\n{\"ph\":\"i\",\"pid\":0,\"tid\":" << t.tid
-               << ",\"ts\":0,\"name\":\"trace-overflow\",\"cat\":"
+            // Stamp the overflow marker at the track's end: drops are
+            // a property of the whole track, and a ts of 0 would break
+            // per-track timestamp monotonicity once the fleet merger
+            // shifts this file onto the wall-epoch axis.
+            const std::uint64_t last_ns =
+                recs.empty() ? 0 : recs.back().wallNs;
+            os << ",\n{\"ph\":\"i\",\"pid\":" << pid
+               << ",\"tid\":" << t.tid << ",\"ts\":"
+               << tsMicros(last_ns)
+               << ",\"name\":\"trace-overflow\",\"cat\":"
                   "\"engine\",\"s\":\"t\",\"args\":{\"dropped\":"
                << t.dropped << "}}";
         }
     }
-    os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+    os << "\n],\"displayTimeUnit\":\"ms\"";
+    // The object trace format allows a top-level metadata object; the
+    // fleet merger reads the clock anchor and trace identity from it
+    // to splice this file onto the wall-epoch timeline.
+    if (!meta.traceId.empty()) {
+        os << ",\"metadata\":{\"trace_id\":\""
+           << jsonEscape(meta.traceId) << "\",\"span_id\":\"";
+        char hex[17];
+        std::snprintf(hex, sizeof(hex), "%016llx",
+                      static_cast<unsigned long long>(meta.spanId));
+        os << hex << "\",\"parent_span_id\":\"";
+        std::snprintf(hex, sizeof(hex), "%016llx",
+                      static_cast<unsigned long long>(
+                          meta.parentSpanId));
+        os << hex << "\",\"pid\":" << pid
+           << ",\"clock_anchor\":{\"wall_us\":" << meta.wallAnchorUs
+           << ",\"steady_ns\":" << meta.steadyAnchorNs
+           << ",\"tsc\":" << meta.tscAnchor << "}}";
+    }
+    os << "}\n";
 }
 
 } // namespace slacksim::obs

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "obs/profiler.hh"
+#include "obs/span.hh"
 #include "util/histogram.hh"
 #include "util/snapshot.hh"
 #include "util/types.hh"
@@ -294,6 +295,7 @@ struct ForensicsData
     AdaptiveDecisionLog decisions;
     ObsSelfStats obs;
     ProfileReport profile; //!< host-time attribution (--profile)
+    TraceSpanInfo trace;   //!< distributed-trace identity + anchor
     bool watchdogEnabled = false;
     std::uint64_t stallMs = 0;
     std::uint64_t stallDumps = 0;

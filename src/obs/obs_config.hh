@@ -63,6 +63,19 @@ struct ObsConfig
      *  job server sets it to "job-<id>"; "" for standalone runs. */
     std::string jobId;
 
+    /** Distributed-trace id for the causal chain this run belongs to
+     *  (16 hex digits, obs/span.hh). The job server propagates the
+     *  submit-time id here (it survives the supervisor fork because
+     *  the child's SimConfig is copied by value); standalone runs
+     *  mint their own in runSimulation(). "" leaves every artifact
+     *  without a trace section. */
+    std::string traceId;
+
+    /** Span id of the submitter-side root span this run's engine span
+     *  nests under; 0 for standalone runs (the engine span becomes
+     *  the root). */
+    std::uint64_t parentSpanId = 0;
+
     /** Live progress mailbox (obs/progress.hh). When non-null the
      *  epoch sampler publishes a snapshot after every sample so an
      *  external observer (the serve heartbeat loop) can poll the run

@@ -77,6 +77,17 @@ ObsSession::begin(const char *role)
                           config_.traceOut, " ignored for this run");
         }
     }
+    // Stamp the distributed-trace identity for this run. The anchor
+    // is captured here — within µs of the tracer's t0 — so the fleet
+    // merger can shift this process's relative trace timestamps onto
+    // the wall-epoch timeline.
+    if (!config_.traceId.empty()) {
+        traceInfo_.traceId = config_.traceId;
+        traceInfo_.spanId = mintSpanId();
+        traceInfo_.parentSpanId = config_.parentSpanId;
+        traceInfo_.anchor = captureClockAnchor();
+        traceInfo_.active = true;
+    }
     if (config_.profile) {
         profiling_ = Profiler::instance().beginSession();
         if (profiling_) {
@@ -282,7 +293,18 @@ ObsSession::finish(Tick global)
         self.traceDropped = dropped;
         CheckedOfstream os(config_.traceOut, "Chrome trace");
         if (os.ok()) {
-            writeChromeTrace(os.stream(), traces);
+            ChromeTraceMeta meta;
+            meta.pid = traceInfo_.anchor.pid;
+            meta.processName = config_.jobId.empty()
+                                   ? std::string("slacksim")
+                                   : "slacksim " + config_.jobId;
+            meta.traceId = traceInfo_.traceId;
+            meta.spanId = traceInfo_.spanId;
+            meta.parentSpanId = traceInfo_.parentSpanId;
+            meta.wallAnchorUs = traceInfo_.anchor.wallUs;
+            meta.steadyAnchorNs = traceInfo_.anchor.steadyNs;
+            meta.tscAnchor = traceInfo_.anchor.tsc;
+            writeChromeTrace(os.stream(), traces, meta);
             self.traceBytes = os.bytesWritten();
         }
         if (os.finish()) {
@@ -330,6 +352,7 @@ ObsSession::finish(Tick global)
     forensics_.ledger = ledger_;
     forensics_.decisions = decisions_;
     forensics_.obs = self;
+    forensics_.trace = traceInfo_;
     forensics_.watchdogEnabled = watchdog_ != nullptr;
     forensics_.stallMs = watchdog_ ? watchdog_->stallMs() : 0;
     forensics_.stallDumps = watchdog_ ? watchdog_->stallDumps() : 0;

@@ -127,6 +127,7 @@ class ObsSession
 
     ViolationLedger ledger_;
     AdaptiveDecisionLog decisions_;
+    TraceSpanInfo traceInfo_; //!< span identity + clock anchor
     std::unique_ptr<StallWatchdog> watchdog_;
     ForensicsData forensics_;
     std::uint64_t samplerHostNs_ = 0;

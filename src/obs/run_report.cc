@@ -1,6 +1,6 @@
 /**
  * @file
- * Run-report writer (schema slacksim.run_report.v4).
+ * Run-report writer (schema slacksim.run_report.v5).
  */
 
 #include "obs/run_report.hh"
@@ -10,6 +10,7 @@
 #include "core/config.hh"
 #include "core/run_result.hh"
 #include "fault/fault_plan.hh"
+#include "obs/span.hh"
 #include "util/build_info.hh"
 #include "util/json.hh"
 
@@ -97,6 +98,8 @@ writeConfigSection(JsonWriter &w, const SimConfig &config)
     w.field("profile", e.obs.profile);
     w.field("profile_out", e.obs.profileOut);
     w.field("job_id", e.obs.jobId);
+    w.field("trace_id", e.obs.traceId);
+    w.field("parent_span_id", spanIdHex(e.obs.parentSpanId));
     w.endObject();
     w.endObject();
 }
@@ -354,6 +357,21 @@ writeRunReport(std::ostream &os, const SimConfig &config,
     w.field("enabled", result.forensics.watchdogEnabled);
     w.field("stall_ms", result.forensics.stallMs);
     w.field("stall_dumps", result.forensics.stallDumps);
+    w.endObject();
+    // Additive v5 section: distributed-trace identity + clock anchor.
+    const TraceSpanInfo &trace = result.forensics.trace;
+    w.beginObject("trace");
+    w.field("active", trace.active);
+    w.field("trace_id", trace.traceId);
+    w.field("span_id", spanIdHex(trace.spanId));
+    w.field("parent_span_id", spanIdHex(trace.parentSpanId));
+    w.field("pid", static_cast<std::uint64_t>(trace.anchor.pid));
+    w.beginObject("clock_anchor");
+    w.field("wall_us", trace.anchor.wallUs);
+    w.field("steady_ns", trace.anchor.steadyNs);
+    w.field("tsc", trace.anchor.tsc);
+    w.field("tsc_ghz", result.forensics.profile.tscGhz);
+    w.endObject();
     w.endObject();
     w.endObject();
     w.finish();

@@ -22,6 +22,13 @@
  * trace filename — plus `generator.build` (git hash, compiler, build
  * type, obs/sanitize knobs from the generated util/build_info.hh) and
  * `forensics.job_id` mirroring the id into the ledger section.
+ * v4 -> v5 (additive): top-level `trace` section — the distributed
+ * trace identity (trace_id, span_id, parent_span_id as 16-hex
+ * strings), the emitting pid and the per-process clock anchor
+ * (wall_us / steady_ns / tsc, plus tsc_ghz calibration when the
+ * profiler ran) that lets the fleet merger join this run to the
+ * daemon's server_events.jsonl on one wall-epoch timeline; the
+ * config.obs subobject gains trace_id / parent_span_id.
  */
 
 #ifndef SLACKSIM_OBS_RUN_REPORT_HH
@@ -37,7 +44,7 @@ struct RunResult;
 namespace obs {
 
 /** The schema identifier emitted in every report. */
-inline constexpr const char *runReportSchema = "slacksim.run_report.v4";
+inline constexpr const char *runReportSchema = "slacksim.run_report.v5";
 
 /** Write the full run report for @p result under @p config. */
 void writeRunReport(std::ostream &os, const SimConfig &config,

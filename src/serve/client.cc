@@ -232,6 +232,21 @@ Client::metricsText(std::string *text, std::string *error)
 }
 
 bool
+Client::fleetTrace(std::string *json, std::string *error)
+{
+    json::Value reply;
+    if (!request("{\"op\": \"trace\"}", &reply, error))
+        return false;
+    try {
+        *json = reply.at("json").asString();
+    } catch (const json::ParseError &e) {
+        *error = std::string("bad reply: ") + e.what();
+        return false;
+    }
+    return true;
+}
+
+bool
 Client::shutdown(bool drain, std::string *error)
 {
     return request(std::string("{\"op\": \"shutdown\", \"drain\": ") +

@@ -88,6 +88,10 @@ class Client
      *  format (`metrics` op). @p *text receives the payload. */
     bool metricsText(std::string *text, std::string *error);
 
+    /** Fetch the merged fleet timeline (`trace` op) as Chrome-trace
+     *  JSON. @p *json receives the document (serve/fleet_trace.hh). */
+    bool fleetTrace(std::string *json, std::string *error);
+
     bool shutdown(bool drain, std::string *error);
 
     /**

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fleet-trace merger: one Perfetto-loadable timeline for the whole
+ * daemon.
+ *
+ * A single job crosses four execution domains — client, daemon
+ * scheduler, forked supervised child, engine worker threads — and
+ * after a batch the evidence is scattered: lifecycle events in
+ * `server_events.jsonl` (server steady/wall clocks), per-job Chrome
+ * traces (engine-relative microseconds, real child pid), folded
+ * profiles (no timestamps at all) and run reports (the per-process
+ * clock anchor). The merger joins all of it on one wall-epoch
+ * microsecond axis:
+ *
+ *  - server/scheduler/supervisor spans are derived from the journal's
+ *    lifecycle events, aligned through the journal header's paired
+ *    wall_ms/steady_ns anchor, and rendered on one track per job
+ *    (pid = the daemon, tid = job id);
+ *  - each job's Chrome trace is spliced in verbatim except that every
+ *    timestamp is shifted by that child's clock anchor (recorded in
+ *    the trace file's metadata object at session begin) and every
+ *    event gains job_id/trace_id args, so engine tracks land on the
+ *    same axis under the child's real pid;
+ *  - the job's folded profile rides along as args on its `run` span
+ *    (phase totals have no time axis of their own).
+ *
+ * Served by the `trace` wire op and `slacksim-submit --trace-fleet`.
+ */
+
+#ifndef SLACKSIM_SERVE_FLEET_TRACE_HH
+#define SLACKSIM_SERVE_FLEET_TRACE_HH
+
+#include <iosfwd>
+#include <string>
+
+namespace slacksim {
+namespace serve {
+
+/**
+ * Merge everything under @p outRoot (server_events.jsonl plus the
+ * per-job artifact directories) into one Chrome-trace JSON object on
+ * @p os. Jobs still running contribute their server-side spans only.
+ * @return false (with @p error set) when the journal is missing or
+ * unreadable; partial per-job artifacts are skipped, never fatal.
+ */
+bool writeFleetTrace(std::ostream &os, const std::string &outRoot,
+                     std::string *error);
+
+} // namespace serve
+} // namespace slacksim
+
+#endif // SLACKSIM_SERVE_FLEET_TRACE_HH

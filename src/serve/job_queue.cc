@@ -5,6 +5,7 @@
 
 #include "serve/job_queue.hh"
 
+#include "obs/span.hh"
 #include "util/logging.hh"
 
 namespace slacksim {
@@ -92,6 +93,14 @@ JobQueue::submit(JobSpec spec, const std::string &idempotencyKey,
     job->idempotencyKey = idempotencyKey;
     job->attempt = attempt == 0 ? 1 : attempt;
     job->submittedAt = std::chrono::steady_clock::now();
+    // Distributed-trace identity: honor a client-minted id, mint one
+    // otherwise, and open the server-side root span. The id is
+    // written back into the spec BEFORE the journal record below so
+    // crash recovery replays the same identity.
+    job->traceId = job->spec.traceId.empty() ? obs::mintTraceId()
+                                             : job->spec.traceId;
+    job->spec.traceId = job->traceId;
+    job->rootSpanId = obs::mintSpanId();
     if (!idempotencyKey.empty())
         keyToId_.emplace(idempotencyKey, id);
     if (telemetry_)
@@ -111,6 +120,9 @@ JobQueue::submit(JobSpec spec, const std::string &idempotencyKey,
         if (!job->idempotencyKey.empty())
             fields += eventField("idempotency_key",
                                  job->idempotencyKey);
+        fields += eventField("trace_id", job->traceId);
+        fields += eventField("span_id",
+                             obs::spanIdHex(job->rootSpanId));
         fields += eventFieldRaw("spec", job->spec.toJson());
         events_->record(id, "submitted", fields);
         // The queue only accepts pre-validated specs (JobSpec::parse
@@ -173,7 +185,8 @@ JobQueue::admitNext(std::uint32_t freeThreads,
             events_->record(best->id, "admitted",
                             eventFieldDouble("queue_ms", wait_ms) +
                                 eventField("backfill",
-                                           std::uint64_t{backfill}));
+                                           std::uint64_t{backfill}) +
+                                eventField("trace_id", best->traceId));
         }
         cv_.notify_all();
     } else if (skipped && telemetry_) {
@@ -229,6 +242,7 @@ JobQueue::retireLocked(Job &job, JobState state,
                                  std::uint64_t{job.attempt});
         if (!job.error.empty())
             fields += eventField("error", job.error);
+        fields += eventField("trace_id", job.traceId);
         events_->record(job.id, terminalEventName(job.state), fields);
     }
 }

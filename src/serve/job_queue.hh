@@ -102,6 +102,13 @@ struct Job
      *  events carry it so a reconnecting client can resume from the
      *  last seq it saw without replaying duplicates. */
     std::uint64_t stateSeq = 1;
+    /** Distributed-trace id (client-supplied or minted at submit);
+     *  mirrored into spec.traceId so the journaled spec carries it
+     *  through crash recovery. */
+    std::string traceId;
+    /** Root span id of the server-side lifecycle span; the engine
+     *  span nests under it (ObsConfig::parentSpanId). */
+    std::uint64_t rootSpanId = 0;
 };
 
 /** Copyable job snapshot for status reporting. */

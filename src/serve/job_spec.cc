@@ -6,6 +6,7 @@
 #include "serve/job_spec.hh"
 
 #include <algorithm>
+#include <cctype>
 #include <sstream>
 #include <vector>
 
@@ -36,7 +37,7 @@ knownKeys()
         "mem_mb",        "trace",
         "profile",       "isolation",
         "max_attempts",  "rlimit_mem_mb",
-        "rlimit_cpu_s",
+        "rlimit_cpu_s",  "trace_id",
     };
     return keys;
 }
@@ -236,6 +237,21 @@ JobSpec::parse(const json::Value &doc, JobSpec *out,
     if (doc.has("name") &&
         !getString(doc, "name", &spec.name, error)) {
         return false;
+    }
+    if (doc.has("trace_id")) {
+        if (!getString(doc, "trace_id", &spec.traceId, error))
+            return false;
+        if (spec.traceId.size() > 64) {
+            *error = "trace_id must be at most 64 characters";
+            return false;
+        }
+        for (const char c : spec.traceId) {
+            if (!std::isalnum(static_cast<unsigned char>(c)) &&
+                c != '-' && c != '_') {
+                *error = "trace_id may contain only [A-Za-z0-9_-]";
+                return false;
+            }
+        }
     }
     if (!doc.has("kernel")) {
         *error = "job spec requires a 'kernel' key";
@@ -514,6 +530,8 @@ JobSpec::toJson() const
         w.field("rlimit_mem_mb", rlimitMemMb);
     if (rlimitCpuS)
         w.field("rlimit_cpu_s", rlimitCpuS);
+    if (!traceId.empty())
+        w.field("trace_id", traceId);
     w.endObject();
     return os.str();
 }

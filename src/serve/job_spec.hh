@@ -48,6 +48,9 @@
  *                               process isolation only)
  *     "rlimit_cpu_s":  uint     child RLIMIT_CPU, seconds (0 = none;
  *                               process isolation only)
+ *     "trace_id":      string   distributed-trace correlation id, up
+ *                               to 64 hex/alnum chars; "" lets the
+ *                               server mint one at submit
  *   }
  *
  * Validation philosophy: the engine's own SimConfig::validate() and
@@ -105,6 +108,10 @@ struct JobSpec
     std::uint32_t maxAttempts = 3; //!< tries across daemon restarts
     std::uint64_t rlimitMemMb = 0; //!< child RLIMIT_AS MiB (0: none)
     std::uint64_t rlimitCpuS = 0;  //!< child RLIMIT_CPU s (0: none)
+    /** Client-supplied distributed-trace id; the server mints one at
+     *  submit when empty, and writes it back so the journaled spec
+     *  round-trips the identity through crash recovery. */
+    std::string traceId;
 
     /**
      * Validate and decode @p doc into @p out. @return true on

@@ -10,6 +10,11 @@
  * escalates to cancel-everything. On shutdown the server report
  * (pool-reuse proof, job outcome counters) is written to
  * <out-root>/server_report.json.
+ *
+ * Every job carries a distributed-trace id from submit to simulated
+ * cycle; `slacksim-submit --trace-fleet` (the `trace` wire op) merges
+ * the journal, per-job Chrome traces and folded profiles under
+ * <out-root> into one Perfetto-loadable fleet timeline.
  */
 
 #include <atomic>

@@ -18,6 +18,7 @@
 #include <unistd.h>
 
 #include "core/run.hh"
+#include "serve/fleet_trace.hh"
 #include "serve/journal.hh"
 #include "util/build_info.hh"
 #include "util/io.hh"
@@ -370,21 +371,38 @@ Server::publishHeartbeats()
         Job *job = queue_.get(rj.id);
         if (!job || job->state != JobState::Running)
             continue;
-        if (now - rj.lastBeat < std::chrono::seconds(1))
-            continue;
         const obs::RunProgress::Snapshot p = job->progress->read();
         if (p.epochs == 0)
             continue; // no sample yet; nothing worth logging
+        // First-beat detection runs ahead of the 1 Hz throttle: the
+        // launch-to-visible latency would otherwise be quantized to
+        // the throttle, not to the scheduler's ~50ms poll.
+        double first_beat_ms = -1.0;
+        if (!rj.firstBeatSeen) {
+            rj.firstBeatSeen = true;
+            first_beat_ms =
+                std::chrono::duration<double, std::milli>(
+                    now - rj.launchedAt)
+                    .count();
+            telemetry_.spawnToFirstHeartbeatMs.observe(first_beat_ms);
+        } else if (now - rj.lastBeat < std::chrono::seconds(1)) {
+            continue;
+        }
         rj.lastBeat = now;
         telemetry_.heartbeats.add();
-        events_.record(
-            rj.id, "heartbeat",
+        std::string fields =
             eventField("epochs", p.epochs) +
-                eventField("global_cycle", p.globalCycle) +
-                eventField("slack_bound", p.slackBound) +
-                eventField("violations", p.violations) +
-                eventFieldDouble("cycles_per_sec", p.cyclesPerSec) +
-                eventFieldDouble("events_per_sec", p.eventsPerSec));
+            eventField("global_cycle", p.globalCycle) +
+            eventField("slack_bound", p.slackBound) +
+            eventField("violations", p.violations) +
+            eventFieldDouble("cycles_per_sec", p.cyclesPerSec) +
+            eventFieldDouble("events_per_sec", p.eventsPerSec) +
+            eventField("trace_id", job->traceId);
+        if (first_beat_ms >= 0.0) {
+            fields += eventFieldDouble("spawn_to_first_heartbeat_ms",
+                                       first_beat_ms);
+        }
+        events_.record(rj.id, "heartbeat", fields);
     }
 }
 
@@ -444,6 +462,12 @@ Server::startJob(Job *job)
     // names the optional per-job sinks.
     config.engine.obs.jobId = job_tag;
     config.engine.obs.progress = job->progress.get();
+    // Distributed-trace handoff: the engine span (minted inside the
+    // run, possibly in a forked child) nests under the server's root
+    // span. The whole identity survives the supervisor fork because
+    // the child copies its SimConfig by value.
+    config.engine.obs.traceId = job->traceId;
+    config.engine.obs.parentSpanId = job->rootSpanId;
     if (job->spec.trace)
         config.engine.obs.traceOut =
             out_dir + "/" + job_tag + ".trace.json";
@@ -472,7 +496,8 @@ Server::startJob(Job *job)
                                       config.target.numCores}) +
                        eventField("isolation", isolation) +
                        eventField("attempt",
-                                  std::uint64_t{job->attempt}));
+                                  std::uint64_t{job->attempt}) +
+                       eventField("trace_id", job->traceId));
     events_.flush();
     if (daemonPlan_ &&
         daemonPlan_->fireDaemonKill(
@@ -487,17 +512,19 @@ Server::startJob(Job *job)
         const IsolationLimits limits{job->spec.rlimitMemMb,
                                      job->spec.rlimitCpuS,
                                      opts_.killGraceMs};
+        const auto launched = std::chrono::steady_clock::now();
         running_.push_back(RunningJob{
             id, threads, mem,
             pool_->launch([this, id, config, limits] {
                 jobBodyIsolated(id, config, limits);
             }),
-            std::chrono::steady_clock::now()});
+            launched, launched});
     } else {
+        const auto launched = std::chrono::steady_clock::now();
         running_.push_back(RunningJob{
             id, threads, mem,
             pool_->launch([this, id, config] { jobBody(id, config); }),
-            std::chrono::steady_clock::now()});
+            launched, launched});
     }
 }
 
@@ -559,6 +586,9 @@ Server::jobBodyIsolated(std::uint64_t id, const SimConfig &config,
                             static_cast<unsigned>(r.signal)));
                 w.field("signal_name", signalName(r.signal));
                 w.field("spawn_ms", r.spawnMs);
+                w.field("child_pid",
+                        static_cast<std::int64_t>(r.childPid));
+                w.field("trace_id", config.engine.obs.traceId);
                 w.endObject();
                 os.stream() << "\n";
                 os.sync();
@@ -757,6 +787,8 @@ Server::handleRequest(UdsConn &conn, const std::string &line)
                                   telemetry_.queueWaitMs);
             writeHistogramSummary(w, "run_duration_ms",
                                   telemetry_.runDurationMs);
+            writeHistogramSummary(w, "spawn_to_first_heartbeat_ms",
+                                  telemetry_.spawnToFirstHeartbeatMs);
             w.endObject();
             w.endObject();
             return conn.sendLine(os.str());
@@ -779,6 +811,28 @@ Server::handleRequest(UdsConn &conn, const std::string &line)
             return conn.sendLine(os.str());
         }
 
+        if (op == "trace") {
+            // Merge everything the fleet has flushed to disk so far —
+            // server_events.jsonl plus each job's Chrome trace — into
+            // one Perfetto-loadable timeline. The scheduler flushes
+            // the event log every ~50ms pass, so the merge observes
+            // at-most-one-pass-stale state; running jobs contribute
+            // their server-side spans only (engine traces land at job
+            // finish).
+            events_.flush();
+            std::ostringstream merged;
+            std::string error;
+            if (!writeFleetTrace(merged, opts_.outRoot, &error))
+                return sendError(conn, error);
+            std::ostringstream os;
+            JsonWriter w(os, 0);
+            w.beginObject();
+            w.field("ok", true);
+            w.field("json", merged.str());
+            w.endObject();
+            return conn.sendLine(os.str());
+        }
+
         if (op == "shutdown") {
             const bool drain =
                 doc.has("drain") ? doc.at("drain").asBool() : true;
@@ -793,7 +847,7 @@ Server::handleRequest(UdsConn &conn, const std::string &line)
 
         const std::string hint = didYouMean(
             op, {"submit", "status", "cancel", "watch", "stats",
-                 "metrics", "shutdown", "ping"});
+                 "metrics", "trace", "shutdown", "ping"});
         std::string error = "unknown op '" + op + "'";
         if (!hint.empty())
             error += " (did you mean '" + hint + "'?)";
@@ -911,7 +965,9 @@ Server::writeServerReport(std::ostream &os) const
     const BuildInfo &b = buildInfo();
     JsonWriter w(os);
     w.beginObject();
-    w.field("schema", "slacksim.server_report.v3");
+    // v3 -> v4 (additive): isolation.spawn_to_first_heartbeat_ms —
+    // the launch-to-visibly-simulating half of the spawn story.
+    w.field("schema", "slacksim.server_report.v4");
     w.beginObject("build");
     w.field("git", b.gitHash);
     w.field("dirty", b.gitDirty[0] != '\0');
@@ -965,6 +1021,8 @@ Server::writeServerReport(std::ostream &os) const
     w.field("kill_grace_ms", opts_.killGraceMs);
     writeHistogramSummary(w, "spawn_overhead_ms",
                           telemetry_.spawnOverheadMs);
+    writeHistogramSummary(w, "spawn_to_first_heartbeat_ms",
+                          telemetry_.spawnToFirstHeartbeatMs);
     w.endObject();
     w.beginObject("recovery");
     w.field("enabled", opts_.recover);

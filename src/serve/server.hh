@@ -31,6 +31,8 @@
  *   <- {"ok": true, "pool": {...}, "queue": {...}, ...}
  *   -> {"op": "metrics"}
  *   <- {"ok": true, "text": "# HELP slacksim_... exposition ..."}
+ *   -> {"op": "trace"}
+ *   <- {"ok": true, "json": "{...merged fleet Chrome trace...}"}
  *   -> {"op": "shutdown", "drain": true}
  *   <- {"ok": true}
  *   Any failure: {"ok": false, "error": "one readable line"}
@@ -135,7 +137,7 @@ class Server
     /** Emit the server-level report (pool reuse proof, queue
      *  outcome counters, budgets, telemetry summary, isolation and
      *  recovery sections) as JSON — schema
-     *  slacksim.server_report.v3. */
+     *  slacksim.server_report.v4. */
     void writeServerReport(std::ostream &os) const;
 
   private:
@@ -147,6 +149,11 @@ class Server
         std::unique_ptr<TaskRunner::Handle> handle;
         /** Last heartbeat event for this job (scheduler-only). */
         std::chrono::steady_clock::time_point lastBeat;
+        /** When startJob handed the body to the pool; the base of
+         *  spawn_to_first_heartbeat_ms. */
+        std::chrono::steady_clock::time_point launchedAt;
+        /** First progress heartbeat already observed (scheduler). */
+        bool firstBeatSeen = false;
     };
 
     void schedulerMain();

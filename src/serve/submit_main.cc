@@ -13,6 +13,10 @@
  *                         one-screen table (--interval-ms, --frames)
  *   --stats               print server statistics as JSON
  *   --metrics             print the server's Prometheus exposition
+ *   --trace-fleet         fetch the merged fleet timeline (one
+ *                         Perfetto-loadable Chrome trace joining
+ *                         every job's server, scheduler, supervisor
+ *                         and engine spans) to --trace-out
  *   --shutdown            graceful shutdown (--no-drain cancels)
  *
  * Exit status: 0 on success; a watched job maps its terminal state to
@@ -62,6 +66,11 @@ const std::vector<slacksim::OptionSpec> kFlags = {
     {"frames", "N", "top: render N frames then exit (0 = forever)"},
     {"stats", "", "print server statistics"},
     {"metrics", "", "print Prometheus-format server metrics"},
+    {"trace-fleet", "", "fetch the merged fleet timeline "
+     "(Chrome/Perfetto JSON) and write it to --trace-out"},
+    {"trace-out", "FILE",
+     "where --trace-fleet writes (default fleet_trace.json; "
+     "'-' = stdout)"},
     {"shutdown", "", "ask the daemon to shut down"},
     {"no-drain", "", "with --shutdown: cancel instead of draining"},
     {"retries", "N",
@@ -297,6 +306,27 @@ main(int argc, char **argv)
         if (!client.metricsText(&text, &error))
             SLACKSIM_FATAL("metrics failed: ", error);
         std::cout << text;
+        return 0;
+    }
+
+    if (opts.has("trace-fleet")) {
+        std::string merged;
+        if (!client.fleetTrace(&merged, &error))
+            SLACKSIM_FATAL("trace failed: ", error);
+        const std::string out = opts.get("trace-out",
+                                         "fleet_trace.json");
+        if (out == "-") {
+            std::cout << merged;
+        } else {
+            CheckedOfstream os(out, "fleet trace");
+            if (os.ok())
+                os.stream() << merged;
+            if (!os.finish())
+                SLACKSIM_FATAL("cannot write ", out);
+            std::cout << "fleet trace -> " << out
+                      << " (load in ui.perfetto.dev or "
+                         "chrome://tracing)\n";
+        }
         return 0;
     }
 

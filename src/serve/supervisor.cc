@@ -277,6 +277,7 @@ runIsolatedJob(const SimConfig &config, const IsolationLimits &limits,
 
     ::close(status_pipe[1]);
     ::close(control_pipe[0]);
+    result.childPid = static_cast<int>(pid);
     const int status_fd = status_pipe[0];
     const int control_fd = control_pipe[1];
 

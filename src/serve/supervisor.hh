@@ -79,6 +79,9 @@ struct SupervisedResult
     /** fork-to-ready latency (ms) — the isolation overhead the bench
      *  and telemetry track. */
     double spawnMs = 0.0;
+    /** The forked child's real pid (0 when the fork never happened).
+     *  The fleet-trace merger keys the job's engine tracks on it. */
+    int childPid = 0;
     /** Human-readable failure detail ("" when status == Ok). */
     std::string error;
 };

@@ -14,6 +14,8 @@
 #include <ostream>
 #include <sstream>
 
+#include <unistd.h>
+
 #include "util/io.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
@@ -146,7 +148,8 @@ ServerTelemetry::ServerTelemetry()
     : queueWaitMs(DurationHistogram::defaultBoundsMs()),
       runDurationMs(DurationHistogram::defaultBoundsMs()),
       spawnOverheadMs({0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50,
-                       100, 250, 500, 1000})
+                       100, 250, 500, 1000}),
+      spawnToFirstHeartbeatMs(DurationHistogram::defaultBoundsMs())
 {
 }
 
@@ -314,6 +317,10 @@ ServerTelemetry::writeExposition(std::ostream &os) const
                    "fork-to-ready latency per process-isolated job "
                    "child (ms).",
                    spawnOverheadMs);
+    writeHistogram(os, "slacksim_spawn_to_first_heartbeat_ms",
+                   "Job launch to first observed RunProgress "
+                   "heartbeat (ms).",
+                   spawnToFirstHeartbeatMs);
 }
 
 EventLog::EventLog() = default;
@@ -364,10 +371,14 @@ EventLog::flush()
         }
         if (!headerWritten_ && out_->ok()) {
             headerWritten_ = true;
+            // wall_ms + steady_ns are a paired clock anchor; pid lets
+            // the fleet-trace merger key the server tracks on the
+            // daemon's real process id.
             out_->stream()
                 << "{\"schema\":\"" << schema
                 << "\",\"wall_ms\":" << nowWallMs()
-                << ",\"steady_ns\":" << nowSteadyNs() << "}\n";
+                << ",\"steady_ns\":" << nowSteadyNs()
+                << ",\"pid\":" << ::getpid() << "}\n";
         }
         if (out_->ok()) {
             for (const std::string &line : lines)

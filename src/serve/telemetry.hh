@@ -175,6 +175,12 @@ struct ServerTelemetry
     /** fork-to-ready latency of process-isolated children (ms);
      *  sub-ms buckets because the spawn is usually well under 1ms. */
     DurationHistogram spawnOverheadMs;
+    /** job launch (fork, for isolated jobs) to the first RunProgress
+     *  heartbeat the scheduler observed (ms) — the missing half of
+     *  the isolation-overhead story: how long until a job is not just
+     *  alive but visibly simulating. Granularity is the scheduler's
+     *  heartbeat poll (~50ms). */
+    DurationHistogram spawnToFirstHeartbeatMs;
 
     /**
      * Count one child crash under its signal name. The per-signal

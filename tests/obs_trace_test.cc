@@ -11,16 +11,19 @@
 #include <cctype>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/run.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/trace_buffer.hh"
 #include "obs/tracer.hh"
+#include "util/json_parse.hh"
 #include "util/logging.hh"
 
 using namespace slacksim;
@@ -204,6 +207,79 @@ class MiniJson
     const std::string &s_;
     std::size_t pos_ = 0;
 };
+
+/** Run @p config with the trace sink at a temp path, slurp the file
+ *  back as parsed JSON, and delete it. */
+json::Value
+traceFromRun(SimConfig config, const std::string &stem,
+             RunResult *result = nullptr)
+{
+    setQuietLogging(true);
+    const std::string path = testing::TempDir() + stem + ".json";
+    config.engine.obs.traceOut = path;
+    const RunResult r = runSimulation(config);
+    if (result)
+        *result = r;
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "trace file missing: " << path;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::remove(path.c_str());
+    return json::parse(buffer.str());
+}
+
+/**
+ * Walk every duration event and require begin/end discipline per
+ * (tid, name): running depth never goes negative and ends balanced —
+ * a rewound epoch must close its spans, never leak them. @return the
+ * per-name event counts ("B ph" for spans, all phs for the rest) so
+ * callers can assert on the episode markers they expect.
+ */
+std::map<std::string, int>
+checkSpanDiscipline(const json::Value &doc)
+{
+    std::map<std::string, int> names;
+    std::map<std::pair<long long, std::string>, int> depth;
+    EXPECT_TRUE(doc.has("traceEvents"));
+    for (const auto &ev : doc.at("traceEvents").array) {
+        const std::string ph = ev.at("ph").asString();
+        const std::string name = ev.at("name").asString();
+        if (ph == "B" || ph == "i")
+            ++names[name];
+        if (ph != "B" && ph != "E")
+            continue;
+        const auto key = std::make_pair(
+            static_cast<long long>(ev.at("tid").asNumber()), name);
+        depth[key] += ph == "B" ? 1 : -1;
+        EXPECT_GE(depth[key], 0)
+            << "span '" << name << "' ended before it began on tid "
+            << key.first;
+    }
+    for (const auto &[key, d] : depth) {
+        EXPECT_EQ(d, 0) << "span '" << key.second
+                        << "' leaked open on tid " << key.first;
+    }
+    return names;
+}
+
+/** Serial speculative baseline that checkpoints every 1000 cycles
+ *  (mirrors fault_injection_test's specConfig). */
+SimConfig
+rollbackConfig()
+{
+    SimConfig config;
+    config.workload.kernel = "falseshare";
+    config.workload.numThreads = config.target.numCores;
+    config.workload.iters = 2000;
+    config.workload.footprintBytes = 64 * 1024;
+    config.engine.parallelHost = false;
+    config.engine.scheme = SchemeKind::Adaptive;
+    config.engine.adaptive.targetViolationRate = 0.05;
+    config.engine.adaptive.initialBound = 64;
+    config.engine.checkpoint.mode = CheckpointMode::Speculative;
+    config.engine.checkpoint.interval = 1000;
+    return config;
+}
 
 } // namespace
 
@@ -421,4 +497,124 @@ TEST(ChromeTrace, WriterEscapesAndOrdersRecords)
     EXPECT_TRUE(parser.valid()) << json;
     EXPECT_NE(json.find("core \\\"0\\\"\\\\"), std::string::npos);
     EXPECT_LT(json.find("\"early\""), json.find("\"late\""));
+}
+
+TEST(TraceRollback, SerialReplaySpansClosedAndAttributed)
+{
+    // A spurious rollback rewinds the serial engine one interval; the
+    // exported trace must attribute the episode (rollback span,
+    // violation-rollback instant, replay window) and close every span
+    // it opened in the rewound epoch.
+    SimConfig config = rollbackConfig();
+    config.engine.faultSpecs = {"spurious-rollback@ckpt:2"};
+    RunResult r;
+    const json::Value doc =
+        traceFromRun(config, "obs_trace_rb_serial", &r);
+    EXPECT_GT(r.host.rollbacks, 0u);
+
+    const auto names = checkSpanDiscipline(doc);
+    EXPECT_GT(names.count("rollback"), 0u);
+    EXPECT_GT(names.count("replay"), 0u);
+    EXPECT_GT(names.count("violation-rollback"), 0u);
+    // One replay window per successful in-memory restore.
+    EXPECT_EQ(names.at("replay"),
+              static_cast<int>(r.host.rollbacks));
+}
+
+TEST(TraceRollback, ParallelBankedReplaySpansClosed)
+{
+    // Same episode on the threaded engine with sharded manager banks:
+    // worker tracks and the banked manager must still export balanced
+    // spans across the rewind.
+    SimConfig config = rollbackConfig();
+    config.engine.parallelHost = true;
+    config.engine.hostThreads = 3;
+    config.engine.managerBanks = 2;
+    config.engine.faultSpecs = {"spurious-rollback@ckpt:2"};
+    RunResult r;
+    const json::Value doc =
+        traceFromRun(config, "obs_trace_rb_parallel", &r);
+    EXPECT_GT(r.host.rollbacks, 0u);
+
+    const auto names = checkSpanDiscipline(doc);
+    EXPECT_GT(names.count("rollback"), 0u);
+    EXPECT_GT(names.count("replay"), 0u);
+    EXPECT_GT(names.count("violation-rollback"), 0u);
+}
+
+TEST(TraceRollback, DegradationLadderMarkedWithoutLeaks)
+{
+    // Corrupt the only checkpoint generation, then force a rollback
+    // into it: the restore demotes down the degradation ladder
+    // instead of replaying. The trace must carry the degradation
+    // instant and stay leak-free even though no replay window opened.
+    SimConfig config = rollbackConfig();
+    config.engine.faultSpecs = {
+        "snapshot-corrupt@ckpt:1,spurious-rollback@ckpt:1"};
+    RunResult r;
+    const json::Value doc =
+        traceFromRun(config, "obs_trace_rb_demote", &r);
+
+    const auto names = checkSpanDiscipline(doc);
+    EXPECT_GT(names.count("degradation"), 0u);
+}
+
+TEST(TraceSpanIdentity, MetadataCarriesTraceAndClockAnchor)
+{
+    // When a distributed-trace identity rides in on the config (the
+    // daemon's submit path), the engine trace must export it with a
+    // clock anchor so the fleet merger can place this process on the
+    // shared wall-clock axis.
+    SimConfig config;
+    config.workload.kernel = "uniform";
+    config.target.numCores = 2;
+    config.workload.numThreads = 2;
+    config.workload.iters = 200;
+    config.workload.footprintBytes = 16 * 1024;
+    config.engine.scheme = SchemeKind::Bounded;
+    config.engine.maxCommittedUops = 2000;
+    config.engine.parallelHost = false;
+    config.engine.obs.traceId = "00000000deadbeef";
+    config.engine.obs.parentSpanId = 0x1234u;
+    const json::Value doc =
+        traceFromRun(config, "obs_trace_identity");
+
+    ASSERT_TRUE(doc.has("metadata"));
+    const json::Value &meta = doc.at("metadata");
+    EXPECT_EQ(meta.at("trace_id").asString(), "00000000deadbeef");
+    EXPECT_EQ(meta.at("parent_span_id").asString(),
+              "0000000000001234");
+    // The session minted its own span under that parent.
+    const std::string span = meta.at("span_id").asString();
+    EXPECT_EQ(span.size(), 16u);
+    EXPECT_NE(span, "0000000000000000");
+    EXPECT_GT(meta.at("pid").asNumber(), 0.0);
+    const json::Value &anchor = meta.at("clock_anchor");
+    EXPECT_GT(anchor.at("wall_us").asNumber(), 0.0);
+    EXPECT_GT(anchor.at("steady_ns").asNumber(), 0.0);
+}
+
+TEST(TraceSpanIdentity, StandaloneRunMintsItsOwnTraceId)
+{
+    // No identity supplied: runSimulation() mints a fresh trace id so
+    // a standalone run is still joinable by id after the fact.
+    SimConfig config;
+    config.workload.kernel = "uniform";
+    config.target.numCores = 2;
+    config.workload.numThreads = 2;
+    config.workload.iters = 200;
+    config.workload.footprintBytes = 16 * 1024;
+    config.engine.scheme = SchemeKind::Bounded;
+    config.engine.maxCommittedUops = 2000;
+    config.engine.parallelHost = false;
+    const json::Value doc =
+        traceFromRun(config, "obs_trace_minted");
+
+    ASSERT_TRUE(doc.has("metadata"));
+    const std::string id =
+        doc.at("metadata").at("trace_id").asString();
+    EXPECT_EQ(id.size(), 16u);
+    for (const char c : id)
+        EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(c)))
+            << id;
 }

@@ -1,6 +1,6 @@
 /**
  * @file
- * Validates the slacksim.run_report.v4 document end to end: every
+ * Validates the slacksim.run_report.v5 document end to end: every
  * section and key the schema promises, exact agreement between the
  * forensics attribution tables and the run's violation counters, a
  * replayable adaptive decision chain, and the observe example's

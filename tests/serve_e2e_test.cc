@@ -172,7 +172,7 @@ TEST(ServeE2ETest, EightMixedJobsUnderBudgetAllComplete)
         ASSERT_FALSE(report.empty()) << "job " << id;
         const json::Value doc = json::parse(report);
         EXPECT_EQ(doc.at("schema").asString(),
-                  "slacksim.run_report.v4");
+                  "slacksim.run_report.v5");
         EXPECT_EQ(doc.at("status").asString(), "ok");
     }
 }
@@ -729,4 +729,91 @@ TEST(ServeE2ETest, DrainShutdownFinishesQueuedJobs)
     }();
     EXPECT_EQ(stats.done, ids.size());
     EXPECT_EQ(stats.cancelled, 0u);
+}
+
+TEST(ServeE2ETest, FleetTraceMergesJobsOnOneTimeline)
+{
+    const std::string out_root = "serve_e2e_fleet-out";
+    ServerHarness harness("serve_e2e_fleet", 16);
+    Client client(harness.socket());
+    ASSERT_TRUE(client.valid());
+
+    // Three jobs: one carries a caller-chosen trace id and the full
+    // per-job trace/profile sinks, the others let the server mint.
+    std::string error;
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 3; ++i) {
+        std::string extra = "\"seed\": " + std::to_string(40 + i) +
+                            ", \"host_threads\": 5";
+        if (i == 0)
+            extra += ", \"trace\": true, \"profile\": true, "
+                     "\"trace_id\": \"feedc0defeedc0de\"";
+        const std::uint64_t id =
+            client.submit(specJson("fft", 4, extra), &error);
+        ASSERT_NE(id, 0u) << error;
+        ids.push_back(id);
+    }
+    ASSERT_TRUE(waitAllTerminal(client));
+
+    // The caller-supplied trace id reached the engine: report.json's
+    // v5 trace section carries it end to end.
+    const json::Value report = json::parse(
+        slurp(out_root + "/job-" + std::to_string(ids[0]) +
+              "/report.json"));
+    const json::Value &rt = report.at("trace");
+    EXPECT_TRUE(rt.at("active").asBool());
+    EXPECT_EQ(rt.at("trace_id").asString(), "feedc0defeedc0de");
+    EXPECT_NE(rt.at("span_id").asString(), "0000000000000000");
+    EXPECT_NE(rt.at("parent_span_id").asString(),
+              "0000000000000000");
+
+    // The merged fleet timeline over the wire.
+    std::string merged;
+    ASSERT_TRUE(client.fleetTrace(&merged, &error)) << error;
+    const json::Value doc = json::parse(merged);
+    EXPECT_EQ(doc.at("metadata").at("schema").asString(),
+              "slacksim.fleet_trace.v1");
+    EXPECT_EQ(doc.at("metadata").at("jobs").asUint(), 3u);
+
+    // Every job contributes the full span ladder on one tid, every
+    // span carries its join keys, and the spliced engine events from
+    // job 1 rode in under the caller's trace id.
+    std::map<std::string, std::set<std::string>> spans_by_job;
+    std::set<std::string> trace_ids;
+    for (const auto &ev : doc.at("traceEvents").array) {
+        const std::string ph = ev.at("ph").asString();
+        if (ph == "M")
+            continue;
+        ASSERT_TRUE(ev.has("args")) << ev.at("name").asString();
+        const json::Value &args = ev.at("args");
+        ASSERT_TRUE(args.has("job_id"));
+        ASSERT_TRUE(args.has("trace_id"));
+        const std::string job = args.at("job_id").asString();
+        trace_ids.insert(args.at("trace_id").asString());
+        if (ph == "B")
+            spans_by_job[job].insert(ev.at("name").asString());
+    }
+    EXPECT_EQ(spans_by_job.size(), 3u);
+    for (const std::uint64_t id : ids) {
+        const auto &spans =
+            spans_by_job["job-" + std::to_string(id)];
+        EXPECT_TRUE(spans.count("job")) << id;
+        EXPECT_TRUE(spans.count("validate")) << id;
+        EXPECT_TRUE(spans.count("queued")) << id;
+        EXPECT_TRUE(spans.count("run")) << id;
+    }
+    // One minted id per job plus the caller's: all distinct.
+    EXPECT_EQ(trace_ids.size(), 3u);
+    EXPECT_TRUE(trace_ids.count("feedc0defeedc0de"));
+    // The traced job's engine-side spans were spliced in under the
+    // same track: the engine-run root span rides next to the server
+    // ladder for job 1.
+    EXPECT_TRUE(spans_by_job["job-" + std::to_string(ids[0])].count(
+        "engine-run"));
+
+    // The journal agrees on the join key for the traced job.
+    const std::string journal =
+        slurp(out_root + "/server_events.jsonl");
+    EXPECT_NE(journal.find("\"trace_id\":\"feedc0defeedc0de\""),
+              std::string::npos);
 }
